@@ -1,0 +1,127 @@
+// Command blbpsim runs one or more indirect branch predictors over a single
+// workload (from the built-in suite) or a trace file, and reports per-class
+// misprediction statistics.
+//
+// Usage:
+//
+//	blbpsim -workload 400.perlbench-1 [-base N] [-predictors blbp,ittage,btb,vpc]
+//	blbpsim -trace file.trc [-predictors ...]
+//	blbpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blbp"
+	"blbp/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "blbpsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("blbpsim", flag.ContinueOnError)
+	workloadName := fs.String("workload", "", "workload name from the built-in suite")
+	traceFile := fs.String("trace", "", "trace file (from tracegen) instead of a workload")
+	base := fs.Int64("base", 400_000, "instruction base for suite workloads")
+	preds := fs.String("predictors", "blbp,ittage,btb,vpc", "comma-separated predictors to run")
+	list := fs.Bool("list", false, "list available workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suites := [][]blbp.WorkloadSpec{blbp.Workloads(*base), blbp.HoldoutWorkloads(*base)}
+	if *list {
+		for _, suite := range suites {
+			for _, s := range suite {
+				fmt.Printf("%-20s %s (%d instructions)\n", s.Name, s.Category, s.Instructions)
+			}
+		}
+		return nil
+	}
+
+	tr, err := loadTrace(*workloadName, *traceFile, suites)
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("Simulation of %s (%d instructions)", tr.Name, tr.Instructions()),
+		"predictor", "indirect MPKI", "indirect mis/total", "no-prediction",
+		"cond accuracy", "return accuracy", "budget (KB)",
+	)
+	for _, name := range strings.Split(*preds, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		res, bits, err := simulateOne(tr, name)
+		if err != nil {
+			return err
+		}
+		returnAcc := 1.0
+		if res.Returns > 0 {
+			returnAcc = 1 - float64(res.ReturnMispredicts)/float64(res.Returns)
+		}
+		tb.AddRowf(name, res.IndirectMPKI(),
+			fmt.Sprintf("%d/%d", res.IndirectMispredicts, res.IndirectBranches),
+			res.NoPrediction, res.CondAccuracy(), returnAcc,
+			fmt.Sprintf("%.1f", float64(bits)/8192))
+	}
+	return tb.WriteText(os.Stdout)
+}
+
+func loadTrace(workloadName, traceFile string, suites [][]blbp.WorkloadSpec) (*blbp.Trace, error) {
+	switch {
+	case workloadName != "" && traceFile != "":
+		return nil, fmt.Errorf("use either -workload or -trace, not both")
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return blbp.ReadTrace(f)
+	case workloadName != "":
+		for _, suite := range suites {
+			for _, s := range suite {
+				if s.Name == workloadName {
+					return s.Build(), nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("unknown workload %q (try -list)", workloadName)
+	default:
+		return nil, fmt.Errorf("one of -workload or -trace is required (or -list)")
+	}
+}
+
+// simulateOne runs a single named predictor over the trace; VPC gets its
+// shared-conditional-predictor pass, everything else a standard pass.
+func simulateOne(tr *blbp.Trace, name string) (blbp.Result, int, error) {
+	if name == "vpc" {
+		hp := blbp.NewHashedPerceptron()
+		v := blbp.NewVPC(blbp.DefaultVPCConfig(), hp)
+		res, err := blbp.SimulateWith(tr, hp, []blbp.IndirectPredictor{v}, blbp.SimOptions{})
+		if err != nil {
+			return blbp.Result{}, 0, err
+		}
+		return res[0], v.StorageBits(), nil
+	}
+	p, err := blbp.NewPredictor(name)
+	if err != nil {
+		return blbp.Result{}, 0, err
+	}
+	res, err := blbp.Simulate(tr, p)
+	if err != nil {
+		return blbp.Result{}, 0, err
+	}
+	return res[0], p.StorageBits(), nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blbp"
+)
+
+func TestListRuns(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+}
+
+func TestWorkloadSimulation(t *testing.T) {
+	err := run([]string{"-workload", "252.eon", "-base", "40000", "-predictors", "blbp,btb"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestVPCPredictorPath(t *testing.T) {
+	err := run([]string{"-workload", "holdout-interp-1", "-base", "30000", "-predictors", "vpc"})
+	if err != nil {
+		t.Fatalf("run with vpc: %v", err)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	// Write a trace through the public API, then simulate it via -trace.
+	spec := blbp.NewSwitcherWorkload("rt", "test", 15_000, blbp.SwitcherParams{
+		Tokens: 6, CaseWork: 20, CaseConds: 1,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blbp.WriteTrace(f, spec.Build()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-trace", path, "-predictors", "blbp,ittage"}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                      // neither -workload nor -trace
+		{"-workload", "nope"},                   // unknown workload
+		{"-workload", "252.eon", "-trace", "x"}, // both sources
+		{"-trace", "/nonexistent/file.trc"},     // unreadable trace
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "bogus"}, // unknown predictor
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

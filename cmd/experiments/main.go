@@ -1,0 +1,282 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation over the synthetic workload suite.
+//
+// Usage:
+//
+//	experiments [flags] <experiment>...
+//
+// Experiments: table1 table2 fig1 fig6 fig7 fig8 fig9 fig10 fig11 overall
+// holdout (the paper's tables and figures), plus the extensions extras,
+// arrays, targetbits, combined, hierarchy, cottage, latency, seeds; "all" runs everything.
+//
+// Flags:
+//
+//	-base N      instruction base per SHORT trace (default 400000;
+//	             SPEC traces run 1.5x, LONG traces 2x)
+//	-parallel N  worker goroutines (default: GOMAXPROCS)
+//	-csv DIR     also write each table as DIR/<experiment>.csv
+//	-chart       render fig10/fig11 as ASCII bar charts too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"blbp/internal/experiments"
+	"blbp/internal/report"
+	"blbp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	base := fs.Int64("base", 400_000, "instruction base per SHORT trace")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	csvDir := fs.String("csv", "", "directory for CSV copies of each table")
+	chart := fs.Bool("chart", false, "render fig10/fig11 results as ASCII bar charts too")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"table1", "table2", "fig1", "fig6", "fig7", "overall", "fig8", "fig9", "holdout", "fig10", "fig11", "extras", "arrays", "targetbits", "combined", "hierarchy", "cottage", "latency", "seeds"}
+	}
+
+	suite := workload.Suite(*base)
+
+	// Overall data is shared by overall/fig8/fig9; compute lazily once.
+	var overallData *experiments.OverallData
+	getOverall := func() (experiments.OverallData, error) {
+		if overallData != nil {
+			return *overallData, nil
+		}
+		_, data, err := experiments.Overall(suite, *parallel)
+		if err != nil {
+			return experiments.OverallData{}, err
+		}
+		overallData = &data
+		return data, nil
+	}
+
+	emit := func(name string, tb *report.Table) error {
+		if err := tb.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := tb.WriteCSV(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, name := range names {
+		switch name {
+		case "table1":
+			if err := emit(name, experiments.Table1(suite)); err != nil {
+				return err
+			}
+		case "table2":
+			if err := emit(name, experiments.Table2()); err != nil {
+				return err
+			}
+		case "fig1":
+			tb, _ := experiments.Fig1(suite, *parallel)
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "fig6":
+			tb, _ := experiments.Fig6(suite, *parallel)
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "fig7":
+			tb, _ := experiments.Fig7(suite, *parallel, 64)
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "overall":
+			data, err := getOverall()
+			if err != nil {
+				return err
+			}
+			tb, _, err := overallTable(data)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "fig8":
+			data, err := getOverall()
+			if err != nil {
+				return err
+			}
+			if err := emit(name, experiments.Fig8(data)); err != nil {
+				return err
+			}
+		case "fig9":
+			data, err := getOverall()
+			if err != nil {
+				return err
+			}
+			if err := emit(name, experiments.Fig9(data)); err != nil {
+				return err
+			}
+		case "holdout":
+			tb, _, err := experiments.Overall(workload.SuiteHoldout(*base), *parallel)
+			if err != nil {
+				return err
+			}
+			tb.Title = "Holdout suite (CBP-4 analog): " + tb.Title
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "fig10":
+			tb, rows, err := experiments.Fig10(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+			if *chart {
+				ch := report.NewChart("Figure 10 (bars = mean MPKI; lower is better)")
+				for _, r := range rows {
+					ch.Add(r.Variant, r.MeanMPKI)
+				}
+				if err := ch.WriteText(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		case "fig11":
+			tb, rows, err := experiments.Fig11(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+			if *chart {
+				ch := report.NewChart("Figure 11 (bars = mean MPKI; lower is better)")
+				for _, r := range rows {
+					label := fmt.Sprintf("assoc-%d", r.Assoc)
+					if r.Assoc == 0 {
+						label = "ittage"
+					}
+					ch.Add(label, r.MeanMPKI)
+				}
+				if err := ch.WriteText(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		case "extras":
+			tb, _, err := experiments.Extras(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "arrays":
+			tb, _, err := experiments.Arrays(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "targetbits":
+			tb, _, err := experiments.TargetBits(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "combined":
+			tb, _, err := experiments.Combined(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "hierarchy":
+			tb, _, err := experiments.Hierarchy(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "cottage":
+			tb, _, err := experiments.Cottage(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "latency":
+			tb, _, err := experiments.Latency(suite, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		case "seeds":
+			tb, _, err := experiments.Seeds(*base, nil, *parallel)
+			if err != nil {
+				return err
+			}
+			if err := emit(name, tb); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+	return nil
+}
+
+// overallTable re-renders the overall table from cached data (Overall
+// would otherwise re-run the suite).
+func overallTable(data experiments.OverallData) (*report.Table, experiments.OverallData, error) {
+	tb := report.NewTable(
+		"Overall (§5.1): suite-mean indirect-branch MPKI per predictor",
+		"predictor", "mean MPKI", "vs ITTAGE %", "cond accuracy",
+	)
+	ittageMean := data.Mean(experiments.NameITTAGE)
+	for _, p := range data.Predictors {
+		pct := 0.0
+		if ittageMean != 0 {
+			pct = 100 * (ittageMean - data.Mean(p)) / ittageMean
+		}
+		tb.AddRowf(p, data.Mean(p), pct, data.CondAccuracyMean(p))
+	}
+	return tb, data, nil
+}

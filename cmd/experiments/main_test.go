@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTablesRun(t *testing.T) {
+	if err := run([]string{"-base", "5000", "table1", "table2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestCharacterizationFigures(t *testing.T) {
+	if err := run([]string{"-base", "5000", "fig1", "fig6", "fig7"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestOverallSharedAcrossFigures(t *testing.T) {
+	// overall + fig8 + fig9 must reuse one suite run; this mainly checks
+	// the wiring end to end at tiny scale.
+	if err := run([]string{"-base", "4000", "overall", "fig8", "fig9"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-base", "4000", "-csv", dir, "table2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatalf("csv missing: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty csv")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"bogus-experiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestChartFlag(t *testing.T) {
+	if err := run([]string{"-base", "3000", "-chart", "fig11"}); err != nil {
+		t.Fatalf("run with -chart: %v", err)
+	}
+}

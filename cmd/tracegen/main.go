@@ -1,0 +1,128 @@
+// Command tracegen generates synthetic branch traces from the built-in
+// workload suite and inspects trace files.
+//
+// Usage:
+//
+//	tracegen gen -workload 252.eon -out eon.trc [-base N]
+//	tracegen gen -all -dir traces/ [-base N]
+//	tracegen inspect file.trc
+//	tracegen list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"blbp"
+	"blbp/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tracegen <gen|inspect|list> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "inspect":
+		return runInspect(args[1:])
+	case "list":
+		for _, s := range blbp.Workloads(0) {
+			fmt.Printf("%-20s %s\n", s.Name, s.Category)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	workloadName := fs.String("workload", "", "workload to generate")
+	all := fs.Bool("all", false, "generate the full 88-workload suite")
+	out := fs.String("out", "", "output file (single workload)")
+	dir := fs.String("dir", "traces", "output directory (with -all)")
+	base := fs.Int64("base", 400_000, "instruction base")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := blbp.Workloads(*base)
+	if *all {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+		for _, s := range suite {
+			path := filepath.Join(*dir, s.Name+".trc")
+			if err := writeSpec(s, path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return nil
+	}
+	if *workloadName == "" {
+		return fmt.Errorf("-workload or -all is required")
+	}
+	for _, s := range suite {
+		if s.Name == *workloadName {
+			path := *out
+			if path == "" {
+				path = s.Name + ".trc"
+			}
+			if err := writeSpec(s, path); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown workload %q", *workloadName)
+}
+
+func writeSpec(s blbp.WorkloadSpec, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return blbp.WriteTrace(f, s.Build())
+}
+
+func runInspect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: tracegen inspect <file>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := blbp.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	st := blbp.AnalyzeTrace(tr)
+	tb := report.NewTable(
+		fmt.Sprintf("Trace %s: %d instructions, %d branch records", tr.Name, st.Instructions, len(tr.Records)),
+		"metric", "value",
+	)
+	for _, bt := range []blbp.BranchType{
+		blbp.CondDirect, blbp.UncondDirect, blbp.DirectCall,
+		blbp.IndirectJump, blbp.IndirectCall, blbp.Return,
+	} {
+		tb.AddRowf(bt.String()+" per kilo-instruction", st.PerKilo(bt))
+	}
+	tb.AddRowf("static indirect sites", st.StaticIndirectSites())
+	tb.AddRowf("polymorphic fraction (dynamic)", st.PolymorphicFraction())
+	tb.AddRowf("max targets at one site", st.MaxTargets())
+	return tb.WriteText(os.Stdout)
+}

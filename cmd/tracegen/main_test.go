@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListRuns(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+}
+
+func TestGenAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "eon.trc")
+	if err := run([]string{"gen", "-workload", "252.eon", "-base", "20000", "-out", path}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	if err := run([]string{"inspect", path}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestGenDefaultsOutputName(t *testing.T) {
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := run([]string{"gen", "-workload", "403.gcc-1", "-base", "10000"}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if _, err := os.Stat("403.gcc-1.trc"); err != nil {
+		t.Fatalf("default output file not created: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"gen"},                              // no workload
+		{"gen", "-workload", "nope"},         // unknown workload
+		{"inspect"},                          // missing file arg
+		{"inspect", "/nonexistent/file.trc"}, // unreadable
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestInspectRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.trc")
+	if err := os.WriteFile(path, []byte("this is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect", path}); err == nil {
+		t.Error("inspect accepted garbage")
+	}
+}

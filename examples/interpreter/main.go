@@ -1,0 +1,43 @@
+// Interpreter case study: how dispatch-loop predictability changes with the
+// interpreter's opcode count — the scenario that motivates bit-level target
+// prediction. Small opcode sets are learnable by every history predictor;
+// past ~64 hot targets BLBP's 64-way IBTB set saturates, the architectural
+// limit the paper discusses in §3.7/§5.3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blbp"
+)
+
+func main() {
+	fmt.Println("BLBP vs ITTAGE on interpreter dispatch, sweeping opcode count")
+	fmt.Printf("%-10s %12s %12s\n", "opcodes", "blbp MPKI", "ittage MPKI")
+	for _, opcodes := range []int{8, 16, 32, 64, 96, 150} {
+		spec := blbp.NewInterpreterWorkload(
+			fmt.Sprintf("interp-%d", opcodes), "example", 600_000,
+			blbp.InterpreterParams{
+				Opcodes:        opcodes,
+				ProgramLen:     opcodes * 3, // each opcode recurs ~3 times per period
+				Work:           60,
+				CondPerHandler: 2,
+				CondNoise:      0.004,
+				DispatchNoise:  0.002,
+			})
+		tr := spec.Build()
+		results, err := blbp.Simulate(tr,
+			blbp.NewBLBP(blbp.DefaultBLBPConfig()),
+			blbp.NewITTAGE(blbp.DefaultITTAGEConfig()),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %12.4f %12.4f\n", opcodes,
+			results[0].IndirectMPKI(), results[1].IndirectMPKI())
+	}
+	fmt.Println("\nNote how the gap closes (and can invert) as the dispatch")
+	fmt.Println("footprint outgrows the IBTB's 64-way sets — real interpreters")
+	fmt.Println("like perl (~150 opcodes) sit at the challenging end.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: build one synthetic workload, run BLBP on it, and print the
+// paper's metric (indirect-branch MPKI).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blbp"
+)
+
+func main() {
+	// Pick a workload from the built-in 88-entry suite (the analog of the
+	// paper's Table 1 benchmarks). 252.eon models a C++ ray tracer with
+	// moderate virtual-dispatch polymorphism.
+	suite := blbp.Workloads(400_000)
+	var spec blbp.WorkloadSpec
+	for _, s := range suite {
+		if s.Name == "252.eon" {
+			spec = s
+			break
+		}
+	}
+
+	// Build the deterministic branch trace and inspect its population.
+	tr := spec.Build()
+	stats := blbp.AnalyzeTrace(tr)
+	fmt.Printf("workload %s: %d instructions, %.1f indirect branches per kilo-instruction\n",
+		tr.Name, stats.Instructions,
+		stats.PerKilo(blbp.IndirectJump)+stats.PerKilo(blbp.IndirectCall))
+
+	// Run the paper's predictor and its baseline side by side.
+	results, err := blbp.Simulate(tr,
+		blbp.NewBLBP(blbp.DefaultBLBPConfig()),
+		blbp.NewBTBPredictor(blbp.DefaultBTBConfig()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-6s indirect MPKI = %.4f  (%d mispredictions / %d indirect branches)\n",
+			r.Predictor, r.IndirectMPKI(), r.IndirectMispredicts, r.IndirectBranches)
+	}
+}

@@ -1,0 +1,3 @@
+module blbp
+
+go 1.22

@@ -1,0 +1,153 @@
+package cascaded
+
+import (
+	"testing"
+
+	"blbp/internal/trace"
+)
+
+func TestMonomorphicHandledByStage1(t *testing.T) {
+	p := New(DefaultConfig())
+	mis := 0
+	for i := 0; i < 500; i++ {
+		pred, ok := p.Predict(0x400)
+		if (!ok || pred != 0x9000) && i >= 100 {
+			mis++
+		}
+		p.Update(0x400, 0x9000)
+	}
+	if mis != 0 {
+		t.Errorf("%d late mispredicts on monomorphic branch", mis)
+	}
+}
+
+func TestFilterKeepsEasyBranchesOutOfStage2(t *testing.T) {
+	p := New(DefaultConfig())
+	// A monomorphic branch: after the first update stage 1 always agrees,
+	// so stage 2 must stay empty beyond the initial cold allocation.
+	for i := 0; i < 200; i++ {
+		p.Predict(0x500)
+		p.Update(0x500, 0xAA00)
+	}
+	allocated := 0
+	for _, e := range p.stage2 {
+		if e.valid {
+			allocated++
+		}
+	}
+	if allocated > 1 {
+		t.Errorf("stage 2 holds %d entries for one easy branch, want <= 1", allocated)
+	}
+}
+
+func TestPolymorphicPromotedToStage2(t *testing.T) {
+	p := New(DefaultConfig())
+	mis := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tgt := uint64(0x1000)
+		if i%2 == 1 {
+			tgt = 0x3000
+		}
+		pred, ok := p.Predict(0x700)
+		if (!ok || pred != tgt) && i >= n*3/4 {
+			mis++
+		}
+		p.Update(0x700, tgt)
+	}
+	if mis > 10 {
+		t.Errorf("%d late mispredicts on alternating targets, want <= 10", mis)
+	}
+	allocated := 0
+	for _, e := range p.stage2 {
+		if e.valid {
+			allocated++
+		}
+	}
+	if allocated == 0 {
+		t.Error("polymorphic branch never allocated in stage 2")
+	}
+}
+
+func TestColdMiss(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.Predict(0x123); ok {
+		t.Error("hit on cold predictor")
+	}
+}
+
+func TestUpdateWithoutPredictIsSafe(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		p.Update(0x900, 0x1234000)
+	}
+	pred, ok := p.Predict(0x900)
+	if !ok || pred != 0x1234000 {
+		t.Errorf("Predict = %#x/%v", pred, ok)
+	}
+}
+
+func TestOnCondAdvancesHistory(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Update(0x10, 0x5000)
+	p.OnCond(0x20, true)
+	p.OnOther(0x30, 0x40, trace.Return) // must not panic
+	if _, ok := p.Predict(0x10); !ok {
+		// Stage 1 is history-free, so the branch must still hit there.
+		t.Error("stage 1 lost the branch after history updates")
+	}
+}
+
+func TestBetterThanStage1AloneOnPolymorphic(t *testing.T) {
+	// Compare against a pure BTB behaviourally: alternating targets defeat
+	// last-taken entirely (100% miss), while the cascade learns them.
+	p := New(DefaultConfig())
+	casMis := 0
+	for i := 0; i < 1000; i++ {
+		tgt := uint64(0x1000)
+		if i%2 == 1 {
+			tgt = 0x3000
+		}
+		pred, ok := p.Predict(0x700)
+		if !ok || pred != tgt {
+			casMis++
+		}
+		p.Update(0x700, tgt)
+	}
+	if casMis > 500 {
+		t.Errorf("cascade mispredicts %d/1000; should beat last-taken's ~1000", casMis)
+	}
+}
+
+func TestStorageBitsAndName(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.StorageBits() <= 0 {
+		t.Error("non-positive storage")
+	}
+	if p.Name() != "cascaded" {
+		t.Error("Name")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stage2Entries = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero stage2 accepted")
+			}
+		}()
+		New(cfg)
+	}()
+	cfg = DefaultConfig()
+	cfg.HistBits = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero hist accepted")
+			}
+		}()
+		New(cfg)
+	}()
+}

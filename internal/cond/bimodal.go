@@ -1,0 +1,48 @@
+package cond
+
+import (
+	"blbp/internal/hashing"
+	"blbp/internal/trace"
+)
+
+// Bimodal is the classic per-PC 2-bit saturating counter predictor (Smith).
+type Bimodal struct {
+	counters []counter2
+}
+
+// NewBimodal returns a bimodal predictor with the given table size.
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 {
+		panic("cond: NewBimodal with non-positive entries")
+	}
+	c := make([]counter2, entries)
+	for i := range c {
+		c[i] = 1 // weakly not taken
+	}
+	return &Bimodal{counters: c}
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+func (b *Bimodal) index(pc uint64) int {
+	return hashing.Index(hashing.Mix64(pc), len(b.counters))
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.counters[b.index(pc)].taken() }
+
+// Train implements Predictor.
+func (b *Bimodal) Train(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.counters[i] = b.counters[i].update(taken)
+}
+
+// UpdateHistory implements Predictor (bimodal keeps no history).
+func (b *Bimodal) UpdateHistory(pc uint64, taken bool) {}
+
+// OnOther implements Predictor.
+func (b *Bimodal) OnOther(pc, target uint64, bt trace.BranchType) {}
+
+// StorageBits implements Predictor.
+func (b *Bimodal) StorageBits() int { return 2 * len(b.counters) }

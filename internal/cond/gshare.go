@@ -1,0 +1,61 @@
+package cond
+
+import (
+	"blbp/internal/hashing"
+	"blbp/internal/trace"
+)
+
+// GShare is McFarling's global-history-XOR-PC indexed 2-bit counter
+// predictor.
+type GShare struct {
+	counters []counter2
+	hist     uint64
+	histBits int
+}
+
+// NewGShare returns a gshare predictor with the given counter table size and
+// history length (<= 63 bits).
+func NewGShare(entries, histBits int) *GShare {
+	if entries <= 0 {
+		panic("cond: NewGShare with non-positive entries")
+	}
+	if histBits <= 0 || histBits > 63 {
+		panic("cond: NewGShare history bits out of range")
+	}
+	c := make([]counter2, entries)
+	for i := range c {
+		c[i] = 1
+	}
+	return &GShare{counters: c, histBits: histBits}
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return "gshare" }
+
+func (g *GShare) index(pc uint64) int {
+	return hashing.Index(hashing.Mix64(pc)^g.hist, len(g.counters))
+}
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint64) bool { return g.counters[g.index(pc)].taken() }
+
+// Train implements Predictor.
+func (g *GShare) Train(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.counters[i] = g.counters[i].update(taken)
+}
+
+// UpdateHistory implements Predictor.
+func (g *GShare) UpdateHistory(pc uint64, taken bool) {
+	g.hist <<= 1
+	if taken {
+		g.hist |= 1
+	}
+	g.hist &= 1<<uint(g.histBits) - 1
+}
+
+// OnOther implements Predictor.
+func (g *GShare) OnOther(pc, target uint64, bt trace.BranchType) {}
+
+// StorageBits implements Predictor.
+func (g *GShare) StorageBits() int { return 2*len(g.counters) + g.histBits }

@@ -1,0 +1,7 @@
+package cond
+
+import "math"
+
+// mathPowCond isolates the stdlib math dependency used when computing
+// geometric history lengths at construction time.
+func mathPowCond(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"blbp/internal/hashing"
+	"blbp/internal/history"
+	"blbp/internal/ibtb"
+	"blbp/internal/threshold"
+	"blbp/internal/trace"
+)
+
+// BLBP is the bit-level perceptron indirect branch predictor.
+//
+// It satisfies predictor.Indirect: the engine calls Predict(pc) followed
+// immediately by Update(pc, actual) for every indirect branch, OnCond for
+// conditional outcomes, and OnOther for remaining control transfers.
+type BLBP struct {
+	cfg Config
+
+	// weights[i] is sub-predictor i's table, laid out row-major:
+	// weights[i][row*K+k] is the weight for target bit k.
+	weights [][]int8
+	wMax    int8
+
+	transfer []int // transfer-function lookup, indexed by weight - wMin
+
+	buffer ibtb.Buffer
+	ghist  *history.Global
+	local  *history.Local
+	thetas []*threshold.Adaptive
+
+	// Prediction-time state cached for the matching Update call.
+	lastPC        uint64
+	lastOK        bool
+	rows          []int  // row index per sub-predictor
+	yout          []int  // per-bit summed confidence
+	suppress      []bool // per-bit selective-training mask
+	hadCandidates bool
+
+	candBuf []uint64
+
+	// Diagnostics.
+	predictions int64
+	ibtbMisses  int64
+	trainEvents int64
+	candHist    []int64 // histogram of candidate-set sizes at prediction
+}
+
+// New constructs a BLBP predictor from cfg, panicking on invalid
+// configurations (they are programming errors in this codebase; use
+// cfg.Validate to check dynamic configurations first).
+func New(cfg Config) *BLBP {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.SubPredictors()
+	weights := make([][]int8, n)
+	for i := range weights {
+		weights[i] = make([]int8, cfg.TableEntries*cfg.K)
+	}
+	maxW := int8(1<<uint(cfg.WeightBits-1) - 1)
+	thetas := make([]*threshold.Adaptive, cfg.K)
+	maxYout := n * 18 // transfer function tops out at 18 per table
+	for k := range thetas {
+		thetas[k] = threshold.New(cfg.ThetaInit, 16, 1, maxYout)
+	}
+	var buffer ibtb.Buffer
+	var candCap int
+	if cfg.UseHierarchicalIBTB {
+		buffer = ibtb.NewHierarchy(cfg.IBTBHierarchy)
+		candCap = cfg.IBTBHierarchy.L1.Assoc + cfg.IBTBHierarchy.L2.Assoc
+	} else {
+		buffer = ibtb.New(cfg.IBTB)
+		candCap = cfg.IBTB.Assoc
+	}
+	return &BLBP{
+		cfg:      cfg,
+		weights:  weights,
+		wMax:     maxW,
+		transfer: buildTransferTable(cfg.WeightBits, cfg.UseTransfer),
+		buffer:   buffer,
+		ghist:    history.NewGlobal(cfg.HistBits),
+		local:    history.NewLocal(cfg.LocalEntries, cfg.LocalBits),
+		thetas:   thetas,
+		rows:     make([]int, n),
+		yout:     make([]int, cfg.K),
+		suppress: make([]bool, cfg.K),
+		candBuf:  make([]uint64, 0, candCap),
+		candHist: make([]int64, candCap+1),
+	}
+}
+
+// Name implements predictor.Indirect.
+func (p *BLBP) Name() string { return "blbp" }
+
+// Config returns the configuration the predictor was built with.
+func (p *BLBP) Config() Config { return p.cfg }
+
+// computeRows fills p.rows with each sub-predictor's table row for pc under
+// the current history state.
+func (p *BLBP) computeRows(pc uint64) {
+	pcH := hashing.Mix64(pc)
+	if p.cfg.UseLocal {
+		p.rows[0] = hashing.Index(hashing.Combine(pcH, p.local.Get(pc)), p.cfg.TableEntries)
+	} else {
+		p.rows[0] = hashing.Index(pcH, p.cfg.TableEntries)
+	}
+	for i := range p.cfg.Intervals {
+		var lo, hi int
+		if p.cfg.UseIntervals {
+			lo, hi = p.cfg.Intervals[i].Lo, p.cfg.Intervals[i].Hi
+		} else {
+			lo, hi = 0, p.cfg.GEHLLengths[i]-1
+		}
+		fold := p.ghist.Fold(lo, hi, 22)
+		p.rows[i+1] = hashing.Index(hashing.Combine(pcH+uint64(i+1), fold), p.cfg.TableEntries)
+	}
+}
+
+// computeYout aggregates the per-bit confidences across sub-predictors
+// (Algorithm 1's inner loops), applying the transfer function.
+func (p *BLBP) computeYout() {
+	wMin := int(-p.wMax)
+	for k := range p.yout {
+		p.yout[k] = 0
+	}
+	for i, table := range p.weights {
+		base := p.rows[i] * p.cfg.K
+		row := table[base : base+p.cfg.K]
+		for k, w := range row {
+			p.yout[k] += p.transfer[int(w)-wMin]
+		}
+	}
+}
+
+// computeSuppress fills the selective-training mask: bit k is suppressed
+// when every candidate agrees on it (paper §3.6, "Selective Bit Training").
+// The mask only applies once the branch has at least two known targets:
+// suppressing a singleton set entirely would leave the weights blank for
+// the moment the branch turns polymorphic.
+func (p *BLBP) computeSuppress(candidates []uint64) {
+	if !p.cfg.UseSelective || len(candidates) < 2 {
+		for k := range p.suppress {
+			p.suppress[k] = false
+		}
+		return
+	}
+	first := candidates[0] >> uint(p.cfg.BitOffset)
+	var differ uint64
+	for _, c := range candidates[1:] {
+		differ |= (c >> uint(p.cfg.BitOffset)) ^ first
+	}
+	for k := range p.suppress {
+		p.suppress[k] = differ>>uint(k)&1 == 0
+	}
+}
+
+// similarity computes the non-normalized cosine similarity between yout and
+// a candidate target's bit vector: the sum of yout[k] over unsuppressed bits
+// that are 1 in the candidate (paper §3.7).
+func (p *BLBP) similarity(target uint64) int {
+	bits := target >> uint(p.cfg.BitOffset)
+	sum := 0
+	for k := 0; k < p.cfg.K; k++ {
+		if p.suppress[k] && p.cfg.UseSelective {
+			continue
+		}
+		if bits>>uint(k)&1 == 1 {
+			sum += p.yout[k]
+		}
+	}
+	return sum
+}
+
+// Predict implements predictor.Indirect: Algorithm 1 of the paper.
+func (p *BLBP) Predict(pc uint64) (uint64, bool) {
+	p.predictions++
+	candidates := p.buffer.Candidates(pc, p.candBuf[:0])
+	p.candBuf = candidates[:0]
+	if n := len(candidates); n < len(p.candHist) {
+		p.candHist[n]++
+	} else {
+		p.candHist[len(p.candHist)-1]++
+	}
+	p.computeRows(pc)
+	p.computeYout()
+	p.computeSuppress(candidates)
+	p.lastPC, p.lastOK = pc, true
+	p.hadCandidates = len(candidates) > 0
+	if len(candidates) == 0 {
+		p.ibtbMisses++
+		return 0, false
+	}
+	best := candidates[0]
+	bestSum := p.similarity(candidates[0])
+	for _, c := range candidates[1:] {
+		if s := p.similarity(c); s > bestSum {
+			best, bestSum = c, s
+		}
+	}
+	return best, true
+}
+
+// Update implements predictor.Indirect: Algorithm 2 of the paper. It stores
+// the resolved target in the IBTB and trains each unsuppressed bit's
+// perceptron weights toward the actual target's bits, gated by the per-bit
+// adaptive thresholds.
+func (p *BLBP) Update(pc, actual uint64) {
+	if !p.lastOK || p.lastPC != pc {
+		// Out-of-contract call (tests, replay): recompute prediction state.
+		candidates := p.buffer.Candidates(pc, p.candBuf[:0])
+		p.candBuf = candidates[:0]
+		p.computeRows(pc)
+		p.computeYout()
+		p.computeSuppress(candidates)
+		p.hadCandidates = len(candidates) > 0
+	}
+	p.lastOK = false
+
+	p.buffer.Insert(pc, actual)
+
+	bits := actual >> uint(p.cfg.BitOffset)
+	for k := 0; k < p.cfg.K; k++ {
+		if p.suppress[k] && p.cfg.UseSelective {
+			continue
+		}
+		bit := bits>>uint(k)&1 == 1
+		y := p.yout[k]
+		a := y
+		if a < 0 {
+			a = -a
+		}
+		correct := (y >= 0) == bit
+		th := p.cfg.ThetaInit
+		if p.cfg.UseAdaptiveTheta {
+			th = p.thetas[k].Theta()
+			p.thetas[k].Observe(!correct, correct && a < th)
+		}
+		if correct && a >= th {
+			continue
+		}
+		p.trainEvents++
+		for i, table := range p.weights {
+			idx := p.rows[i]*p.cfg.K + k
+			w := table[idx]
+			if bit {
+				if w < p.wMax {
+					table[idx] = w + 1
+				}
+			} else {
+				if w > -p.wMax {
+					table[idx] = w - 1
+				}
+			}
+		}
+	}
+
+	p.local.Update(pc, actual>>3&1 == 1)
+	if p.cfg.GlobalTargetBits > 0 {
+		// Shift a hash of the target rather than its raw low bits so that
+		// targets differing anywhere in the address (not just in bits the
+		// alignment keeps zero) perturb the history.
+		p.ghist.ShiftBits(hashing.Mix64(actual), p.cfg.GlobalTargetBits)
+	}
+}
+
+// OnCond implements predictor.Indirect: conditional outcomes feed the
+// 630-bit global history (paper §3.3).
+func (p *BLBP) OnCond(pc uint64, taken bool) {
+	p.ghist.Shift(taken)
+	p.lastOK = false
+}
+
+// OnOther implements predictor.Indirect. BLBP's histories are built from
+// conditional outcomes and indirect targets only, so other transfers are
+// ignored.
+func (p *BLBP) OnOther(pc, target uint64, bt trace.BranchType) {}
+
+// IBTBMissRate returns the fraction of predictions with no stored targets.
+func (p *BLBP) IBTBMissRate() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return float64(p.ibtbMisses) / float64(p.predictions)
+}
+
+// TrainEvents returns how many per-bit weight-vector updates have occurred.
+func (p *BLBP) TrainEvents() int64 { return p.trainEvents }
+
+// CandidateHistogram returns the distribution of candidate-set sizes seen
+// at prediction time (index = number of candidates, final bucket clamps).
+// It feeds the §3.7 latency analysis: with 5 cosine similarities computed
+// per cycle, a prediction over n candidates takes ceil(n/5) cycles.
+func (p *BLBP) CandidateHistogram() []int64 {
+	out := make([]int64, len(p.candHist))
+	copy(out, p.candHist)
+	return out
+}
+
+// L2ProbeRate returns, for a hierarchical IBTB, the fraction of lookups
+// that needed the second level (0 for the monolithic buffer).
+func (p *BLBP) L2ProbeRate() float64 {
+	if h, ok := p.buffer.(*ibtb.Hierarchy); ok {
+		return h.L2ProbeRate()
+	}
+	return 0
+}
+
+// StorageBits implements predictor.Indirect: the weight tables, IBTB (with
+// its region array), global and local histories, and per-bit threshold
+// state.
+func (p *BLBP) StorageBits() int {
+	bits := p.cfg.SubPredictors() * p.cfg.TableEntries * p.cfg.K * p.cfg.WeightBits
+	bits += p.buffer.StorageBits()
+	bits += p.cfg.HistBits
+	bits += p.cfg.LocalEntries * p.cfg.LocalBits
+	bits += p.cfg.K * 16 // adaptive threshold + counter per bit
+	return bits
+}

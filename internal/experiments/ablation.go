@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"blbp/internal/core"
+	"blbp/internal/report"
+	"blbp/internal/stats"
+	"blbp/internal/workload"
+)
+
+// AblationVariants returns the twelve configurations of the paper's
+// Figure 10: all optimizations off, each optimization alone, each
+// optimization removed from the full predictor, and all on. Optimization
+// order follows §3.6: local history, history intervals, transfer function,
+// adaptive threshold, selective bit training.
+func AblationVariants() []BLBPVariant {
+	base := core.DefaultConfig()
+	mk := func(name string, local, intervals, transfer, adaptive, selective bool) BLBPVariant {
+		return BLBPVariant{Name: name, Config: base.WithAllOptimizations(local, intervals, transfer, adaptive, selective)}
+	}
+	return []BLBPVariant{
+		mk("all-off", false, false, false, false, false),
+		mk("only-local", true, false, false, false, false),
+		mk("only-intervals", false, true, false, false, false),
+		mk("only-selective", false, false, false, false, true),
+		mk("only-transfer", false, false, true, false, false),
+		mk("only-adaptive", false, false, false, true, false),
+		mk("no-intervals", true, false, true, true, true),
+		mk("no-adaptive", true, true, true, false, true),
+		mk("no-transfer", true, true, false, true, true),
+		mk("no-local", false, true, true, true, true),
+		mk("no-selective", true, true, true, true, false),
+		mk("all-on", true, true, true, true, true),
+	}
+}
+
+// Fig10Row is one ablation arm's result.
+type Fig10Row struct {
+	Variant string
+	// MeanMPKI is the suite-mean MPKI of the variant.
+	MeanMPKI float64
+	// PctVsITTAGE is the percent MPKI reduction relative to ITTAGE
+	// (positive = better than ITTAGE), the paper's Figure 10 y-axis.
+	PctVsITTAGE float64
+}
+
+// Fig10 reproduces the optimization ablation: every variant plus the ITTAGE
+// reference run over the suite.
+func Fig10(specs []workload.Spec, parallel int) (*report.Table, []Fig10Row, error) {
+	variants := AblationVariants()
+	passes := []PassFactory{BLBPVariantsPass(variants), ITTAGEPass()}
+	rows, err := RunSuite(specs, passes, parallel)
+	if err != nil {
+		return nil, nil, err
+	}
+	ittageXs := make([]float64, len(rows))
+	for i, r := range rows {
+		ittageXs[i] = r.MPKI(NameITTAGE)
+	}
+	ittageMean := stats.Mean(ittageXs)
+
+	out := make([]Fig10Row, 0, len(variants))
+	tb := report.NewTable(
+		"Figure 10: effect of optimizations (percent MPKI reduction vs ITTAGE)",
+		"variant", "mean MPKI", "% vs ITTAGE",
+	)
+	for _, v := range variants {
+		xs := make([]float64, len(rows))
+		for i, r := range rows {
+			xs[i] = r.MPKI(v.Name)
+		}
+		mean := stats.Mean(xs)
+		pct := stats.PercentChange(ittageMean, mean)
+		out = append(out, Fig10Row{Variant: v.Name, MeanMPKI: mean, PctVsITTAGE: pct})
+		tb.AddRowf(v.Name, mean, pct)
+	}
+	tb.AddRowf("ittage (reference)", ittageMean, 0.0)
+	return tb, out, nil
+}

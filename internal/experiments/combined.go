@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"blbp/internal/combined"
+	"blbp/internal/cond"
+	"blbp/internal/core"
+	"blbp/internal/predictor"
+	"blbp/internal/report"
+	"blbp/internal/stats"
+)
+import "blbp/internal/workload"
+
+// CombinedResult aggregates the consolidation experiment.
+type CombinedResult struct {
+	// Dedicated: hashed perceptron for conditionals + dedicated BLBP.
+	DedicatedCondAcc      float64
+	DedicatedIndirectMPKI float64
+	DedicatedBits         int
+	// Consolidated: one BLBP structure serving both roles (§6 future work).
+	ConsolidatedCondAcc      float64
+	ConsolidatedIndirectMPKI float64
+	ConsolidatedBits         int
+}
+
+// Combined runs the paper's §6 consolidation proposal: one BLBP structure
+// predicting both conditional directions and indirect targets, against the
+// dedicated split (hashed perceptron + BLBP).
+func Combined(specs []workload.Spec, parallel int) (*report.Table, CombinedResult, error) {
+	dedicated := func() (cond.Predictor, []predictor.Indirect) {
+		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+			core.New(core.DefaultConfig()),
+		}
+	}
+	consolidated := func() (cond.Predictor, []predictor.Indirect) {
+		p := combined.New(core.DefaultConfig())
+		return p, []predictor.Indirect{p.Indirect()}
+	}
+	rows, err := RunSuite(specs, []PassFactory{dedicated, consolidated}, parallel)
+	if err != nil {
+		return nil, CombinedResult{}, err
+	}
+	var out CombinedResult
+	dAcc := make([]float64, len(rows))
+	dMPKI := make([]float64, len(rows))
+	cAcc := make([]float64, len(rows))
+	cMPKI := make([]float64, len(rows))
+	for i, r := range rows {
+		dAcc[i] = r.Results[NameBLBP].CondAccuracy()
+		dMPKI[i] = r.MPKI(NameBLBP)
+		cAcc[i] = r.Results["combined"].CondAccuracy()
+		cMPKI[i] = r.MPKI("combined")
+	}
+	out.DedicatedCondAcc = stats.Mean(dAcc)
+	out.DedicatedIndirectMPKI = stats.Mean(dMPKI)
+	out.DedicatedBits = cond.NewHashedPerceptron(cond.DefaultHPConfig()).StorageBits() +
+		core.New(core.DefaultConfig()).StorageBits()
+	out.ConsolidatedCondAcc = stats.Mean(cAcc)
+	out.ConsolidatedIndirectMPKI = stats.Mean(cMPKI)
+	out.ConsolidatedBits = combined.New(core.DefaultConfig()).StorageBits()
+
+	tb := report.NewTable(
+		"Extension (§6 future work): one BLBP structure for conditional + indirect prediction",
+		"configuration", "cond accuracy", "indirect MPKI", "storage (KB)",
+	)
+	tb.AddRowf("dedicated (HP + BLBP)", out.DedicatedCondAcc, out.DedicatedIndirectMPKI,
+		stats.FormatKB(out.DedicatedBits))
+	tb.AddRowf("consolidated (combined BLBP)", out.ConsolidatedCondAcc, out.ConsolidatedIndirectMPKI,
+		stats.FormatKB(out.ConsolidatedBits))
+	return tb, out, nil
+}

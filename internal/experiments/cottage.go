@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"blbp/internal/cond"
+	"blbp/internal/core"
+	"blbp/internal/ittage"
+	"blbp/internal/predictor"
+	"blbp/internal/report"
+	"blbp/internal/stats"
+	"blbp/internal/workload"
+)
+
+// CottageResult aggregates the COTTAGE comparison.
+type CottageResult struct {
+	// HPCondAcc / TAGECondAcc are the conditional accuracies of the two
+	// conditional predictors.
+	HPCondAcc   float64
+	TAGECondAcc float64
+	// Indirect MPKI of each pairing's indirect side.
+	BLBPMPKI   float64
+	ITTAGEMPKI float64
+}
+
+// Cottage runs the paper's §2.2 COTTAGE configuration — Seznec's TAGE for
+// conditional branches combined with ITTAGE for indirect targets — against
+// this repository's default pairing (hashed perceptron + BLBP), on both
+// axes at once.
+func Cottage(specs []workload.Spec, parallel int) (*report.Table, CottageResult, error) {
+	hpPass := func() (cond.Predictor, []predictor.Indirect) {
+		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+			core.New(core.DefaultConfig()),
+		}
+	}
+	cottagePass := func() (cond.Predictor, []predictor.Indirect) {
+		return cond.NewTAGE(cond.DefaultTAGEConfig()), []predictor.Indirect{
+			ittage.New(ittage.DefaultConfig()),
+		}
+	}
+	rows, err := RunSuite(specs, []PassFactory{hpPass, cottagePass}, parallel)
+	if err != nil {
+		return nil, CottageResult{}, err
+	}
+	var res CottageResult
+	hpAcc := make([]float64, len(rows))
+	tgAcc := make([]float64, len(rows))
+	blbp := make([]float64, len(rows))
+	itt := make([]float64, len(rows))
+	for i, r := range rows {
+		hpAcc[i] = r.Results[NameBLBP].CondAccuracy()
+		tgAcc[i] = r.Results[NameITTAGE].CondAccuracy()
+		blbp[i] = r.MPKI(NameBLBP)
+		itt[i] = r.MPKI(NameITTAGE)
+	}
+	res.HPCondAcc = stats.Mean(hpAcc)
+	res.TAGECondAcc = stats.Mean(tgAcc)
+	res.BLBPMPKI = stats.Mean(blbp)
+	res.ITTAGEMPKI = stats.Mean(itt)
+
+	tb := report.NewTable(
+		"Extension (§2.2): COTTAGE (TAGE + ITTAGE) vs hashed perceptron + BLBP",
+		"pairing", "cond accuracy", "indirect MPKI",
+	)
+	tb.AddRowf("hashed perceptron + BLBP", res.HPCondAcc, res.BLBPMPKI)
+	tb.AddRowf("COTTAGE (TAGE + ITTAGE)", res.TAGECondAcc, res.ITTAGEMPKI)
+	return tb, res, nil
+}
+
+// LatencyResult aggregates the §3.7 prediction-latency analysis.
+type LatencyResult struct {
+	// PctOneCycle is the fraction of predictions with <= 5 candidates
+	// (one cycle at 5 parallel cosine-similarity units).
+	PctOneCycle float64
+	// PctWithin4 is the fraction within 4 cycles (<= 20 candidates).
+	PctWithin4 float64
+	// MeanCycles is the average ceil(n/5) over all predictions.
+	MeanCycles float64
+}
+
+// Latency reproduces the feasibility argument of §3.7/Fig. 7: with five
+// cosine similarities computed per cycle, the paper argues over half of all
+// predictions take one cycle and 90% take at most four. The driver runs
+// BLBP over the suite and aggregates its candidate-set-size histogram.
+func Latency(specs []workload.Spec, parallel int) (*report.Table, LatencyResult, error) {
+	recs := make([]*latencyRecorder, 0, len(specs))
+	pass := func() (cond.Predictor, []predictor.Indirect) {
+		r := &latencyRecorder{BLBP: core.New(core.DefaultConfig())}
+		recs = append(recs, r)
+		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{r}
+	}
+	// Sequential: recs is appended from the factory.
+	if _, err := RunSuite(specs, []PassFactory{pass}, 1); err != nil {
+		return nil, LatencyResult{}, err
+	}
+	var hist []int64
+	for _, r := range recs {
+		h := r.BLBP.CandidateHistogram()
+		if hist == nil {
+			hist = make([]int64, len(h))
+		}
+		for i, v := range h {
+			hist[i] += v
+		}
+	}
+	var total, oneCycle, within4, cycleSum int64
+	for n, v := range hist {
+		total += v
+		cycles := int64((n + 4) / 5)
+		if cycles == 0 {
+			cycles = 1 // an empty candidate set still costs the probe
+		}
+		if cycles <= 1 {
+			oneCycle += v
+		}
+		if cycles <= 4 {
+			within4 += v
+		}
+		cycleSum += cycles * v
+	}
+	var res LatencyResult
+	if total > 0 {
+		res.PctOneCycle = 100 * float64(oneCycle) / float64(total)
+		res.PctWithin4 = 100 * float64(within4) / float64(total)
+		res.MeanCycles = float64(cycleSum) / float64(total)
+	}
+	tb := report.NewTable(
+		"Extension (§3.7): BLBP selection latency at 5 cosine similarities per cycle",
+		"metric", "value",
+	)
+	tb.AddRowf("% predictions in 1 cycle (paper: over half)", res.PctOneCycle)
+	tb.AddRowf("% predictions within 4 cycles (paper: ~90%)", res.PctWithin4)
+	tb.AddRowf("mean cycles per prediction", res.MeanCycles)
+	return tb, res, nil
+}
+
+// latencyRecorder is a thin pass-through that keeps the BLBP instance
+// reachable after the run.
+type latencyRecorder struct {
+	*core.BLBP
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blbp/internal/btb"
+	"blbp/internal/cascaded"
+	"blbp/internal/cond"
+	"blbp/internal/core"
+	"blbp/internal/ittage"
+	"blbp/internal/predictor"
+	"blbp/internal/report"
+	"blbp/internal/stats"
+	"blbp/internal/targetcache"
+	"blbp/internal/workload"
+)
+
+// Extras runs the extended baseline set beyond the paper's four predictors:
+// Calder & Grunwald's 2-bit BTB, Chang et al.'s Target Cache, and Driesen &
+// Hölzle's cascaded predictor, alongside the BTB/ITTAGE/BLBP anchors. It
+// reproduces the related-work lineage (§2.2) quantitatively.
+func Extras(specs []workload.Spec, parallel int) (*report.Table, map[string]float64, error) {
+	pass := func() (cond.Predictor, []predictor.Indirect) {
+		twoBit := btb.Default32K()
+		twoBit.Hysteresis = true
+		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+			btb.NewIndirect(btb.Default32K()),
+			btb.NewIndirect(twoBit),
+			targetcache.New(targetcache.DefaultConfig()),
+			cascaded.New(cascaded.DefaultConfig()),
+			ittage.New(ittage.DefaultConfig()),
+			core.New(core.DefaultConfig()),
+		}
+	}
+	rows, err := RunSuite(specs, []PassFactory{pass}, parallel)
+	if err != nil {
+		return nil, nil, err
+	}
+	order := []string{"btb", "btb2bit", "targetcache", "cascaded", "ittage", "blbp"}
+	means := make(map[string]float64, len(order))
+	for _, name := range order {
+		xs := make([]float64, len(rows))
+		for i, r := range rows {
+			xs[i] = r.MPKI(name)
+		}
+		means[name] = stats.Mean(xs)
+	}
+	tb := report.NewTable(
+		"Extended baselines (§2.2 lineage): suite-mean indirect MPKI",
+		"predictor", "mean MPKI", "vs ITTAGE %",
+	)
+	for _, name := range order {
+		tb.AddRowf(name, means[name], stats.PercentChange(means["ittage"], means[name]))
+	}
+	return tb, means, nil
+}
+
+// geometricIntervals splits the usable history depth into n geometric
+// intervals (each starting slightly before the previous one ends, as the
+// paper's tuned intervals overlap). Used to scale the number of
+// sub-predictor SRAM arrays in the SNIP-to-BLBP reduction study.
+func geometricIntervals(n, maxHist int) ([]core.Interval, []int) {
+	if n < 1 {
+		panic("experiments: need at least one interval")
+	}
+	intervals := make([]core.Interval, n)
+	lengths := make([]int, n)
+	lo := 0
+	hi := 13
+	ratio := 1.0
+	if n > 1 {
+		// Choose the growth so the last interval ends at maxHist.
+		ratio = pow(float64(maxHist)/13, 1/float64(n-1))
+	}
+	end := 13.0
+	for i := 0; i < n; i++ {
+		if hi > maxHist {
+			hi = maxHist
+		}
+		intervals[i] = core.Interval{Lo: lo, Hi: hi}
+		lengths[i] = hi + 1
+		// Next interval starts inside the current one (~15% overlap).
+		lo = hi - (hi-lo)/6
+		end *= ratio
+		hi = int(end + 0.5)
+		if hi <= lo {
+			hi = lo + 1
+		}
+	}
+	intervals[n-1].Hi = maxHist
+	if intervals[n-1].Lo >= maxHist {
+		intervals[n-1].Lo = maxHist - 1
+	}
+	lengths[n-1] = maxHist + 1
+	return intervals, lengths
+}
+
+func pow(base, exp float64) float64 {
+	return mathPow(base, exp)
+}
+
+// ArraysVariants returns BLBP configurations sweeping the number of weight
+// SRAM arrays (1 local + n interval tables). The paper's §3 positions BLBP
+// as reducing SNIP's 44 arrays to 8; this sweep quantifies the trade-off.
+// Each variant keeps total weight storage roughly constant by scaling rows.
+func ArraysVariants(arrayCounts []int) []BLBPVariant {
+	if len(arrayCounts) == 0 {
+		arrayCounts = []int{2, 4, 8, 16, 24, 44}
+	}
+	base := core.DefaultConfig()
+	totalRows := base.SubPredictors() * base.TableEntries
+	variants := make([]BLBPVariant, 0, len(arrayCounts))
+	for _, n := range arrayCounts {
+		if n < 2 {
+			continue
+		}
+		cfg := base
+		intervals, lengths := geometricIntervals(n-1, cfg.HistBits-1)
+		cfg.Intervals = intervals
+		cfg.GEHLLengths = lengths
+		rows := totalRows / n
+		// Keep power-of-two row counts for cheap indexing.
+		p2 := 1
+		for p2*2 <= rows {
+			p2 *= 2
+		}
+		cfg.TableEntries = p2
+		variants = append(variants, BLBPVariant{
+			Name:   fmt.Sprintf("arrays-%d", n),
+			Config: cfg,
+		})
+	}
+	return variants
+}
+
+// Arrays runs the SRAM-array-count sweep at (approximately) constant weight
+// storage.
+func Arrays(specs []workload.Spec, parallel int) (*report.Table, map[string]float64, error) {
+	variants := ArraysVariants(nil)
+	passes := []PassFactory{BLBPVariantsPass(variants), ITTAGEPass()}
+	rows, err := RunSuite(specs, passes, parallel)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := report.NewTable(
+		"Extension: number of weight SRAM arrays (SNIP used 44, BLBP 8) at ~constant storage",
+		"configuration", "mean MPKI", "storage (KB)",
+	)
+	means := map[string]float64{}
+	for _, v := range variants {
+		xs := make([]float64, len(rows))
+		for i, r := range rows {
+			xs[i] = r.MPKI(v.Name)
+		}
+		means[v.Name] = stats.Mean(xs)
+		tb.AddRowf(v.Name, means[v.Name], stats.FormatKB(core.New(v.Config).StorageBits()))
+	}
+	ittageXs := make([]float64, len(rows))
+	for i, r := range rows {
+		ittageXs[i] = r.MPKI(NameITTAGE)
+	}
+	means[NameITTAGE] = stats.Mean(ittageXs)
+	tb.AddRowf("ittage", means[NameITTAGE], "")
+	return tb, means, nil
+}
+
+// TargetBitsVariants sweeps GlobalTargetBits, the implementation choice
+// documented in DESIGN.md §2 (how many hashed target bits each resolved
+// indirect branch contributes to BLBP's global history; 0 is the
+// paper-literal conditional-only GHIST).
+func TargetBitsVariants() []BLBPVariant {
+	out := make([]BLBPVariant, 0, 4)
+	for _, n := range []int{0, 1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.GlobalTargetBits = n
+		out = append(out, BLBPVariant{Name: fmt.Sprintf("targetbits-%d", n), Config: cfg})
+	}
+	return out
+}
+
+// TargetBits runs the GlobalTargetBits ablation.
+func TargetBits(specs []workload.Spec, parallel int) (*report.Table, map[string]float64, error) {
+	variants := TargetBitsVariants()
+	passes := []PassFactory{BLBPVariantsPass(variants), ITTAGEPass()}
+	rows, err := RunSuite(specs, passes, parallel)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := report.NewTable(
+		"Extension: target bits folded into BLBP's global history (0 = paper-literal conditional-only GHIST)",
+		"configuration", "mean MPKI",
+	)
+	means := map[string]float64{}
+	for _, v := range variants {
+		xs := make([]float64, len(rows))
+		for i, r := range rows {
+			xs[i] = r.MPKI(v.Name)
+		}
+		means[v.Name] = stats.Mean(xs)
+		tb.AddRowf(v.Name, means[v.Name])
+	}
+	ittageXs := make([]float64, len(rows))
+	for i, r := range rows {
+		ittageXs[i] = r.MPKI(NameITTAGE)
+	}
+	means[NameITTAGE] = stats.Mean(ittageXs)
+	tb.AddRowf("ittage", means[NameITTAGE])
+	return tb, means, nil
+}

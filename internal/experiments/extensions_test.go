@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"testing"
+
+	"blbp/internal/core"
+)
+
+func TestGeometricIntervalsValid(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 21, 43} {
+		intervals, lengths := geometricIntervals(n, 630)
+		if len(intervals) != n || len(lengths) != n {
+			t.Fatalf("n=%d: got %d intervals, %d lengths", n, len(intervals), len(lengths))
+		}
+		cfg := core.DefaultConfig()
+		cfg.Intervals = intervals
+		cfg.GEHLLengths = lengths
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("n=%d: invalid config: %v", n, err)
+		}
+		if intervals[n-1].Hi != 630 {
+			t.Errorf("n=%d: last interval ends at %d, want 630", n, intervals[n-1].Hi)
+		}
+		for i, iv := range intervals {
+			if iv.Lo < 0 || iv.Hi <= iv.Lo {
+				t.Errorf("n=%d: interval %d = %+v malformed", n, i, iv)
+			}
+		}
+	}
+}
+
+func TestArraysVariantsStorageRoughlyConstant(t *testing.T) {
+	variants := ArraysVariants(nil)
+	if len(variants) < 4 {
+		t.Fatalf("got %d variants", len(variants))
+	}
+	ref := core.New(core.DefaultConfig()).StorageBits()
+	for _, v := range variants {
+		got := core.New(v.Config).StorageBits()
+		ratio := float64(got) / float64(ref)
+		// Power-of-two row rounding makes storage vary; it must stay in
+		// the same class.
+		if ratio < 0.6 || ratio > 1.2 {
+			t.Errorf("%s: storage ratio %.2f vs default, want ~1", v.Name, ratio)
+		}
+	}
+}
+
+func TestTargetBitsVariants(t *testing.T) {
+	vs := TargetBitsVariants()
+	if len(vs) != 4 {
+		t.Fatalf("got %d variants", len(vs))
+	}
+	seen := map[int]bool{}
+	for _, v := range vs {
+		seen[v.Config.GlobalTargetBits] = true
+		if err := v.Config.Validate(); err != nil {
+			t.Errorf("%s: %v", v.Name, err)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 4} {
+		if !seen[n] {
+			t.Errorf("missing GlobalTargetBits=%d variant", n)
+		}
+	}
+}
+
+func TestExtrasOnMiniSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	tb, means, err := Extras(miniSuite(80_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 6 {
+		t.Errorf("rows = %d, want 6", tb.Rows())
+	}
+	// The lineage ordering on learnable workloads: plain BTB worst, the
+	// history-based classics in between, modern predictors best.
+	if !(means["btb"] > means["targetcache"]) {
+		t.Errorf("target cache (%.3f) should beat plain BTB (%.3f)", means["targetcache"], means["btb"])
+	}
+	if !(means["btb"] > means["cascaded"]) {
+		t.Errorf("cascaded (%.3f) should beat plain BTB (%.3f)", means["cascaded"], means["btb"])
+	}
+	if !(means["cascaded"] > means["blbp"]) {
+		t.Errorf("BLBP (%.3f) should beat cascaded (%.3f)", means["blbp"], means["cascaded"])
+	}
+}
+
+func TestTargetBitsOnMiniSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	_, means, err := TargetBits(miniSuite(60_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Folding target bits into history must help on target-sequence
+	// workloads: 2 bits should beat 0 bits.
+	if means["targetbits-2"] >= means["targetbits-0"] {
+		t.Errorf("targetbits-2 (%.3f) not better than targetbits-0 (%.3f)",
+			means["targetbits-2"], means["targetbits-0"])
+	}
+}
+
+func TestArraysOnMiniSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	tb, means, err := Arrays(miniSuite(60_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() < 5 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+	if means["arrays-8"] <= 0 {
+		t.Error("arrays-8 missing or zero")
+	}
+}
+
+func TestCombinedOnMiniSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	tb, res, err := Combined(miniSuite(80_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("rows = %d, want 2", tb.Rows())
+	}
+	if res.ConsolidatedBits >= res.DedicatedBits {
+		t.Errorf("consolidated storage %d not below dedicated %d", res.ConsolidatedBits, res.DedicatedBits)
+	}
+	// The consolidated predictor must remain in the same accuracy class:
+	// conditional accuracy within 3 points, indirect MPKI within 2x.
+	if res.ConsolidatedCondAcc < res.DedicatedCondAcc-0.03 {
+		t.Errorf("consolidated cond accuracy %.3f too far below dedicated %.3f",
+			res.ConsolidatedCondAcc, res.DedicatedCondAcc)
+	}
+	if res.ConsolidatedIndirectMPKI > 2*res.DedicatedIndirectMPKI {
+		t.Errorf("consolidated indirect MPKI %.3f more than 2x dedicated %.3f",
+			res.ConsolidatedIndirectMPKI, res.DedicatedIndirectMPKI)
+	}
+}
+
+func TestHierarchyOnMiniSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	tb, res, err := Hierarchy(miniSuite(80_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("rows = %d, want 3", tb.Rows())
+	}
+	// The hierarchy must land between the 8-way and 64-way monoliths (or
+	// at least not be worse than plain 8-way).
+	if res.HierMPKI > res.Mono8MPKI*1.1 {
+		t.Errorf("hierarchy MPKI %.3f worse than monolithic 8-way %.3f", res.HierMPKI, res.Mono8MPKI)
+	}
+	if res.HierL2ProbeRate <= 0 || res.HierL2ProbeRate > 1 {
+		t.Errorf("L2 probe rate %.3f out of range", res.HierL2ProbeRate)
+	}
+}
+
+func TestCottageOnMiniSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	tb, res, err := Cottage(miniSuite(80_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+	// Both pairings must be functional: conditional accuracy well above
+	// chance, indirect MPKI finite and below the BTB class.
+	if res.HPCondAcc < 0.8 || res.TAGECondAcc < 0.8 {
+		t.Errorf("cond accuracies %.3f / %.3f below sanity floor", res.HPCondAcc, res.TAGECondAcc)
+	}
+	if res.BLBPMPKI <= 0 || res.ITTAGEMPKI <= 0 {
+		t.Error("missing indirect MPKI data")
+	}
+}
+
+func TestLatencyOnMiniSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	tb, res, err := Latency(miniSuite(60_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+	if res.PctOneCycle <= 0 || res.PctOneCycle > 100 {
+		t.Errorf("PctOneCycle = %v out of range", res.PctOneCycle)
+	}
+	if res.PctWithin4 < res.PctOneCycle {
+		t.Error("within-4 fraction below one-cycle fraction")
+	}
+	if res.MeanCycles < 1 {
+		t.Errorf("MeanCycles = %v, want >= 1", res.MeanCycles)
+	}
+}
+
+func TestSeedsOnMiniBase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	tb, rows, err := Seeds(20_000, []string{"", "x"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if tb.Rows() != 5 { // 2 draws + blank + mean + min/max
+		t.Errorf("table rows = %d, want 5", tb.Rows())
+	}
+	if rows[0].ITTAGEMean == rows[1].ITTAGEMean && rows[0].BLBPMean == rows[1].BLBPMean {
+		t.Error("salted draw produced identical results; salt not applied")
+	}
+}

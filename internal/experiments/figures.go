@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"blbp/internal/report"
+	"blbp/internal/trace"
+	"blbp/internal/workload"
+)
+
+// Fig1Row is one benchmark's branch mix per kilo-instruction.
+type Fig1Row struct {
+	Workload string
+	Category string
+	PerKilo  map[trace.BranchType]float64
+	Indirect float64 // indirect jumps + calls per kilo-instruction
+}
+
+// Fig1 reproduces the paper's Figure 1: the per-kilo-instruction breakdown
+// of branch types per benchmark, sorted by increasing indirect prevalence.
+func Fig1(specs []workload.Spec, parallel int) (*report.Table, []Fig1Row) {
+	stats := AnalyzeSuite(specs, parallel)
+	rows := make([]Fig1Row, len(specs))
+	for i, st := range stats {
+		row := Fig1Row{
+			Workload: specs[i].Name,
+			Category: specs[i].Category,
+			PerKilo:  make(map[trace.BranchType]float64),
+		}
+		for _, bt := range []trace.BranchType{
+			trace.CondDirect, trace.UncondDirect, trace.DirectCall,
+			trace.IndirectJump, trace.IndirectCall, trace.Return,
+		} {
+			row.PerKilo[bt] = st.PerKilo(bt)
+		}
+		row.Indirect = st.PerKilo(trace.IndirectJump) + st.PerKilo(trace.IndirectCall)
+		rows[i] = row
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Indirect < rows[j].Indirect })
+
+	tb := report.NewTable(
+		"Figure 1: branch mix per kilo-instruction (sorted by indirect prevalence)",
+		"workload", "category", "cond", "jump", "call", "ind-jump", "ind-call", "return", "indirect",
+	)
+	for _, r := range rows {
+		tb.AddRowf(r.Workload, r.Category,
+			r.PerKilo[trace.CondDirect], r.PerKilo[trace.UncondDirect], r.PerKilo[trace.DirectCall],
+			r.PerKilo[trace.IndirectJump], r.PerKilo[trace.IndirectCall], r.PerKilo[trace.Return],
+			r.Indirect)
+	}
+	return tb, rows
+}
+
+// Fig6Row is one benchmark's polymorphism measurement.
+type Fig6Row struct {
+	Workload string
+	Category string
+	// PolyPct is the percentage of dynamic indirect branch executions whose
+	// branch has more than one observed target.
+	PolyPct float64
+}
+
+// Fig6 reproduces Figure 6: polymorphism per workload, ordered from fewest
+// to most targets.
+func Fig6(specs []workload.Spec, parallel int) (*report.Table, []Fig6Row) {
+	stats := AnalyzeSuite(specs, parallel)
+	rows := make([]Fig6Row, len(specs))
+	for i, st := range stats {
+		rows[i] = Fig6Row{
+			Workload: specs[i].Name,
+			Category: specs[i].Category,
+			PolyPct:  st.PolymorphicFraction() * 100,
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].PolyPct < rows[j].PolyPct })
+	tb := report.NewTable(
+		"Figure 6: % of indirect executions at branches with >1 target (sorted)",
+		"workload", "category", "poly-%",
+	)
+	for _, r := range rows {
+		tb.AddRowf(r.Workload, r.Category, r.PolyPct)
+	}
+	return tb, rows
+}
+
+// Fig7Point is one point of the target-count CCDF.
+type Fig7Point struct {
+	// Targets is the x-axis: a distinct-target count.
+	Targets int
+	// PctAtLeast is the percentage of indirect branch executions whose
+	// branch has at least Targets distinct targets.
+	PctAtLeast float64
+}
+
+// Fig7 reproduces Figure 7: the distribution of the number of potential
+// targets, aggregated over the whole suite (dynamic weighting).
+func Fig7(specs []workload.Spec, parallel int, maxTargets int) (*report.Table, []Fig7Point) {
+	if maxTargets <= 0 {
+		maxTargets = 64
+	}
+	stats := AnalyzeSuite(specs, parallel)
+	// Aggregate execution-weighted CCDF across workloads: accumulate raw
+	// per-trace CCDFs weighted by each trace's indirect execution count.
+	agg := make([]float64, maxTargets)
+	var totalW float64
+	for _, st := range stats {
+		w := float64(st.IndirectCount())
+		if w == 0 {
+			continue
+		}
+		ccdf := st.TargetCountCCDF(maxTargets)
+		for i, v := range ccdf {
+			agg[i] += v * w
+		}
+		totalW += w
+	}
+	points := make([]Fig7Point, maxTargets)
+	for i := range points {
+		pct := 0.0
+		if totalW > 0 {
+			pct = agg[i] / totalW
+		}
+		points[i] = Fig7Point{Targets: i + 1, PctAtLeast: pct}
+	}
+	tb := report.NewTable(
+		"Figure 7: distribution of number of potential targets (CCDF, execution-weighted)",
+		"targets>=", "% of indirect executions",
+	)
+	for _, p := range points {
+		tb.AddRowf(fmt.Sprintf("%d", p.Targets), p.PctAtLeast)
+	}
+	return tb, points
+}

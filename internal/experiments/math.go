@@ -1,0 +1,7 @@
+package experiments
+
+import "math"
+
+// mathPow isolates the stdlib math dependency used by the interval
+// generators at configuration time.
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }

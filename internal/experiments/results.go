@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"sort"
+
+	"blbp/internal/report"
+	"blbp/internal/stats"
+	"blbp/internal/workload"
+)
+
+// OverallData holds the per-workload and aggregate MPKI of the four
+// standard predictors — the data behind §5.1, Fig. 8, and Fig. 9.
+type OverallData struct {
+	// Rows hold per-workload results in suite order.
+	Rows []WorkloadResult
+	// Predictors lists the predictor names in presentation order.
+	Predictors []string
+}
+
+// Mean returns the arithmetic-mean MPKI of the named predictor over the
+// suite (the paper's aggregation).
+func (d OverallData) Mean(name string) float64 {
+	xs := make([]float64, 0, len(d.Rows))
+	for _, r := range d.Rows {
+		xs = append(xs, r.MPKI(name))
+	}
+	return stats.Mean(xs)
+}
+
+// CondAccuracyMean returns the mean conditional accuracy observed in the
+// pass that contained the named predictor (used to report VPC's conditional
+// pollution).
+func (d OverallData) CondAccuracyMean(name string) float64 {
+	xs := make([]float64, 0, len(d.Rows))
+	for _, r := range d.Rows {
+		xs = append(xs, r.Results[name].CondAccuracy())
+	}
+	return stats.Mean(xs)
+}
+
+// Overall runs the four standard predictors over the suite — the §5.1
+// headline experiment. The returned table lists suite-mean MPKI per
+// predictor (paper: BTB 3.40, VPC 0.29, ITTAGE 0.193, BLBP 0.183).
+func Overall(specs []workload.Spec, parallel int) (*report.Table, OverallData, error) {
+	rows, err := RunSuite(specs, StandardPasses(), parallel)
+	if err != nil {
+		return nil, OverallData{}, err
+	}
+	data := OverallData{Rows: rows, Predictors: []string{NameBTB, NameVPC, NameITTAGE, NameBLBP}}
+	tb := report.NewTable(
+		"Overall (§5.1): suite-mean indirect-branch MPKI per predictor",
+		"predictor", "mean MPKI", "vs ITTAGE %", "cond accuracy",
+	)
+	ittageMean := data.Mean(NameITTAGE)
+	for _, p := range data.Predictors {
+		tb.AddRowf(p, data.Mean(p), stats.PercentChange(ittageMean, data.Mean(p)), data.CondAccuracyMean(p))
+	}
+	return tb, data, nil
+}
+
+// Fig8 renders the per-benchmark MPKI of VPC, ITTAGE, and BLBP (the BTB is
+// omitted as in the paper), sorted by increasing BLBP MPKI.
+func Fig8(data OverallData) *report.Table {
+	rows := make([]WorkloadResult, len(data.Rows))
+	copy(rows, data.Rows)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].MPKI(NameBLBP) < rows[j].MPKI(NameBLBP) })
+	tb := report.NewTable(
+		"Figure 8: per-benchmark MPKI (BTB omitted; sorted by BLBP MPKI)",
+		"workload", "vpc", "ittage", "blbp",
+	)
+	for _, r := range rows {
+		tb.AddRowf(r.Spec.Name, r.MPKI(NameVPC), r.MPKI(NameITTAGE), r.MPKI(NameBLBP))
+	}
+	return tb
+}
+
+// Fig9 renders the per-benchmark MPKI of all four predictors normalized to
+// their sum, the relative-performance breakdown of the paper's Figure 9.
+func Fig9(data OverallData) *report.Table {
+	rows := make([]WorkloadResult, len(data.Rows))
+	copy(rows, data.Rows)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].MPKI(NameBLBP) < rows[j].MPKI(NameBLBP) })
+	tb := report.NewTable(
+		"Figure 9: relative MPKI share per benchmark (% of the four predictors' total)",
+		"workload", "btb-%", "vpc-%", "ittage-%", "blbp-%",
+	)
+	for _, r := range rows {
+		total := 0.0
+		for _, p := range data.Predictors {
+			total += r.MPKI(p)
+		}
+		if total == 0 {
+			tb.AddRowf(r.Spec.Name, 0.0, 0.0, 0.0, 0.0)
+			continue
+		}
+		tb.AddRowf(r.Spec.Name,
+			100*r.MPKI(NameBTB)/total, 100*r.MPKI(NameVPC)/total,
+			100*r.MPKI(NameITTAGE)/total, 100*r.MPKI(NameBLBP)/total)
+	}
+	return tb
+}

@@ -1,0 +1,138 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// driver returns both a rendered report table and the raw data, so the
+// command-line tool, the benchmarks, and the tests all share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"blbp/internal/cond"
+	"blbp/internal/predictor"
+	"blbp/internal/sim"
+	"blbp/internal/trace"
+	"blbp/internal/workload"
+)
+
+// PassFactory builds one engine pass: a conditional predictor and the
+// indirect predictors that share it. Factories are invoked once per
+// workload so every trace starts with cold predictors, as in the paper.
+type PassFactory func() (cond.Predictor, []predictor.Indirect)
+
+// WorkloadResult holds all predictor results for one workload.
+type WorkloadResult struct {
+	Spec    workload.Spec
+	Results map[string]sim.Result // keyed by (unique) predictor name
+}
+
+// MPKI returns the indirect MPKI for the named predictor (0 if absent).
+func (w WorkloadResult) MPKI(name string) float64 {
+	return w.Results[name].IndirectMPKI()
+}
+
+// RunSuite simulates every pass over every spec, building each trace once
+// and running workloads in parallel. Results preserve spec order.
+func RunSuite(specs []workload.Spec, factories []PassFactory, parallel int) ([]WorkloadResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("experiments: no workloads")
+	}
+	if len(factories) == 0 {
+		return nil, fmt.Errorf("experiments: no passes")
+	}
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+
+	out := make([]WorkloadResult, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i], errs[i] = runWorkload(specs[i], factories)
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: workload %s: %w", specs[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+func runWorkload(spec workload.Spec, factories []PassFactory) (WorkloadResult, error) {
+	tr := spec.Build()
+	wr := WorkloadResult{Spec: spec, Results: make(map[string]sim.Result)}
+	for _, f := range factories {
+		cp, indirects := f()
+		results, err := sim.Run(tr, cp, indirects, sim.Options{})
+		if err != nil {
+			return wr, err
+		}
+		for _, r := range results {
+			if _, dup := wr.Results[r.Predictor]; dup {
+				return wr, fmt.Errorf("duplicate predictor name %q", r.Predictor)
+			}
+			wr.Results[r.Predictor] = r
+		}
+	}
+	return wr, nil
+}
+
+// named renames an indirect predictor so several instances of one type can
+// run in a single pass (e.g. the Fig. 10 ablation's twelve BLBP variants).
+type named struct {
+	predictor.Indirect
+	name string
+}
+
+// Rename wraps p under a unique name.
+func Rename(p predictor.Indirect, name string) predictor.Indirect {
+	return named{Indirect: p, name: name}
+}
+
+func (n named) Name() string { return n.name }
+
+// AnalyzeSuite builds each spec's trace and returns its statistics, in spec
+// order (parallel across specs). Used by the characterization figures.
+func AnalyzeSuite(specs []workload.Spec, parallel int) []*trace.Stats {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	out := make([]*trace.Stats, len(specs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = trace.Analyze(specs[i].Build())
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

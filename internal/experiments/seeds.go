@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blbp/internal/report"
+	"blbp/internal/stats"
+	"blbp/internal/workload"
+)
+
+// SeedsRow is one seed draw's headline numbers.
+type SeedsRow struct {
+	Salt        string
+	ITTAGEMean  float64
+	BLBPMean    float64
+	PctVsITTAGE float64
+}
+
+// Seeds re-runs the §5.1 headline experiment on several independently
+// seeded draws of the workload suite (same names and parameters, different
+// random content) to check that the BLBP-vs-ITTAGE margin is a property of
+// the workload population, not of one random draw.
+func Seeds(base int64, salts []string, parallel int) (*report.Table, []SeedsRow, error) {
+	if len(salts) == 0 {
+		salts = []string{"", "a", "b", "c"}
+	}
+	rows := make([]SeedsRow, 0, len(salts))
+	tb := report.NewTable(
+		"Extension: seed sensitivity of the §5.1 headline (independent suite draws)",
+		"seed draw", "ittage MPKI", "blbp MPKI", "blbp vs ittage %",
+	)
+	for _, salt := range salts {
+		suite := workload.SuiteSeeded(base, salt)
+		_, data, err := Overall(suite, parallel)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := SeedsRow{
+			Salt:       salt,
+			ITTAGEMean: data.Mean(NameITTAGE),
+			BLBPMean:   data.Mean(NameBLBP),
+		}
+		row.PctVsITTAGE = stats.PercentChange(row.ITTAGEMean, row.BLBPMean)
+		rows = append(rows, row)
+		label := salt
+		if label == "" {
+			label = "default"
+		}
+		tb.AddRowf(label, row.ITTAGEMean, row.BLBPMean, row.PctVsITTAGE)
+	}
+	pcts := make([]float64, len(rows))
+	for i, r := range rows {
+		pcts[i] = r.PctVsITTAGE
+	}
+	tb.AddRow("", "", "", "")
+	tb.AddRowf(fmt.Sprintf("mean of %d draws", len(rows)), "", "", stats.Mean(pcts))
+	tb.AddRowf("min / max", "", "",
+		fmt.Sprintf("%.2f / %.2f", stats.Min(pcts), stats.Max(pcts)))
+	return tb, rows, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"blbp/internal/btb"
+	"blbp/internal/cond"
+	"blbp/internal/core"
+	"blbp/internal/ittage"
+	"blbp/internal/predictor"
+	"blbp/internal/vpc"
+)
+
+// Canonical predictor names used across all experiments.
+const (
+	NameBTB    = "btb"
+	NameVPC    = "vpc"
+	NameITTAGE = "ittage"
+	NameBLBP   = "blbp"
+)
+
+// StandardPasses returns the paper's Table 2 predictor line-up as engine
+// passes: one pass with the BTB baseline, ITTAGE, and BLBP sharing a hashed
+// perceptron conditional predictor, and a second pass for VPC, which must
+// own (and pollute) its conditional predictor.
+func StandardPasses() []PassFactory {
+	return []PassFactory{
+		func() (cond.Predictor, []predictor.Indirect) {
+			return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+				btb.NewIndirect(btb.Default32K()),
+				ittage.New(ittage.DefaultConfig()),
+				core.New(core.DefaultConfig()),
+			}
+		},
+		VPCPass(),
+	}
+}
+
+// VPCPass returns the VPC pass: VPC shares the pass's hashed perceptron.
+func VPCPass() PassFactory {
+	return func() (cond.Predictor, []predictor.Indirect) {
+		hp := cond.NewHashedPerceptron(cond.DefaultHPConfig())
+		return hp, []predictor.Indirect{vpc.New(vpc.DefaultConfig(), hp)}
+	}
+}
+
+// ITTAGEPass returns a pass containing only ITTAGE (used as the reference
+// in the ablation and associativity sweeps).
+func ITTAGEPass() PassFactory {
+	return func() (cond.Predictor, []predictor.Indirect) {
+		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+			ittage.New(ittage.DefaultConfig()),
+		}
+	}
+}
+
+// BLBPVariantsPass returns a pass running several BLBP configurations side
+// by side, each under its map key as predictor name.
+func BLBPVariantsPass(variants []BLBPVariant) PassFactory {
+	return func() (cond.Predictor, []predictor.Indirect) {
+		indirects := make([]predictor.Indirect, len(variants))
+		for i, v := range variants {
+			indirects[i] = Rename(core.New(v.Config), v.Name)
+		}
+		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), indirects
+	}
+}
+
+// BLBPVariant names one BLBP configuration.
+type BLBPVariant struct {
+	Name   string
+	Config core.Config
+}

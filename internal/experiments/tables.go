@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"blbp/internal/btb"
+	"blbp/internal/cond"
+	"blbp/internal/core"
+	"blbp/internal/ittage"
+	"blbp/internal/report"
+	"blbp/internal/stats"
+	"blbp/internal/vpc"
+	"blbp/internal/workload"
+)
+
+// Table1 summarizes the workload suite by category, the analog of the
+// paper's Table 1.
+func Table1(specs []workload.Spec) *report.Table {
+	type catInfo struct {
+		count int
+		instr int64
+	}
+	cats := map[string]*catInfo{}
+	order := []string{}
+	for _, s := range specs {
+		ci := cats[s.Category]
+		if ci == nil {
+			ci = &catInfo{}
+			cats[s.Category] = ci
+			order = append(order, s.Category)
+		}
+		ci.count++
+		ci.instr += s.Instructions
+	}
+	sort.Strings(order)
+	tb := report.NewTable(
+		"Table 1: workload suite by source category",
+		"source", "workloads", "total instructions",
+	)
+	total := 0
+	var totalInstr int64
+	for _, cat := range order {
+		ci := cats[cat]
+		tb.AddRowf(cat, ci.count, fmt.Sprintf("%d", ci.instr))
+		total += ci.count
+		totalInstr += ci.instr
+	}
+	tb.AddRowf("TOTAL", total, fmt.Sprintf("%d", totalInstr))
+	return tb
+}
+
+// Budget is one predictor's modeled hardware cost.
+type Budget struct {
+	Predictor string
+	Bits      int
+	// PaperKB is the budget the paper's Table 2 reports for the predictor.
+	PaperKB float64
+}
+
+// Budgets computes the modeled storage of the four standard predictors.
+func Budgets() []Budget {
+	hp := cond.NewHashedPerceptron(cond.DefaultHPConfig())
+	return []Budget{
+		{Predictor: NameBTB, Bits: btb.NewIndirect(btb.Default32K()).StorageBits(), PaperKB: 64},
+		{Predictor: NameVPC, Bits: vpc.New(vpc.DefaultConfig(), hp).StorageBits(), PaperKB: 128},
+		{Predictor: NameITTAGE, Bits: ittage.New(ittage.DefaultConfig()).StorageBits(), PaperKB: 64},
+		{Predictor: NameBLBP, Bits: core.New(core.DefaultConfig()).StorageBits(), PaperKB: 64.08},
+	}
+}
+
+// Table2 renders the predictor configurations and budgets, the analog of
+// the paper's Table 2.
+func Table2() *report.Table {
+	tb := report.NewTable(
+		"Table 2: indirect predictor configurations and hardware budgets",
+		"predictor", "modeled storage", "paper budget (KB)", "configuration",
+	)
+	configs := map[string]string{
+		NameBTB:    "32K-entry direct-mapped partially-tagged BTB, last-taken fill",
+		NameVPC:    "32K-entry BTB + shared hashed-perceptron conditional predictor, MaxIter 12",
+		NameITTAGE: "4K-entry base + 8 tagged tables (geometric 4..630), region-compressed targets",
+		NameBLBP:   "64x64 IBTB (RRIP) + 8 weight banks x 1024 rows x 12 4-bit weights, 630-bit GHIST, 256x10 local",
+	}
+	for _, b := range Budgets() {
+		tb.AddRowf(b.Predictor, stats.FormatKB(b.Bits), b.PaperKB, configs[b.Predictor])
+	}
+	return tb
+}

@@ -1,0 +1,95 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(42) != Mix64(42) {
+		t.Error("Mix64 not deterministic")
+	}
+	if Mix64(42) == Mix64(43) {
+		t.Error("Mix64(42) == Mix64(43): suspicious collision")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity over a contiguous range — a bijection never
+	// collides.
+	seen := make(map[uint64]uint64, 10000)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestCombineOrderMatters(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Error("Combine is symmetric; want order-sensitive mixing")
+	}
+}
+
+func TestIndexBounds(t *testing.T) {
+	f := func(h uint64, sizeSeed uint16) bool {
+		size := int(sizeSeed)%4096 + 1
+		idx := Index(h, size)
+		return idx >= 0 && idx < size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexPowerOfTwoUsesMask(t *testing.T) {
+	for _, size := range []int{1, 2, 64, 1024} {
+		for h := uint64(0); h < 100; h++ {
+			want := int(h) % size
+			if got := Index(h, size); got != want {
+				t.Errorf("Index(%d, %d) = %d, want %d", h, size, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Index(_, 0) did not panic")
+		}
+	}()
+	Index(1, 0)
+}
+
+func TestIndexDistribution(t *testing.T) {
+	// Sequential inputs through Mix64 should spread roughly uniformly.
+	const size = 64
+	const n = 64 * 1000
+	var buckets [size]int
+	for i := 0; i < n; i++ {
+		buckets[Index(Mix64(uint64(i)), size)]++
+	}
+	for b, c := range buckets {
+		if c < 700 || c > 1300 {
+			t.Errorf("bucket %d has %d hits, want ~1000", b, c)
+		}
+	}
+}
+
+func TestTagWidth(t *testing.T) {
+	for bits := 1; bits <= 20; bits++ {
+		tag := Tag(^uint64(0), bits)
+		if tag >= 1<<uint(bits) {
+			t.Errorf("Tag(_, %d) = %#x exceeds width", bits, tag)
+		}
+	}
+	if Tag(123, 0) != 0 {
+		t.Error("Tag with 0 bits should be 0")
+	}
+	if Tag(123, 64) != 123 {
+		t.Error("Tag with 64 bits should be identity")
+	}
+}

@@ -1,0 +1,140 @@
+// Package history implements the branch-history state that feeds predictor
+// index functions: a long global history register with interval folding
+// (BLBP's 630-bit GHIST and ITTAGE's geometric histories), a table of
+// per-branch local histories, and a path history register.
+package history
+
+// Global is a circular shift register of branch-history bits. Bit 0 is the
+// most recent outcome. It supports extracting and XOR-folding arbitrary
+// [lo, hi] intervals, which is how BLBP's eight sub-predictors and ITTAGE's
+// tagged tables derive their indices.
+type Global struct {
+	words   []uint64
+	capBits int // always a multiple of 64, >= requested capacity
+	head    int // bit index of the most recent outcome
+}
+
+// NewGlobal returns a history register holding at least capacity bits.
+func NewGlobal(capacity int) *Global {
+	if capacity <= 0 {
+		panic("history: NewGlobal with non-positive capacity")
+	}
+	w := (capacity + 63) / 64
+	return &Global{words: make([]uint64, w), capBits: w * 64}
+}
+
+// Capacity returns the usable history length in bits.
+func (g *Global) Capacity() int { return g.capBits }
+
+// Shift inserts one outcome bit as the new most-recent history bit.
+func (g *Global) Shift(b bool) {
+	g.head--
+	if g.head < 0 {
+		g.head = g.capBits - 1
+	}
+	wi, bi := g.head>>6, uint(g.head&63)
+	if b {
+		g.words[wi] |= 1 << bi
+	} else {
+		g.words[wi] &^= 1 << bi
+	}
+}
+
+// ShiftBits inserts the low n bits of v, oldest-first, so that after the
+// call bit 0 holds bit n-1 of v. It is used to record a few target-address
+// bits on resolved indirect branches.
+func (g *Global) ShiftBits(v uint64, n int) {
+	for i := 0; i < n; i++ {
+		g.Shift(v>>uint(i)&1 != 0)
+	}
+}
+
+// Bit returns history bit i (0 = most recent) as 0 or 1. i must be within
+// capacity.
+func (g *Global) Bit(i int) uint64 {
+	if i < 0 || i >= g.capBits {
+		panic("history: Bit index out of range")
+	}
+	pos := g.head + i
+	if pos >= g.capBits {
+		pos -= g.capBits
+	}
+	return (g.words[pos>>6] >> uint(pos&63)) & 1
+}
+
+// word64 returns 64 consecutive history bits starting at logical index i
+// (bit j of the result is history bit i+j).
+func (g *Global) word64(i int) uint64 {
+	pos := g.head + i
+	if pos >= g.capBits {
+		pos -= g.capBits
+	}
+	wi, bi := pos>>6, uint(pos&63)
+	lo := g.words[wi] >> bi
+	if bi == 0 {
+		return lo
+	}
+	next := g.words[(wi+1)%len(g.words)]
+	return lo | next<<(64-bi)
+}
+
+// Fold XOR-folds history bits in the inclusive interval [lo, hi] down to a
+// width-bit value. lo <= hi must both be within capacity and width must be
+// in [1, 63]. The same register state always folds to the same value, and
+// the fold depends on every bit in the interval.
+func (g *Global) Fold(lo, hi, width int) uint64 {
+	if lo < 0 || hi < lo || hi >= g.capBits {
+		panic("history: Fold interval out of range")
+	}
+	if width <= 0 || width >= 64 {
+		panic("history: Fold width out of range")
+	}
+	n := hi - lo + 1
+	var acc uint64
+	for off := 0; off < n; off += 64 {
+		w := g.word64(lo + off)
+		if rem := n - off; rem < 64 {
+			w &= (1 << uint(rem)) - 1
+		}
+		acc ^= w
+	}
+	mask := uint64(1)<<uint(width) - 1
+	var out uint64
+	for acc != 0 {
+		out ^= acc & mask
+		acc >>= uint(width)
+	}
+	return out
+}
+
+// Reset clears all history bits.
+func (g *Global) Reset() {
+	for i := range g.words {
+		g.words[i] = 0
+	}
+	g.head = 0
+}
+
+// Snapshot copies the register state; Restore reinstates it. VPC uses this
+// to speculatively shift virtual not-taken outcomes during its iteration
+// loop and roll them back.
+func (g *Global) Snapshot() GlobalSnapshot {
+	words := make([]uint64, len(g.words))
+	copy(words, g.words)
+	return GlobalSnapshot{words: words, head: g.head}
+}
+
+// GlobalSnapshot is an opaque copy of a Global register's state.
+type GlobalSnapshot struct {
+	words []uint64
+	head  int
+}
+
+// Restore reinstates a snapshot taken from a register of the same capacity.
+func (g *Global) Restore(s GlobalSnapshot) {
+	if len(s.words) != len(g.words) {
+		panic("history: Restore snapshot from different capacity")
+	}
+	copy(g.words, s.words)
+	g.head = s.head
+}

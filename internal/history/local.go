@@ -1,0 +1,61 @@
+package history
+
+import "blbp/internal/hashing"
+
+// Local is a table of fixed-width per-branch history shift registers,
+// indexed by a hash of the branch PC. BLBP keeps 256 registers of 10 bits;
+// each records bit 3 of the previous targets of the branch mapping there.
+type Local struct {
+	regs    []uint64
+	mask    uint64
+	entries int
+	bits    int
+}
+
+// NewLocal returns a local-history table with the given number of registers
+// (rounded up to a power of two is NOT applied; pass a power of two for
+// mask-free indexing cost to be irrelevant) each holding bits history bits.
+func NewLocal(entries, bits int) *Local {
+	if entries <= 0 {
+		panic("history: NewLocal with non-positive entries")
+	}
+	if bits <= 0 || bits > 63 {
+		panic("history: NewLocal bits out of range")
+	}
+	return &Local{
+		regs:    make([]uint64, entries),
+		mask:    uint64(1)<<uint(bits) - 1,
+		entries: entries,
+		bits:    bits,
+	}
+}
+
+func (l *Local) index(pc uint64) int {
+	return hashing.Index(hashing.Mix64(pc), l.entries)
+}
+
+// Get returns the history register associated with pc.
+func (l *Local) Get(pc uint64) uint64 { return l.regs[l.index(pc)] }
+
+// Update shifts outcome bit b into pc's history register.
+func (l *Local) Update(pc uint64, b bool) {
+	i := l.index(pc)
+	v := l.regs[i] << 1
+	if b {
+		v |= 1
+	}
+	l.regs[i] = v & l.mask
+}
+
+// Bits returns the width of each register.
+func (l *Local) Bits() int { return l.bits }
+
+// Entries returns the number of registers.
+func (l *Local) Entries() int { return l.entries }
+
+// Reset clears every register.
+func (l *Local) Reset() {
+	for i := range l.regs {
+		l.regs[i] = 0
+	}
+}

@@ -1,0 +1,87 @@
+package history
+
+import "testing"
+
+func TestLocalUpdateGet(t *testing.T) {
+	l := NewLocal(256, 10)
+	pc := uint64(0x400123)
+	l.Update(pc, true)
+	l.Update(pc, false)
+	l.Update(pc, true)
+	// Shift-left semantics: oldest at high bits, newest at bit 0.
+	if got := l.Get(pc); got != 0b101 {
+		t.Errorf("Get = %#b, want 0b101", got)
+	}
+}
+
+func TestLocalWidthSaturation(t *testing.T) {
+	l := NewLocal(16, 4)
+	pc := uint64(0x88)
+	for i := 0; i < 100; i++ {
+		l.Update(pc, true)
+	}
+	if got := l.Get(pc); got != 0xF {
+		t.Errorf("Get = %#x, want 0xF (4-bit register)", got)
+	}
+}
+
+func TestLocalSeparateRegisters(t *testing.T) {
+	l := NewLocal(1024, 10)
+	a, b := uint64(0x1000), uint64(0x2004)
+	l.Update(a, true)
+	if l.Get(b) == l.Get(a) && l.Get(b) != 0 {
+		t.Error("distinct PCs unexpectedly share a register")
+	}
+}
+
+func TestLocalAliasingIsDeterministic(t *testing.T) {
+	// Two PCs may alias; whatever the mapping, Get must reflect the last
+	// Update made through any aliasing PC, and repeated calls must agree.
+	l := NewLocal(2, 10)
+	l.Update(1, true)
+	first := l.Get(1)
+	if second := l.Get(1); second != first {
+		t.Error("Get not deterministic")
+	}
+}
+
+func TestLocalReset(t *testing.T) {
+	l := NewLocal(8, 8)
+	for pc := uint64(0); pc < 64; pc++ {
+		l.Update(pc, true)
+	}
+	l.Reset()
+	for pc := uint64(0); pc < 64; pc++ {
+		if l.Get(pc) != 0 {
+			t.Fatalf("register for pc %d not cleared", pc)
+		}
+	}
+}
+
+func TestLocalAccessors(t *testing.T) {
+	l := NewLocal(256, 10)
+	if l.Entries() != 256 || l.Bits() != 10 {
+		t.Errorf("Entries/Bits = %d/%d, want 256/10", l.Entries(), l.Bits())
+	}
+}
+
+func TestLocalConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name          string
+		entries, bits int
+	}{
+		{"zero entries", 0, 4},
+		{"zero bits", 8, 0},
+		{"too many bits", 8, 64},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			NewLocal(c.entries, c.bits)
+		}()
+	}
+}

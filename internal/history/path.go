@@ -1,0 +1,61 @@
+package history
+
+import "blbp/internal/hashing"
+
+// Path records the low-order address bits of the most recent branches — the
+// path history used as an extra feature by the hashed-perceptron conditional
+// predictor (Tarjan & Skadron merge path and pattern indexing).
+type Path struct {
+	pcs  []uint16
+	head int
+	n    int
+}
+
+// NewPath returns a path history of the given depth (number of branches).
+func NewPath(depth int) *Path {
+	if depth <= 0 {
+		panic("history: NewPath with non-positive depth")
+	}
+	return &Path{pcs: make([]uint16, depth)}
+}
+
+// Push records a branch address as the newest path element.
+func (p *Path) Push(pc uint64) {
+	p.head--
+	if p.head < 0 {
+		p.head = len(p.pcs) - 1
+	}
+	p.pcs[p.head] = uint16(pc >> 2)
+	if p.n < len(p.pcs) {
+		p.n++
+	}
+}
+
+// Depth returns the configured path depth.
+func (p *Path) Depth() int { return len(p.pcs) }
+
+// Hash mixes the most recent upTo path elements into a single hash value.
+// upTo is clamped to the configured depth.
+func (p *Path) Hash(upTo int) uint64 {
+	if upTo > len(p.pcs) {
+		upTo = len(p.pcs)
+	}
+	var h uint64
+	for i := 0; i < upTo; i++ {
+		idx := p.head + i
+		if idx >= len(p.pcs) {
+			idx -= len(p.pcs)
+		}
+		h = hashing.Combine(h, uint64(p.pcs[idx])+uint64(i)<<16)
+	}
+	return h
+}
+
+// Reset clears the path history.
+func (p *Path) Reset() {
+	for i := range p.pcs {
+		p.pcs[i] = 0
+	}
+	p.head = 0
+	p.n = 0
+}

@@ -1,0 +1,70 @@
+package history
+
+import "testing"
+
+func TestPathHashChangesWithPushes(t *testing.T) {
+	p := NewPath(16)
+	p.Push(0x1000)
+	h1 := p.Hash(16)
+	p.Push(0x2000)
+	h2 := p.Hash(16)
+	if h1 == h2 {
+		t.Error("path hash unchanged after push")
+	}
+}
+
+func TestPathOrderSensitive(t *testing.T) {
+	a := NewPath(8)
+	b := NewPath(8)
+	a.Push(0x1000)
+	a.Push(0x2000)
+	b.Push(0x2000)
+	b.Push(0x1000)
+	if a.Hash(8) == b.Hash(8) {
+		t.Error("path hash is order-insensitive")
+	}
+}
+
+func TestPathHashClampsDepth(t *testing.T) {
+	p := NewPath(4)
+	for i := 0; i < 10; i++ {
+		p.Push(uint64(i) << 4)
+	}
+	if p.Hash(100) != p.Hash(4) {
+		t.Error("Hash(upTo > depth) != Hash(depth)")
+	}
+}
+
+func TestPathPrefixDiffers(t *testing.T) {
+	p := NewPath(8)
+	for i := 0; i < 8; i++ {
+		p.Push(uint64(0x400000 + i*64))
+	}
+	if p.Hash(2) == p.Hash(6) {
+		t.Error("different path depths produced identical hashes")
+	}
+}
+
+func TestPathResetAndDepth(t *testing.T) {
+	p := NewPath(8)
+	if p.Depth() != 8 {
+		t.Errorf("Depth = %d, want 8", p.Depth())
+	}
+	p.Push(0x1234)
+	h := p.Hash(8)
+	p.Reset()
+	empty := NewPath(8)
+	if p.Hash(8) != empty.Hash(8) {
+		t.Error("Reset did not restore pristine hash")
+	}
+	_ = h
+}
+
+func TestPathConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPath(0) did not panic")
+		}
+	}()
+	NewPath(0)
+}

@@ -1,0 +1,121 @@
+package ibtb
+
+// The paper's future work (§6) proposes avoiding the IBTB's costly 64-way
+// associative search "perhaps using a hierarchy of structures". Hierarchy
+// implements that idea as an inclusive two-level buffer: a cheap
+// low-associativity L1 in front of a larger moderate-associativity L2 that
+// holds everything. Lookups probe L1 and fall back to the union with L2
+// only when L1's answer looks incomplete (no match, or a full match set
+// that may be truncated). The 64-way single-cycle CAM becomes an 8-way
+// compare in the common case, with the L2 probe rate quantifying how often
+// the slower path is exercised.
+
+// Buffer is the target-store interface BLBP predicts from; both the
+// monolithic IBTB and the two-level Hierarchy implement it.
+type Buffer interface {
+	// Candidates appends all stored targets for pc to buf.
+	Candidates(pc uint64, buf []uint64) []uint64
+	// Insert records an observed target for pc.
+	Insert(pc, target uint64)
+	// StorageBits returns the modeled hardware cost.
+	StorageBits() int
+	// Reset invalidates the buffer.
+	Reset()
+}
+
+var (
+	_ Buffer = (*IBTB)(nil)
+	_ Buffer = (*Hierarchy)(nil)
+)
+
+// HierarchyConfig describes a two-level IBTB.
+type HierarchyConfig struct {
+	// L1 and L2 geometries. They share one region array configuration
+	// (each level keeps its own array; a shared array is a further
+	// hardware refinement the model keeps separate for clarity).
+	L1 Config
+	L2 Config
+}
+
+// DefaultHierarchyConfig returns an iso-capacity split of the paper's
+// 4096-entry IBTB: an 8-way L1 (512 entries) plus a 16-way victim L2
+// (3584 entries).
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1: Config{Sets: 64, Assoc: 8, TagBits: 8, RegionEntries: 64, OffsetBits: 20, RRIPBits: 2},
+		L2: Config{Sets: 224, Assoc: 16, TagBits: 8, RegionEntries: 128, OffsetBits: 20, RRIPBits: 2},
+	}
+}
+
+// Hierarchy is the two-level IBTB.
+type Hierarchy struct {
+	l1 *IBTB
+	l2 *IBTB
+
+	lookups  int64
+	l2Probes int64
+}
+
+// NewHierarchy constructs a two-level IBTB; it panics on invalid geometry.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{l1: New(cfg.L1), l2: New(cfg.L2)}
+}
+
+// Candidates implements Buffer: L1 candidates first; L2 is probed only when
+// L1 has no (or few) matches, and its candidates are appended. Duplicates
+// across levels are suppressed.
+func (h *Hierarchy) Candidates(pc uint64, buf []uint64) []uint64 {
+	h.lookups++
+	start := len(buf)
+	buf = h.l1.Candidates(pc, buf)
+	l1n := len(buf) - start
+	// Probe L2 when L1 looks incomplete for a polymorphic branch: zero or
+	// exactly-full match sets suggest missing targets.
+	if l1n == 0 || l1n == h.l1.cfg.Assoc {
+		h.l2Probes++
+		mark := len(buf)
+		buf = h.l2.Candidates(pc, buf)
+		// Drop L2 entries that duplicate L1 ones.
+		out := buf[:mark]
+		for _, t := range buf[mark:] {
+			dup := false
+			for _, s := range buf[start:mark] {
+				if s == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, t)
+			}
+		}
+		buf = out
+	}
+	return buf
+}
+
+// Insert implements Buffer: the hierarchy is inclusive, so every observed
+// target enters both levels. L1 keeps the hot recent targets; anything its
+// low associativity evicts survives in L2.
+func (h *Hierarchy) Insert(pc, target uint64) {
+	h.l1.Insert(pc, target)
+	h.l2.Insert(pc, target)
+}
+
+// L2ProbeRate returns the fraction of lookups that needed the second level.
+func (h *Hierarchy) L2ProbeRate() float64 {
+	if h.lookups == 0 {
+		return 0
+	}
+	return float64(h.l2Probes) / float64(h.lookups)
+}
+
+// StorageBits implements Buffer.
+func (h *Hierarchy) StorageBits() int { return h.l1.StorageBits() + h.l2.StorageBits() }
+
+// Reset implements Buffer.
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
+	h.lookups, h.l2Probes = 0, 0
+}

@@ -1,0 +1,185 @@
+// Package ibtb implements BLBP's Indirect Branch Target Buffer (paper §3.1
+// and §3.6): a highly associative, partially-tagged cache of the targets
+// observed for each indirect branch, with region-compressed target storage
+// and re-reference interval prediction (RRIP) replacement. A prediction
+// gathers every stored target matching the branch, and BLBP selects among
+// them at the bit level.
+package ibtb
+
+import (
+	"blbp/internal/hashing"
+	"blbp/internal/region"
+	"blbp/internal/replacement"
+)
+
+// Config describes an IBTB geometry.
+type Config struct {
+	// Sets × Assoc is the entry count; the paper uses 64 × 64.
+	Sets  int
+	Assoc int
+	// TagBits is the partial tag width (8 in the paper's budget).
+	TagBits int
+	// RegionEntries sizes the LRU region array (128 in the paper).
+	RegionEntries int
+	// OffsetBits is the stored low-order target width (20 in the paper).
+	OffsetBits int
+	// RRIPBits is the re-reference prediction width (2 in the paper).
+	RRIPBits int
+}
+
+// DefaultConfig returns the paper's IBTB: 64 sets × 64 ways, 8-bit tags,
+// 128 regions × 20-bit offsets, 2-bit RRIP.
+func DefaultConfig() Config {
+	return Config{Sets: 64, Assoc: 64, TagBits: 8, RegionEntries: 128, OffsetBits: 20, RRIPBits: 2}
+}
+
+type entry struct {
+	tag    uint64
+	ref    region.Ref
+	offset uint64
+	valid  bool
+}
+
+// IBTB is the indirect branch target buffer.
+type IBTB struct {
+	cfg     Config
+	entries []entry
+	rrip    *replacement.RRIP
+	regions *region.Array
+}
+
+// New constructs an IBTB; it panics on invalid geometry.
+func New(cfg Config) *IBTB {
+	if cfg.Sets <= 0 || cfg.Assoc <= 0 {
+		panic("ibtb: invalid geometry")
+	}
+	if cfg.TagBits <= 0 || cfg.TagBits > 32 {
+		panic("ibtb: tag bits out of range")
+	}
+	if cfg.RRIPBits <= 0 {
+		panic("ibtb: RRIP bits must be positive")
+	}
+	return &IBTB{
+		cfg:     cfg,
+		entries: make([]entry, cfg.Sets*cfg.Assoc),
+		rrip:    replacement.NewRRIP(cfg.Sets, cfg.Assoc, cfg.RRIPBits),
+		regions: region.New(cfg.RegionEntries, cfg.OffsetBits),
+	}
+}
+
+// Config returns the geometry the buffer was built with.
+func (b *IBTB) Config() Config { return b.cfg }
+
+func (b *IBTB) setAndTag(pc uint64) (int, uint64) {
+	h := hashing.Mix64(pc)
+	return hashing.Index(h, b.cfg.Sets), hashing.Tag(h, b.cfg.TagBits)
+}
+
+// Candidates appends to buf every stored target for the branch at pc, in
+// deterministic way order, and returns the extended slice. Entries whose
+// region was evicted are invalidated as they are discovered (modeling the
+// invalidation hardware performs at region eviction).
+func (b *IBTB) Candidates(pc uint64, buf []uint64) []uint64 {
+	set, tag := b.setAndTag(pc)
+	base := set * b.cfg.Assoc
+	for w := 0; w < b.cfg.Assoc; w++ {
+		e := &b.entries[base+w]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		target, ok := b.regions.Resolve(e.ref, e.offset)
+		if !ok {
+			e.valid = false
+			continue
+		}
+		buf = append(buf, target)
+	}
+	return buf
+}
+
+// Insert records an observed target for the branch at pc. If the target is
+// already present its RRIP state is promoted; otherwise a victim way is
+// replaced and the new entry inserted with a long re-reference interval.
+func (b *IBTB) Insert(pc, target uint64) {
+	set, tag := b.setAndTag(pc)
+	base := set * b.cfg.Assoc
+	invalid := -1
+	for w := 0; w < b.cfg.Assoc; w++ {
+		e := &b.entries[base+w]
+		if !e.valid {
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if e.tag != tag {
+			continue
+		}
+		target2, ok := b.regions.Resolve(e.ref, e.offset)
+		if !ok {
+			e.valid = false
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if target2 == target {
+			b.rrip.OnHit(set, w)
+			b.regions.Touch(e.ref)
+			return
+		}
+	}
+	way := invalid
+	if way < 0 {
+		way = b.rrip.Victim(set)
+	}
+	ref, offset := b.regions.Acquire(target)
+	b.entries[base+way] = entry{tag: tag, ref: ref, offset: offset, valid: true}
+	b.rrip.OnInsert(set, way)
+}
+
+// Contains reports whether the exact (pc, target) pair is currently stored.
+func (b *IBTB) Contains(pc, target uint64) bool {
+	set, tag := b.setAndTag(pc)
+	base := set * b.cfg.Assoc
+	for w := 0; w < b.cfg.Assoc; w++ {
+		e := &b.entries[base+w]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		if got, ok := b.regions.Resolve(e.ref, e.offset); ok && got == target {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionEvictions exposes how many regions were replaced (diagnostics).
+func (b *IBTB) RegionEvictions() int64 { return b.regions.Evictions() }
+
+// StorageBits returns the modeled hardware cost: per entry a valid bit, the
+// partial tag, a region index, the offset, and the RRIP counter; plus the
+// region array (44-bit bases and LRU rank bits).
+func (b *IBTB) StorageBits() int {
+	regionIndexBits := log2ceil(b.cfg.RegionEntries)
+	perEntry := 1 + b.cfg.TagBits + regionIndexBits + b.cfg.OffsetBits + b.cfg.RRIPBits
+	entries := b.cfg.Sets * b.cfg.Assoc * perEntry
+	regionBits := b.cfg.RegionEntries * (44 - b.cfg.OffsetBits + log2ceil(b.cfg.RegionEntries))
+	return entries + regionBits
+}
+
+// Reset invalidates the buffer and its region array.
+func (b *IBTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = entry{}
+	}
+	b.regions.Reset()
+}
+
+func log2ceil(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,238 @@
+package ittage
+
+import (
+	"math/rand"
+	"testing"
+
+	"blbp/internal/trace"
+)
+
+func lateMispredicts(p *ITTAGE, targets []uint64, condOutcomes []bool) int {
+	mis := 0
+	start := len(targets) * 3 / 4
+	for i, tgt := range targets {
+		if condOutcomes != nil {
+			p.OnCond(0xC04D, condOutcomes[i])
+		}
+		pred, ok := p.Predict(0x400100)
+		if (!ok || pred != tgt) && i >= start {
+			mis++
+		}
+		p.Update(0x400100, tgt)
+	}
+	return mis
+}
+
+func TestGeometricLengths(t *testing.T) {
+	lens := geometricLengths(4, 630, 8)
+	if len(lens) != 8 {
+		t.Fatalf("got %d lengths, want 8", len(lens))
+	}
+	if lens[0] != 4 {
+		t.Errorf("first length = %d, want 4", lens[0])
+	}
+	if lens[7] != 630 {
+		t.Errorf("last length = %d, want 630", lens[7])
+	}
+	for i := 1; i < len(lens); i++ {
+		if lens[i] <= lens[i-1] {
+			t.Errorf("lengths not strictly increasing at %d: %v", i, lens)
+		}
+	}
+}
+
+func TestGeometricLengthsSingle(t *testing.T) {
+	lens := geometricLengths(5, 100, 1)
+	if len(lens) != 1 || lens[0] != 5 {
+		t.Errorf("geometricLengths(5,100,1) = %v, want [5]", lens)
+	}
+}
+
+func TestMonomorphicConverges(t *testing.T) {
+	p := New(DefaultConfig())
+	targets := make([]uint64, 400)
+	for i := range targets {
+		targets[i] = 0x7000
+	}
+	if mis := lateMispredicts(p, targets, nil); mis != 0 {
+		t.Errorf("%d late mispredicts on monomorphic branch, want 0", mis)
+	}
+}
+
+func TestConditionCorrelatedTargets(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	targets := make([]uint64, n)
+	conds := make([]bool, n)
+	for i := range targets {
+		conds[i] = rng.Intn(2) == 0
+		if conds[i] {
+			targets[i] = 0x1000
+		} else {
+			targets[i] = 0x2000
+		}
+	}
+	mis := lateMispredicts(p, targets, conds)
+	if mis > n/4/20 {
+		t.Errorf("%d late mispredicts out of %d on condition-correlated branch, want <= %d", mis, n/4, n/4/20)
+	}
+}
+
+func TestTargetSequencePattern(t *testing.T) {
+	p := New(DefaultConfig())
+	seq := []uint64{0x1000, 0x3000, 0x5000}
+	n := 3000
+	targets := make([]uint64, n)
+	for i := range targets {
+		targets[i] = seq[i%len(seq)]
+	}
+	mis := lateMispredicts(p, targets, nil)
+	if mis > 10 {
+		t.Errorf("%d late mispredicts on repeating target sequence, want <= 10", mis)
+	}
+}
+
+func TestFirstSightHasNoPrediction(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.Predict(0x500); ok {
+		t.Error("prediction available before any observation")
+	}
+	p.Update(0x500, 0x9000)
+	pred, ok := p.Predict(0x500)
+	if !ok || pred != 0x9000 {
+		t.Errorf("Predict = %#x/%v, want 0x9000/true", pred, ok)
+	}
+}
+
+func TestLongPeriodicPattern(t *testing.T) {
+	// A fixed period-24 target sequence drawn from only 3 values: short
+	// histories are ambiguous (every value recurs many times per period),
+	// but longer-history tables see exactly repeating patterns and
+	// disambiguate. Note TAGE-family predictors cannot learn correlations
+	// buried in *random* noise history (each pattern is then unique) —
+	// that is the perceptron predictors' advantage — so this test uses a
+	// noise-free periodic stream.
+	p := New(DefaultConfig())
+	vals := []uint64{0x1000, 0x3000, 0x5000}
+	pattern := make([]uint64, 24)
+	rng := rand.New(rand.NewSource(3))
+	for i := range pattern {
+		pattern[i] = vals[rng.Intn(len(vals))]
+	}
+	misLate := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tgt := pattern[i%len(pattern)]
+		pred, ok := p.Predict(0x666)
+		if (!ok || pred != tgt) && i > n*3/4 {
+			misLate++
+		}
+		p.Update(0x666, tgt)
+	}
+	if misLate > n/4/10 {
+		t.Errorf("%d late mispredicts out of %d on period-24 sequence", misLate, n/4)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		p := New(DefaultConfig())
+		rng := rand.New(rand.NewSource(13))
+		out := make([]uint64, 0, 500)
+		for i := 0; i < 500; i++ {
+			p.OnCond(0xCC, rng.Intn(2) == 0)
+			pc := uint64(0x100 + rng.Intn(3)*0x40)
+			pred, ok := p.Predict(pc)
+			if !ok {
+				pred = ^uint64(0)
+			}
+			out = append(out, pred)
+			p.Update(pc, uint64(0x1000*(1+rng.Intn(4))))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestManyBranchesCoexist(t *testing.T) {
+	p := New(DefaultConfig())
+	// 200 monomorphic branches must all become predictable.
+	misLate := 0
+	for round := 0; round < 50; round++ {
+		for b := 0; b < 200; b++ {
+			pc := uint64(0x10000 + b*64)
+			tgt := uint64(0x900000 + b*0x1000)
+			pred, ok := p.Predict(pc)
+			if (!ok || pred != tgt) && round >= 40 {
+				misLate++
+			}
+			p.Update(pc, tgt)
+		}
+	}
+	if misLate > 20 {
+		t.Errorf("%d late mispredicts across 200 monomorphic branches, want <= 20", misLate)
+	}
+}
+
+func TestStorageBudgetNearPaper(t *testing.T) {
+	p := New(DefaultConfig())
+	kb := float64(p.StorageBits()) / 8192
+	if kb < 50 || kb > 80 {
+		t.Errorf("storage = %.2f KB, want ~64 KB ballpark (50-80)", kb)
+	}
+}
+
+func TestUpdateWithoutPredictIsSafe(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 50; i++ {
+		p.Update(0x900, 0x1234000)
+	}
+	pred, ok := p.Predict(0x900)
+	if !ok || pred != 0x1234000 {
+		t.Errorf("Predict = %#x/%v, want 0x1234000/true", pred, ok)
+	}
+}
+
+func TestOnOtherAndName(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Name() != "ittage" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	p.OnOther(0x1, 0x2, trace.Return)
+	p.OnOther(0x1, 0x2, trace.DirectCall)
+}
+
+func TestLengthsAccessorCopies(t *testing.T) {
+	p := New(DefaultConfig())
+	l := p.Lengths()
+	l[0] = 9999
+	if p.Lengths()[0] == 9999 {
+		t.Error("Lengths exposes internal state")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(Config) Config{
+		func(c Config) Config { c.BaseEntries = 0; return c },
+		func(c Config) Config { c.Tables = 0; return c },
+		func(c Config) Config { c.MinHist = 0; return c },
+		func(c Config) Config { c.MaxHist = c.MinHist; return c },
+		func(c Config) Config { c.MaxHist = c.HistBits; return c },
+		func(c Config) Config { c.TagBitsMin = 2; return c },
+		func(c Config) Config { c.ResetPeriod = 0; return c },
+	}
+	for i, mutate := range bad {
+		if err := mutate(DefaultConfig()).Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}

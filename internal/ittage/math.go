@@ -1,0 +1,7 @@
+package ittage
+
+import "math"
+
+// mathPow isolates the single stdlib math dependency used when computing
+// geometric history lengths at construction time.
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,152 @@
+package predictor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"blbp/internal/btb"
+	"blbp/internal/cascaded"
+	"blbp/internal/core"
+	"blbp/internal/ittage"
+	"blbp/internal/predictor"
+	"blbp/internal/targetcache"
+	"blbp/internal/trace"
+)
+
+// conformance exercises the predictor.Indirect contract uniformly across
+// every implementation in the repository.
+
+func implementations() map[string]func() predictor.Indirect {
+	return map[string]func() predictor.Indirect{
+		"blbp": func() predictor.Indirect { return core.New(core.DefaultConfig()) },
+		"blbp-hier": func() predictor.Indirect {
+			cfg := core.DefaultConfig()
+			cfg.UseHierarchicalIBTB = true
+			return core.New(cfg)
+		},
+		"ittage":      func() predictor.Indirect { return ittage.New(ittage.DefaultConfig()) },
+		"btb":         func() predictor.Indirect { return btb.NewIndirect(btb.Default32K()) },
+		"targetcache": func() predictor.Indirect { return targetcache.New(targetcache.DefaultConfig()) },
+		"cascaded":    func() predictor.Indirect { return cascaded.New(cascaded.DefaultConfig()) },
+	}
+}
+
+// drive runs a standardized random-but-seeded event stream through p and
+// returns the sequence of predictions for comparison.
+func drive(p predictor.Indirect, seed int64, n int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, 0, n)
+	targets := []uint64{0x1000, 0x3000, 0x5000, 0x9000}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			p.OnCond(uint64(0xC00+rng.Intn(4)*4), rng.Intn(2) == 0)
+		case 1:
+			p.OnOther(0xD00, 0xE00, trace.Return)
+		default:
+			pc := uint64(0x100 + rng.Intn(3)*0x40)
+			pred, ok := p.Predict(pc)
+			if !ok {
+				pred = ^uint64(0)
+			}
+			out = append(out, pred)
+			p.Update(pc, targets[rng.Intn(len(targets))])
+		}
+	}
+	return out
+}
+
+func TestConformanceDeterminism(t *testing.T) {
+	for name, make := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			a := drive(make(), 42, 3000)
+			b := drive(make(), 42, 3000)
+			if len(a) != len(b) {
+				t.Fatal("lengths differ")
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("prediction %d differs between identical runs", i)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceMonomorphicConvergence(t *testing.T) {
+	for name, make := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			p := make()
+			mis := 0
+			for i := 0; i < 300; i++ {
+				pred, ok := p.Predict(0x4000)
+				if (!ok || pred != 0xBEEF0) && i >= 50 {
+					mis++
+				}
+				p.Update(0x4000, 0xBEEF0)
+			}
+			if mis != 0 {
+				t.Errorf("%d late mispredicts on a monomorphic branch", mis)
+			}
+		})
+	}
+}
+
+func TestConformanceColdMiss(t *testing.T) {
+	for name, make := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := make().Predict(0x777000); ok {
+				t.Error("prediction claimed on a never-seen branch")
+			}
+		})
+	}
+}
+
+func TestConformanceUpdateFirstIsSafe(t *testing.T) {
+	for name, make := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			p := make()
+			for i := 0; i < 50; i++ {
+				p.Update(0x900, 0x123400)
+			}
+			pred, ok := p.Predict(0x900)
+			if !ok || pred != 0x123400 {
+				t.Errorf("Predict = %#x/%v after update-only stream", pred, ok)
+			}
+		})
+	}
+}
+
+func TestConformanceMetadata(t *testing.T) {
+	for name, make := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			p := make()
+			if p.Name() == "" {
+				t.Error("empty Name")
+			}
+			if p.StorageBits() <= 0 {
+				t.Error("non-positive StorageBits")
+			}
+		})
+	}
+}
+
+func TestConformanceStressNoPanic(t *testing.T) {
+	// A hostile stream: extreme addresses, alternating histories, dense
+	// polymorphism. Nothing should panic and capacity bounds must hold.
+	for name, make := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			p := make()
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 20000; i++ {
+				pc := rng.Uint64()
+				if rng.Intn(3) == 0 {
+					p.OnCond(pc, rng.Intn(2) == 0)
+					continue
+				}
+				p.Predict(pc)
+				p.Update(pc, rng.Uint64())
+			}
+		})
+	}
+}

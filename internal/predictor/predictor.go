@@ -1,0 +1,68 @@
+// Package predictor defines the interface all indirect branch target
+// predictors implement, plus a registry used by the command-line tools.
+package predictor
+
+import (
+	"fmt"
+	"sort"
+
+	"blbp/internal/trace"
+)
+
+// Indirect is a target predictor for indirect jumps and calls.
+//
+// The simulation engine's per-branch contract is: for every indirect branch
+// it calls Predict(pc) and then immediately Update(pc, actual) with no
+// intervening calls, so implementations may cache prediction-time state
+// keyed by pc. Conditional outcomes arrive through OnCond and remaining
+// control transfers through OnOther, in program order.
+type Indirect interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Predict returns the predicted target, or ok=false when the predictor
+	// has no basis for a prediction (e.g. a compulsory target-buffer miss);
+	// the engine counts that as a misprediction.
+	Predict(pc uint64) (target uint64, ok bool)
+	// Update trains the predictor with the resolved target.
+	Update(pc uint64, actual uint64)
+	// OnCond observes a conditional branch outcome.
+	OnCond(pc uint64, taken bool)
+	// OnOther observes non-conditional, non-indirect control transfers
+	// (direct jumps/calls and returns).
+	OnOther(pc, target uint64, bt trace.BranchType)
+	// StorageBits returns the modeled hardware budget in bits.
+	StorageBits() int
+}
+
+// Factory constructs a fresh predictor instance.
+type Factory func() Indirect
+
+var registry = map[string]Factory{}
+
+// Register adds a named predictor factory. It panics on duplicates, which
+// indicates an init-time programming error.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("predictor: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered predictor by name.
+func New(name string) (Indirect, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("predictor: unknown predictor %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered predictor names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,59 @@
+package predictor
+
+import (
+	"testing"
+
+	"blbp/internal/trace"
+)
+
+type fake struct{ name string }
+
+func (f fake) Name() string                              { return f.name }
+func (f fake) Predict(pc uint64) (uint64, bool)          { return 0, false }
+func (f fake) Update(pc, actual uint64)                  {}
+func (f fake) OnCond(pc uint64, taken bool)              {}
+func (f fake) OnOther(pc, t uint64, bt trace.BranchType) {}
+func (f fake) StorageBits() int                          { return 1 }
+
+func TestRegisterAndNew(t *testing.T) {
+	Register("test-fake", func() Indirect { return fake{name: "test-fake"} })
+	p, err := New("test-fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "test-fake" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("definitely-not-registered"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	Register("test-dup", func() Indirect { return fake{} })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("test-dup", func() Indirect { return fake{} })
+}
+
+func TestNamesSortedAndContainsRegistered(t *testing.T) {
+	Register("test-zz", func() Indirect { return fake{} })
+	Register("test-aa", func() Indirect { return fake{} })
+	names := Names()
+	found := map[string]bool{}
+	for i, n := range names {
+		found[n] = true
+		if i > 0 && names[i-1] > n {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	if !found["test-zz"] || !found["test-aa"] {
+		t.Errorf("registered names missing from %v", names)
+	}
+}

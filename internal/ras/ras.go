@@ -1,0 +1,77 @@
+// Package ras implements a return address stack (Kaeli & Emma), the
+// structure that predicts procedure-return targets. The simulator routes
+// Return branches here so that, as in the paper, the indirect predictors are
+// evaluated only on indirect jumps and calls.
+package ras
+
+// Stack is a bounded circular return address stack. Pushing past capacity
+// overwrites the oldest entry, mimicking hardware overflow behaviour.
+type Stack struct {
+	addrs []uint64
+	top   int // index of the next free slot
+	depth int // live entries, <= cap
+
+	predictions int64
+	correct     int64
+}
+
+// New returns a stack with the given capacity.
+func New(capacity int) *Stack {
+	if capacity <= 0 {
+		panic("ras: New with non-positive capacity")
+	}
+	return &Stack{addrs: make([]uint64, capacity)}
+}
+
+// Push records a return address (the instruction after a call).
+func (s *Stack) Push(addr uint64) {
+	s.addrs[s.top] = addr
+	s.top = (s.top + 1) % len(s.addrs)
+	if s.depth < len(s.addrs) {
+		s.depth++
+	}
+}
+
+// Pop predicts and consumes the top return address. ok is false when the
+// stack is empty (prediction must be counted as wrong unless the actual
+// target happens to match the zero value, which callers should not rely on).
+func (s *Stack) Pop() (addr uint64, ok bool) {
+	if s.depth == 0 {
+		return 0, false
+	}
+	s.top = (s.top - 1 + len(s.addrs)) % len(s.addrs)
+	s.depth--
+	return s.addrs[s.top], true
+}
+
+// Predict pops a return address and scores it against the actual target,
+// returning whether the prediction was correct.
+func (s *Stack) Predict(actual uint64) bool {
+	s.predictions++
+	addr, ok := s.Pop()
+	if ok && addr == actual {
+		s.correct++
+		return true
+	}
+	return false
+}
+
+// Depth returns the number of live entries.
+func (s *Stack) Depth() int { return s.depth }
+
+// Capacity returns the configured capacity.
+func (s *Stack) Capacity() int { return len(s.addrs) }
+
+// Accuracy returns the fraction of Predict calls that were correct.
+func (s *Stack) Accuracy() float64 {
+	if s.predictions == 0 {
+		return 0
+	}
+	return float64(s.correct) / float64(s.predictions)
+}
+
+// Reset empties the stack and clears statistics.
+func (s *Stack) Reset() {
+	s.top, s.depth = 0, 0
+	s.predictions, s.correct = 0, 0
+}

@@ -1,0 +1,22 @@
+// Package replacement implements the cache replacement policies the paper's
+// structures use: re-reference interval prediction (RRIP, Jaleel et al.) for
+// BLBP's indirect branch target buffer, and least-recently-used (LRU) for
+// the region array and set-associative BTBs.
+//
+// A policy manages the ways of a set-associative structure laid out as
+// numSets × assoc; callers report hits and insertions and ask for victims.
+package replacement
+
+// Policy is the common interface over set-associative replacement state.
+// Way indices are local to a set (0..assoc-1).
+type Policy interface {
+	// OnHit records a reference to an existing entry.
+	OnHit(set, way int)
+	// OnInsert records that a new entry was installed in the given way.
+	OnInsert(set, way int)
+	// Victim selects the way to evict from a full set. It may mutate
+	// internal aging state (RRIP increments RRPVs while searching).
+	Victim(set int) int
+	// Name identifies the policy.
+	Name() string
+}

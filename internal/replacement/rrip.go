@@ -1,0 +1,58 @@
+package replacement
+
+// RRIP implements static re-reference interval prediction (SRRIP) with
+// M-bit re-reference prediction values (RRPVs). New entries are inserted
+// with a "long" re-reference interval (max-1), hits promote to "near-
+// immediate" (0), and victims are entries predicted to be re-referenced in
+// the distant future (max). The paper manages the IBTB with 2-bit RRIP.
+type RRIP struct {
+	rrpv  []uint8
+	assoc int
+	max   uint8
+}
+
+// NewRRIP returns an RRIP policy for numSets sets of assoc ways using
+// bits-wide RRPVs (the paper uses 2).
+func NewRRIP(numSets, assoc, bits int) *RRIP {
+	if numSets <= 0 || assoc <= 0 {
+		panic("replacement: NewRRIP with non-positive geometry")
+	}
+	if bits <= 0 || bits > 8 {
+		panic("replacement: NewRRIP bits out of range")
+	}
+	max := uint8(1)<<uint(bits) - 1
+	r := &RRIP{rrpv: make([]uint8, numSets*assoc), assoc: assoc, max: max}
+	// Start all ways at "distant" so empty ways are chosen first.
+	for i := range r.rrpv {
+		r.rrpv[i] = max
+	}
+	return r
+}
+
+// Name implements Policy.
+func (r *RRIP) Name() string { return "rrip" }
+
+// OnHit implements Policy: promote to near-immediate re-reference.
+func (r *RRIP) OnHit(set, way int) { r.rrpv[set*r.assoc+way] = 0 }
+
+// OnInsert implements Policy: predict a long (but not distant) interval.
+func (r *RRIP) OnInsert(set, way int) { r.rrpv[set*r.assoc+way] = r.max - 1 }
+
+// Victim implements Policy: find the first way predicted distant, aging the
+// whole set until one exists.
+func (r *RRIP) Victim(set int) int {
+	base := set * r.assoc
+	for {
+		for w := 0; w < r.assoc; w++ {
+			if r.rrpv[base+w] == r.max {
+				return w
+			}
+		}
+		for w := 0; w < r.assoc; w++ {
+			r.rrpv[base+w]++
+		}
+	}
+}
+
+// RRPV exposes the current prediction value of a way (used by tests).
+func (r *RRIP) RRPV(set, way int) uint8 { return r.rrpv[set*r.assoc+way] }

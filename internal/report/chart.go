@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chart renders a labeled horizontal bar chart in plain text, used by
+// cmd/experiments to visualize figure-shaped results (per-benchmark MPKI
+// curves, ablation bars, associativity sweeps) without leaving the
+// terminal.
+type Chart struct {
+	Title string
+	// Width is the maximum bar width in characters (40 if zero).
+	Width int
+	rows  []chartRow
+}
+
+type chartRow struct {
+	label string
+	value float64
+}
+
+// NewChart creates an empty chart.
+func NewChart(title string) *Chart { return &Chart{Title: title} }
+
+// Add appends one labeled bar. Negative values render as empty bars with
+// the numeric value still shown.
+func (c *Chart) Add(label string, value float64) {
+	c.rows = append(c.rows, chartRow{label: label, value: value})
+}
+
+// Rows returns the number of bars.
+func (c *Chart) Rows() int { return len(c.rows) }
+
+// WriteText renders the chart. Bars scale linearly against the maximum
+// value.
+func (c *Chart) WriteText(w io.Writer) error {
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	maxV := 0.0
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+		if r.value > maxV {
+			maxV = r.value
+		}
+	}
+	for _, r := range c.rows {
+		n := 0
+		if maxV > 0 && r.value > 0 {
+			n = int(r.value/maxV*float64(width) + 0.5)
+			if n == 0 {
+				n = 1 // visible sliver for small positive values
+			}
+		}
+		bar := strings.Repeat("#", n)
+		if _, err := fmt.Fprintf(w, "  %s  %s %.4f\n", pad(r.label, labelW), pad(bar, width), r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTextAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// The value column must start at the same offset in both data rows.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "2")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRowf(0.123456)
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.1235") {
+		t.Errorf("float not formatted to 4 decimals:\n%s", buf.String())
+	}
+}
+
+func TestRowCellMismatch(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped")
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "dropped") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("ignored", "name", "note")
+	tb.AddRow("plain", "simple")
+	tb.AddRow("with,comma", `with"quote`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "name,note\nplain,simple\n\"with,comma\",\"with\"\"quote\"\n"
+	if out != want {
+		t.Errorf("CSV output:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("Demo chart")
+	c.Add("short", 1.0)
+	c.Add("a-longer-label", 2.0)
+	c.Add("zero", 0.0)
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Demo chart") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The 2.0 bar must be about twice the 1.0 bar.
+	count := func(s string) int { return strings.Count(s, "#") }
+	if c1, c2 := count(lines[1]), count(lines[2]); c2 < c1*2-1 || c2 > c1*2+1 {
+		t.Errorf("bar scaling off: %d vs %d", c1, c2)
+	}
+	if count(lines[3]) != 0 {
+		t.Error("zero value produced a bar")
+	}
+	if c.Rows() != 3 {
+		t.Errorf("Rows = %d", c.Rows())
+	}
+}
+
+func TestChartSmallPositiveVisible(t *testing.T) {
+	c := NewChart("")
+	c.Add("big", 1000)
+	c.Add("tiny", 0.001)
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if strings.Count(lines[1], "#") == 0 {
+		t.Error("tiny positive value should render a visible sliver")
+	}
+}
+
+func TestChartAllZeros(t *testing.T) {
+	c := NewChart("")
+	c.Add("a", 0)
+	c.Add("b", -5)
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Error("zero/negative chart should have no bars")
+	}
+}

@@ -1,0 +1,187 @@
+// Package sim is the trace-driven simulation engine: the Go counterpart of
+// the CBP-5 infrastructure the paper runs on (§4.2). It drives a
+// conditional predictor and one or more indirect target predictors over a
+// branch trace, routes returns to a return address stack, and accumulates
+// per-class misprediction counts, reporting the paper's metric —
+// mispredictions per kilo-instruction (MPKI).
+package sim
+
+import (
+	"fmt"
+
+	"blbp/internal/cond"
+	"blbp/internal/predictor"
+	"blbp/internal/ras"
+	"blbp/internal/trace"
+)
+
+// Options tunes engine structures that are not under study.
+type Options struct {
+	// RASDepth sizes the return address stack (64 if zero).
+	RASDepth int
+}
+
+func (o Options) rasDepth() int {
+	if o.RASDepth <= 0 {
+		return 64
+	}
+	return o.RASDepth
+}
+
+// Result accumulates one predictor's counts over one trace.
+type Result struct {
+	// Trace and Predictor identify the run.
+	Trace     string
+	Predictor string
+	// Instructions is the total instruction count simulated.
+	Instructions int64
+	// Conditional branch counts (shared across indirect predictors run in
+	// the same pass).
+	CondBranches    int64
+	CondMispredicts int64
+	// Indirect jump/call counts for this predictor.
+	IndirectBranches    int64
+	IndirectMispredicts int64
+	// NoPrediction counts indirect branches where the predictor had no
+	// target to offer (a subset of IndirectMispredicts).
+	NoPrediction int64
+	// Return counts (RAS-predicted, shared across predictors).
+	Returns           int64
+	ReturnMispredicts int64
+}
+
+// IndirectMPKI returns indirect-target mispredictions per kilo-instruction,
+// the paper's headline metric.
+func (r Result) IndirectMPKI() float64 { return mpki(r.IndirectMispredicts, r.Instructions) }
+
+// CondMPKI returns conditional mispredictions per kilo-instruction.
+func (r Result) CondMPKI() float64 { return mpki(r.CondMispredicts, r.Instructions) }
+
+// CondAccuracy returns the conditional predictor's accuracy in [0,1].
+func (r Result) CondAccuracy() float64 {
+	if r.CondBranches == 0 {
+		return 0
+	}
+	return 1 - float64(r.CondMispredicts)/float64(r.CondBranches)
+}
+
+func mpki(mis, instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(mis) * 1000 / float64(instructions)
+}
+
+// instructionSize is the fixed instruction size convention shared with the
+// workload generators: return addresses are call PC + 4.
+const instructionSize = 4
+
+// Run simulates one conditional predictor and a set of independent indirect
+// predictors over the trace in a single pass, returning one Result per
+// indirect predictor (in input order). All indirect predictors observe the
+// identical event stream; conditional and return statistics are duplicated
+// into every Result.
+//
+// VPC shares state with the conditional predictor, so a VPC instance must
+// be the only indirect predictor in its pass and must be paired with its
+// own *cond.HashedPerceptron as cp; see package vpc.
+func Run(tr *trace.Trace, cp cond.Predictor, indirects []predictor.Indirect, opts Options) ([]Result, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("sim: nil conditional predictor")
+	}
+	if len(indirects) == 0 {
+		return nil, fmt.Errorf("sim: no indirect predictors")
+	}
+	stack := ras.New(opts.rasDepth())
+	var shared Result
+	perPred := make([]Result, len(indirects))
+
+	for ri := range tr.Records {
+		r := &tr.Records[ri]
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: record %d: %w", ri, err)
+		}
+		shared.Instructions += r.Instructions()
+
+		switch r.Type {
+		case trace.CondDirect:
+			shared.CondBranches++
+			pred := cp.Predict(r.PC)
+			if pred != r.Taken {
+				shared.CondMispredicts++
+			}
+			if tt, ok := cp.(cond.TargetTrainer); ok {
+				tt.TrainWithTarget(r.PC, r.Taken, r.Target)
+			} else {
+				cp.Train(r.PC, r.Taken)
+			}
+			cp.UpdateHistory(r.PC, r.Taken)
+			for _, ip := range indirects {
+				ip.OnCond(r.PC, r.Taken)
+			}
+
+		case trace.IndirectJump, trace.IndirectCall:
+			for i, ip := range indirects {
+				perPred[i].IndirectBranches++
+				pred, ok := ip.Predict(r.PC)
+				if !ok {
+					perPred[i].NoPrediction++
+					perPred[i].IndirectMispredicts++
+				} else if pred != r.Target {
+					perPred[i].IndirectMispredicts++
+				}
+				ip.Update(r.PC, r.Target)
+			}
+			if r.Type == trace.IndirectCall {
+				stack.Push(r.PC + instructionSize)
+			}
+			cp.OnOther(r.PC, r.Target, r.Type)
+
+		case trace.Return:
+			shared.Returns++
+			if !stack.Predict(r.Target) {
+				shared.ReturnMispredicts++
+			}
+			cp.OnOther(r.PC, r.Target, r.Type)
+			for _, ip := range indirects {
+				ip.OnOther(r.PC, r.Target, r.Type)
+			}
+
+		case trace.DirectCall:
+			stack.Push(r.PC + instructionSize)
+			cp.OnOther(r.PC, r.Target, r.Type)
+			for _, ip := range indirects {
+				ip.OnOther(r.PC, r.Target, r.Type)
+			}
+
+		case trace.UncondDirect:
+			cp.OnOther(r.PC, r.Target, r.Type)
+			for _, ip := range indirects {
+				ip.OnOther(r.PC, r.Target, r.Type)
+			}
+		}
+	}
+
+	for i, ip := range indirects {
+		perPred[i].Trace = tr.Name
+		perPred[i].Predictor = ip.Name()
+		perPred[i].Instructions = shared.Instructions
+		perPred[i].CondBranches = shared.CondBranches
+		perPred[i].CondMispredicts = shared.CondMispredicts
+		perPred[i].Returns = shared.Returns
+		perPred[i].ReturnMispredicts = shared.ReturnMispredicts
+	}
+	return perPred, nil
+}
+
+// RunOne is a convenience wrapper for a single indirect predictor.
+func RunOne(tr *trace.Trace, cp cond.Predictor, ip predictor.Indirect, opts Options) (Result, error) {
+	res, err := Run(tr, cp, []predictor.Indirect{ip}, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}

@@ -1,0 +1,6 @@
+package stats
+
+import "math"
+
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }

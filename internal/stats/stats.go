@@ -1,0 +1,103 @@
+// Package stats provides the small numeric summaries the experiment drivers
+// report: means, extrema, percentiles, and histogram bucketing.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice), the
+// aggregation the paper uses for suite MPKI.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMeanShifted returns the shifted geometric mean exp(mean(log(x+eps)))-eps,
+// robust to zero entries; useful for ratio-like summaries.
+func GeoMeanShifted(xs []float64, eps float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += ln(x + eps)
+	}
+	return exp(sum/float64(len(xs))) - eps
+}
+
+// Min returns the smallest element (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks; it copies its input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// PercentChange returns 100·(from−to)/from — the "% reduction" convention
+// of the paper's Fig. 10 (positive = improvement of to over from).
+func PercentChange(from, to float64) float64 {
+	if from == 0 {
+		return 0
+	}
+	return 100 * (from - to) / from
+}
+
+// FormatKB renders a bit count as kilobytes with two decimals.
+func FormatKB(bits int) string {
+	return fmt.Sprintf("%.2f KB", float64(bits)/8192)
+}

@@ -1,0 +1,131 @@
+package targetcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"blbp/internal/trace"
+)
+
+func TestMonomorphicConverges(t *testing.T) {
+	c := New(DefaultConfig())
+	mis := 0
+	for i := 0; i < 500; i++ {
+		pred, ok := c.Predict(0x400)
+		if (!ok || pred != 0x9000) && i >= 100 {
+			mis++
+		}
+		c.Update(0x400, 0x9000)
+	}
+	if mis != 0 {
+		t.Errorf("%d late mispredicts on monomorphic branch", mis)
+	}
+}
+
+func TestHistoryDisambiguatesTargets(t *testing.T) {
+	// A,B alternation: the target-history register differs between the
+	// two phases, so the cache learns both mappings.
+	c := New(DefaultConfig())
+	mis := 0
+	for i := 0; i < 2000; i++ {
+		tgt := uint64(0x1000)
+		if i%2 == 1 {
+			tgt = 0x3000
+		}
+		pred, ok := c.Predict(0x700)
+		if (!ok || pred != tgt) && i >= 1500 {
+			mis++
+		}
+		c.Update(0x700, tgt)
+	}
+	if mis > 5 {
+		t.Errorf("%d late mispredicts on alternating targets, want <= 5", mis)
+	}
+}
+
+func TestCondHistoryCorrelation(t *testing.T) {
+	c := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	mis := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		cond := rng.Intn(2) == 0
+		c.OnCond(0xC0, cond)
+		tgt := uint64(0x1000)
+		if cond {
+			tgt = 0x3000
+		}
+		pred, ok := c.Predict(0x800)
+		if (!ok || pred != tgt) && i >= n*3/4 {
+			mis++
+		}
+		c.Update(0x800, tgt)
+	}
+	if mis > n/4/20 {
+		t.Errorf("%d late mispredicts out of %d on condition-correlated targets", mis, n/4)
+	}
+}
+
+func TestIncludeCondOff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IncludeCond = false
+	c := New(cfg)
+	before, _ := c.Predict(0x10)
+	c.OnCond(0x20, true)
+	after, _ := c.Predict(0x10)
+	if before != after {
+		t.Error("conditional outcome changed history despite IncludeCond=false")
+	}
+}
+
+func TestColdMiss(t *testing.T) {
+	c := New(DefaultConfig())
+	if _, ok := c.Predict(0x123); ok {
+		t.Error("hit on cold cache")
+	}
+}
+
+func TestOnOtherNoop(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Update(0x10, 0x5000)
+	p1, _ := c.Predict(0x10)
+	c.OnOther(0x20, 0x30, trace.Return)
+	p2, _ := c.Predict(0x10)
+	if p1 != p2 {
+		t.Error("OnOther disturbed state")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	c := New(DefaultConfig())
+	want := 8192*(1+9+44) + 16
+	if got := c.StorageBits(); got != want {
+		t.Errorf("StorageBits = %d, want %d", got, want)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultConfig()).Name() != "targetcache" {
+		t.Error("Name")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, HistBits: 8, TargetBitsPerUpdate: 2},
+		{Entries: 8, HistBits: 0, TargetBitsPerUpdate: 2},
+		{Entries: 8, HistBits: 64, TargetBitsPerUpdate: 2},
+		{Entries: 8, HistBits: 8, TagBits: -1, TargetBitsPerUpdate: 2},
+		{Entries: 8, HistBits: 8, TargetBitsPerUpdate: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

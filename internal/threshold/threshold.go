@@ -1,0 +1,69 @@
+// Package threshold implements Seznec's adaptive threshold training from
+// O-GEHL (paper §3.6, "Adaptive Threshold Training"): the training threshold
+// θ is adjusted at runtime so that the number of weight updates performed on
+// correct-but-low-confidence predictions roughly balances the number of
+// mispredictions.
+package threshold
+
+// Adaptive is one adaptive threshold. BLBP keeps one per predicted target
+// bit; the hashed perceptron keeps a single one.
+type Adaptive struct {
+	theta int
+	tc    int
+	speed int
+	min   int
+	max   int
+}
+
+// New returns an adaptive threshold starting at init, moving one step every
+// speed net events, clamped to [min, max].
+func New(init, speed, min, max int) *Adaptive {
+	if speed <= 0 {
+		panic("threshold: New with non-positive speed")
+	}
+	if min > max || init < min || init > max {
+		panic("threshold: New with inconsistent bounds")
+	}
+	return &Adaptive{theta: init, speed: speed, min: min, max: max}
+}
+
+// Theta returns the current threshold.
+func (a *Adaptive) Theta() int { return a.theta }
+
+// Observe records one training event. mispredicted reports whether the
+// prediction was wrong; lowConfidence reports whether |output| was below the
+// threshold (i.e. training happened despite a correct prediction). Following
+// Seznec, mispredictions push θ up and correct low-confidence updates push
+// it down.
+func (a *Adaptive) Observe(mispredicted, lowConfidence bool) {
+	switch {
+	case mispredicted:
+		a.tc++
+		if a.tc >= a.speed {
+			a.tc = 0
+			if a.theta < a.max {
+				a.theta++
+			}
+		}
+	case lowConfidence:
+		a.tc--
+		if a.tc <= -a.speed {
+			a.tc = 0
+			if a.theta > a.min {
+				a.theta--
+			}
+		}
+	}
+}
+
+// Reset restores the threshold to the given value and clears the counter.
+func (a *Adaptive) Reset(to int) {
+	if to < a.min {
+		to = a.min
+	}
+	if to > a.max {
+		to = a.max
+	}
+	a.theta = to
+	a.tc = 0
+}

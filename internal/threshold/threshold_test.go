@@ -1,0 +1,94 @@
+package threshold
+
+import "testing"
+
+func TestThetaRisesOnMispredictions(t *testing.T) {
+	a := New(10, 4, 0, 100)
+	for i := 0; i < 4; i++ {
+		a.Observe(true, false)
+	}
+	if got := a.Theta(); got != 11 {
+		t.Errorf("Theta = %d after 4 mispredictions at speed 4, want 11", got)
+	}
+}
+
+func TestThetaFallsOnLowConfidence(t *testing.T) {
+	a := New(10, 4, 0, 100)
+	for i := 0; i < 4; i++ {
+		a.Observe(false, true)
+	}
+	if got := a.Theta(); got != 9 {
+		t.Errorf("Theta = %d after 4 low-confidence corrects, want 9", got)
+	}
+}
+
+func TestBalancedEventsHoldTheta(t *testing.T) {
+	a := New(10, 4, 0, 100)
+	for i := 0; i < 100; i++ {
+		a.Observe(true, false)
+		a.Observe(false, true)
+	}
+	if got := a.Theta(); got < 9 || got > 11 {
+		t.Errorf("Theta = %d after balanced stream, want ~10", got)
+	}
+}
+
+func TestConfidentCorrectIsNeutral(t *testing.T) {
+	a := New(10, 1, 0, 100)
+	for i := 0; i < 50; i++ {
+		a.Observe(false, false)
+	}
+	if got := a.Theta(); got != 10 {
+		t.Errorf("Theta = %d, want 10 (confident corrects must not move θ)", got)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	a := New(1, 1, 1, 3)
+	for i := 0; i < 10; i++ {
+		a.Observe(false, true)
+	}
+	if got := a.Theta(); got != 1 {
+		t.Errorf("Theta = %d, want clamped at min 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		a.Observe(true, false)
+	}
+	if got := a.Theta(); got != 3 {
+		t.Errorf("Theta = %d, want clamped at max 3", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(10, 1, 0, 100)
+	a.Observe(true, false)
+	a.Reset(5)
+	if a.Theta() != 5 {
+		t.Errorf("Theta = %d after Reset(5), want 5", a.Theta())
+	}
+	a.Reset(1000)
+	if a.Theta() != 100 {
+		t.Errorf("Theta = %d after Reset(1000), want clamped 100", a.Theta())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name                  string
+		init, speed, min, max int
+	}{
+		{"zero speed", 5, 0, 0, 10},
+		{"min > max", 5, 1, 10, 0},
+		{"init below min", 5, 1, 6, 10},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			New(c.init, c.speed, c.min, c.max)
+		}()
+	}
+}

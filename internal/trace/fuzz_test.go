@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadNeverPanicsOnGarbage feeds random byte strings (with and without
+// a valid magic prefix) to the decoder: it must fail cleanly, never panic,
+// and never allocate absurd amounts for corrupt length fields.
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	f := func(seed int64, withMagic bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(512)
+		data := make([]byte, 0, n+8)
+		if withMagic {
+			data = append(data, magic[:]...)
+		}
+		for i := 0; i < n; i++ {
+			data = append(data, byte(rng.Intn(256)))
+		}
+		tr, err := Read(bytes.NewReader(data))
+		if err == nil {
+			// A random payload can occasionally decode; it must then be a
+			// fully valid trace.
+			for _, r := range tr.Records {
+				if r.Validate() != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadHugeCountRejected ensures corrupt record counts are rejected
+// before allocation.
+func TestReadHugeCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(0) // empty name
+	// A varint encoding an enormous record count.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	if _, err := Read(&buf); err == nil {
+		t.Error("absurd record count accepted")
+	}
+}
+
+// TestReadHugeNameRejected ensures corrupt name lengths are rejected.
+func TestReadHugeNameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // name length ~4G
+	if _, err := Read(&buf); err == nil {
+		t.Error("absurd name length accepted")
+	}
+}
+
+// FuzzRead is the native fuzz target for the trace decoder.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid encoded trace and a few corruptions of it.
+	var buf bytes.Buffer
+	valid := &Trace{Name: "seed", Records: []Record{
+		{PC: 0x400000, Target: 0x400020, InstrBefore: 3, Type: CondDirect, Taken: true},
+		{PC: 0x400100, Target: 0x7f0000, InstrBefore: 12, Type: IndirectCall, Taken: true},
+	}}
+	if err := Write(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(magic[:])
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	if len(corrupt) > 12 {
+		corrupt[12] ^= 0xFF
+	}
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Successful decodes must be internally valid and re-encodable.
+		for _, r := range tr.Records {
+			if vErr := r.Validate(); vErr != nil {
+				t.Fatalf("decoded invalid record: %v", vErr)
+			}
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package workload
+
+import "math/rand"
+
+// CallbacksParams models an event loop dispatching through a function-
+// pointer table. Event kinds are drawn independently at random from a
+// Zipf-skewed distribution — the genuinely hard case where no history helps
+// beyond guessing the hottest handler. A fraction of events route through
+// dedicated monomorphic wrapper sites first (easy single-target indirect
+// calls), as real event frameworks do.
+//
+// This family supplies the irreducible-misprediction tail that keeps suite
+// MPKI away from zero, like the hardest CBP-5 server traces.
+type CallbacksParams struct {
+	// Events is the number of event kinds.
+	Events int
+	// Skew shapes the Zipf distribution (1.0 = classic, higher = hotter
+	// head).
+	Skew float64
+	// Wrappers is the number of monomorphic wrapper sites.
+	Wrappers int
+	// HandlerWork and HandlerConds shape each handler.
+	HandlerWork  int
+	HandlerConds int
+	// Bank separates address spaces.
+	Bank int
+}
+
+type callbacksModel struct {
+	p        CallbacksParams
+	cdf      []float64
+	handlers []uint64
+	wrappers []uint64
+}
+
+func newCallbacks(p CallbacksParams, rng *rand.Rand) *callbacksModel {
+	if p.Events <= 0 {
+		panic("workload: callbacks needs positive Events")
+	}
+	m := &callbacksModel{p: p}
+	m.cdf = zipfTable(p.Events, p.Skew)
+	m.handlers = make([]uint64, p.Events)
+	for i := range m.handlers {
+		m.handlers[i] = funcAddr(p.Bank, 32+i)
+	}
+	m.wrappers = make([]uint64, p.Wrappers)
+	for i := range m.wrappers {
+		m.wrappers[i] = funcAddr(p.Bank, 1024+i)
+	}
+	return m
+}
+
+func (m *callbacksModel) step(e *emitter, rng *rand.Rand) {
+	loopPC := funcAddr(m.p.Bank, 0)
+	pollPC := funcAddr(m.p.Bank, 1)
+	e.cond(loopPC, true)
+	e.work(4)
+	ev := drawCDF(m.cdf, rng)
+	// Some events route through a per-event wrapper first; keying the
+	// wrapper to the event keeps the wrapper site exactly as predictable
+	// as the event stream itself.
+	if len(m.wrappers) > 0 && ev%2 == 0 {
+		w := m.wrappers[ev%len(m.wrappers)]
+		e.icall(pollPC, w)
+		e.work(8)
+		e.ret(w + 8)
+	}
+	dispatchPC := funcAddr(m.p.Bank, 2)
+	e.icall(dispatchPC, m.handlers[ev])
+	e.work(m.p.HandlerWork / 2)
+	innerLoop(e, m.handlers[ev]+0x100, 1+ev%3, m.p.HandlerWork/4+2)
+	for j := 0; j < m.p.HandlerConds; j++ {
+		e.cond(m.handlers[ev]+8+uint64(j)*8, (ev+j)%4 != 0)
+	}
+	e.ret(m.handlers[ev] + 8 + uint64(m.p.HandlerConds)*8)
+}

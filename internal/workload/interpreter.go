@@ -1,0 +1,100 @@
+package workload
+
+import "math/rand"
+
+// InterpreterParams models a bytecode interpreter: a dispatch loop whose
+// indirect jump selects the handler for the next opcode. The backbone is a
+// fixed bytecode program (making the dispatch sequence periodic and thus
+// learnable from history), with two noise knobs that inject the genuine
+// data dependence real interpreters have.
+//
+// This family stands in for perlbench-like SPEC workloads.
+type InterpreterParams struct {
+	// Opcodes is the number of distinct handlers (dispatch targets).
+	Opcodes int
+	// ProgramLen is the bytecode length, i.e. the dispatch period.
+	ProgramLen int
+	// Work is the straight-line instruction count per handler.
+	Work int
+	// CondPerHandler is the number of conditional branches per handler.
+	CondPerHandler int
+	// CondNoise is the probability a handler conditional's outcome is
+	// random rather than its fixed per-slot value.
+	CondNoise float64
+	// DispatchNoise is the probability an opcode is drawn at random
+	// instead of following the program (data-dependent interpretation).
+	DispatchNoise float64
+	// MonoCalls is how many monomorphic helper calls each handler makes
+	// (real interpreters call fixed runtime helpers through pointers);
+	// MonoSites is the static pool of such helper sites.
+	MonoCalls int
+	MonoSites int
+	// Bank separates this model's addresses from other models in a mix.
+	Bank int
+}
+
+type interpreterModel struct {
+	p        InterpreterParams
+	program  []int
+	handlers []uint64
+	bias     [][]bool // fixed outcome per (opcode, cond slot)
+	mono     monoHelpers
+	pos      int
+}
+
+func newInterpreter(p InterpreterParams, rng *rand.Rand) *interpreterModel {
+	if p.Opcodes <= 0 || p.ProgramLen <= 0 {
+		panic("workload: interpreter needs positive Opcodes and ProgramLen")
+	}
+	m := &interpreterModel{p: p}
+	m.program = make([]int, p.ProgramLen)
+	// Opcode usage is Zipf-skewed, as in real bytecode: a few hot opcodes
+	// dominate and most appear rarely.
+	cdf := zipfTable(p.Opcodes, 1.2)
+	for i := range m.program {
+		m.program[i] = drawCDF(cdf, rng)
+	}
+	m.handlers = make([]uint64, p.Opcodes)
+	for i := range m.handlers {
+		m.handlers[i] = funcAddr(p.Bank, 16+i)
+	}
+	m.bias = make([][]bool, p.Opcodes)
+	for i := range m.bias {
+		slots := make([]bool, p.CondPerHandler)
+		for j := range slots {
+			slots[j] = rng.Intn(4) != 0 // mostly taken, fixed per slot
+		}
+		m.bias[i] = slots
+	}
+	m.mono = newMonoHelpers(p.Bank, p.MonoSites)
+	return m
+}
+
+func (m *interpreterModel) step(e *emitter, rng *rand.Rand) {
+	loopPC := funcAddr(m.p.Bank, 0)
+	dispatchPC := funcAddr(m.p.Bank, 1)
+	// Dispatch loop back-edge.
+	e.cond(loopPC, m.pos != 0)
+	op := m.program[m.pos]
+	if m.p.DispatchNoise > 0 && rng.Float64() < m.p.DispatchNoise {
+		op = rng.Intn(m.p.Opcodes)
+	}
+	e.work(2)
+	e.ijump(dispatchPC, m.handlers[op])
+	// Handler body: straight-line work, a counted inner loop (operand
+	// processing), and a few biased data-dependent conditionals.
+	e.work(m.p.Work / 2)
+	innerLoop(e, m.handlers[op]+0x100, 1+op%3, m.p.Work/4+2)
+	for j := 0; j < m.p.CondPerHandler; j++ {
+		taken := m.bias[op][j]
+		if m.p.CondNoise > 0 && rng.Float64() < m.p.CondNoise {
+			taken = rng.Intn(2) == 0
+		}
+		e.cond(m.handlers[op]+8+uint64(j)*8, taken)
+	}
+	m.mono.emit(e, m.p.MonoCalls, op)
+	m.pos++
+	if m.pos >= len(m.program) {
+		m.pos = 0
+	}
+}

@@ -1,0 +1,57 @@
+package workload
+
+import "math/rand"
+
+// mixedModel interleaves several sub-models. Interleaving can be
+// deterministic (weighted round-robin, preserving each model's history
+// periodicity) or random (injecting alignment noise between the models'
+// contributions to global history, as independent program phases do).
+type mixedModel struct {
+	models  []model
+	weights []int
+	random  bool
+	// round-robin state
+	cursor int
+	credit int
+}
+
+// newMixed composes models with integer weights (model i runs weights[i]
+// steps per round, or is chosen with probability proportional to its weight
+// when random is true).
+func newMixed(models []model, weights []int, random bool) *mixedModel {
+	if len(models) == 0 || len(models) != len(weights) {
+		panic("workload: mixed needs matching non-empty models and weights")
+	}
+	total := 0
+	for _, w := range weights {
+		if w <= 0 {
+			panic("workload: mixed weights must be positive")
+		}
+		total += w
+	}
+	return &mixedModel{models: models, weights: weights, random: random}
+}
+
+func (m *mixedModel) step(e *emitter, rng *rand.Rand) {
+	if m.random {
+		total := 0
+		for _, w := range m.weights {
+			total += w
+		}
+		pick := rng.Intn(total)
+		for i, w := range m.weights {
+			if pick < w {
+				m.models[i].step(e, rng)
+				return
+			}
+			pick -= w
+		}
+		return
+	}
+	if m.credit >= m.weights[m.cursor] {
+		m.credit = 0
+		m.cursor = (m.cursor + 1) % len(m.models)
+	}
+	m.credit++
+	m.models[m.cursor].step(e, rng)
+}

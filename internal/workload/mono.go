@@ -1,0 +1,48 @@
+package workload
+
+import "math/rand"
+
+// MonoParams models indirect-call-heavy but monomorphic code: many static
+// call sites, each with exactly one target (PLT stubs, non-overridden
+// virtuals, C callbacks registered once). It stresses target-storage
+// capacity (static footprint) rather than history.
+type MonoParams struct {
+	// Sites is the number of static (site, target) pairs.
+	Sites int
+	// Work is straight-line work per call.
+	Work int
+	// Bank separates address spaces.
+	Bank int
+}
+
+type monoModel struct {
+	p       MonoParams
+	targets []uint64
+	idx     int
+}
+
+func newMono(p MonoParams, rng *rand.Rand) *monoModel {
+	if p.Sites <= 0 {
+		panic("workload: mono needs positive Sites")
+	}
+	m := &monoModel{p: p}
+	m.targets = make([]uint64, p.Sites)
+	for i := range m.targets {
+		m.targets[i] = funcAddr(p.Bank, 4096+i)
+	}
+	return m
+}
+
+func (m *monoModel) step(e *emitter, rng *rand.Rand) {
+	loopPC := funcAddr(m.p.Bank, 0)
+	e.cond(loopPC, m.idx != 0)
+	sitePC := funcAddr(m.p.Bank, 1+m.idx)
+	fn := m.targets[m.idx]
+	e.icall(sitePC, fn)
+	e.work(m.p.Work)
+	e.ret(fn + 8)
+	m.idx++
+	if m.idx >= m.p.Sites {
+		m.idx = 0
+	}
+}

@@ -1,0 +1,44 @@
+package workload
+
+// monoHelpers is a pool of monomorphic indirect-call sites — each static
+// site always calls the same helper function. Real programs are full of
+// these (runtime helpers, once-registered callbacks, non-overridden
+// virtuals); they dominate the left side of the paper's Fig. 6 and give the
+// BTB baseline its easy wins. Models embed a pool and emit a few such calls
+// per step, rotating round-robin through the sites.
+type monoHelpers struct {
+	sites   []uint64
+	targets []uint64
+}
+
+func newMonoHelpers(bank, sites int) monoHelpers {
+	h := monoHelpers{
+		sites:   make([]uint64, sites),
+		targets: make([]uint64, sites),
+	}
+	for i := 0; i < sites; i++ {
+		h.sites[i] = funcAddr(bank, 40960+2*i)
+		h.targets[i] = funcAddr(bank, 40961+2*i)
+	}
+	return h
+}
+
+// emit issues n monomorphic call/return pairs (no-op when the pool is
+// empty). key selects which helpers run; deriving it from the caller's
+// current state (opcode, class, token) keeps the helper sequence correlated
+// with the caller's control flow instead of forming an independent cycle
+// that would pollute global history with unrelated context.
+func (h *monoHelpers) emit(e *emitter, n, key int) {
+	if len(h.sites) == 0 {
+		return
+	}
+	if key < 0 {
+		key = -key
+	}
+	for i := 0; i < n; i++ {
+		s := (key*7 + i) % len(h.sites)
+		e.icall(h.sites[s], h.targets[s])
+		e.work(6)
+		e.ret(h.targets[s] + 8)
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import "math/rand"
+
+// RecursiveParams models recursion-heavy code (tree traversals, recursive
+// descent parsers): deep chains of calls followed by matching returns, some
+// of them through function pointers (polymorphic visitors). Depths beyond
+// the engine's return-address-stack capacity produce the return
+// mispredictions real RAS-overflow studies observe; the family keeps the
+// rest of the suite from presenting an unrealistically perfect RAS.
+type RecursiveParams struct {
+	// MaxDepth is the deepest recursion (beyond 64 overflows the default
+	// RAS).
+	MaxDepth int
+	// MinDepth is the shallowest recursion per burst.
+	MinDepth int
+	// VisitorClasses > 0 makes every other level dispatch through a
+	// polymorphic visitor site with this many implementations.
+	VisitorClasses int
+	// Work is straight-line instructions per level.
+	Work int
+	// Bank separates address spaces.
+	Bank int
+}
+
+type recursiveModel struct {
+	p        RecursiveParams
+	visitors []uint64
+	depthSeq []int // deterministic per-seed sequence of burst depths
+	pos      int
+}
+
+func newRecursive(p RecursiveParams, rng *rand.Rand) *recursiveModel {
+	if p.MaxDepth <= 0 || p.MinDepth <= 0 || p.MinDepth > p.MaxDepth {
+		panic("workload: recursive needs 0 < MinDepth <= MaxDepth")
+	}
+	m := &recursiveModel{p: p}
+	if p.VisitorClasses > 0 {
+		m.visitors = make([]uint64, p.VisitorClasses)
+		for i := range m.visitors {
+			m.visitors[i] = funcAddr(p.Bank, 128+i)
+		}
+	}
+	m.depthSeq = make([]int, 32)
+	for i := range m.depthSeq {
+		m.depthSeq[i] = p.MinDepth + rng.Intn(p.MaxDepth-p.MinDepth+1)
+	}
+	return m
+}
+
+// step emits one full recursion burst: depth calls down, then depth returns
+// back up.
+func (m *recursiveModel) step(e *emitter, rng *rand.Rand) {
+	depth := m.depthSeq[m.pos]
+	m.pos = (m.pos + 1) % len(m.depthSeq)
+	loopPC := funcAddr(m.p.Bank, 0)
+	e.cond(loopPC, true)
+
+	type frame struct{ fn uint64 }
+	frames := make([]frame, 0, depth)
+	for d := 0; d < depth; d++ {
+		fn := funcAddr(m.p.Bank, 256+d)
+		sitePC := fn - 0x10
+		if m.visitors != nil && d%2 == 1 {
+			// Polymorphic visitor dispatch: class cycles with depth.
+			vf := m.visitors[(d/2)%len(m.visitors)]
+			e.work(m.p.Work / 2)
+			e.icall(sitePC, vf)
+			frames = append(frames, frame{fn: vf})
+			continue
+		}
+		e.work(m.p.Work / 2)
+		e.call(sitePC, fn)
+		frames = append(frames, frame{fn: fn})
+	}
+	// Base case, then unwind.
+	e.work(m.p.Work)
+	e.cond(funcAddr(m.p.Bank, 1), false)
+	for d := depth - 1; d >= 0; d-- {
+		e.work(m.p.Work / 2)
+		e.ret(frames[d].fn + 0x20)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import "math/rand"
+
+// SwitcherParams models a parser/state-machine with a hot switch statement:
+// the token stream follows a first-order Markov chain whose dominant
+// transitions are deterministic, so the dispatch is predictable from the
+// previous target alone; TransitionNoise controls how often a non-dominant
+// successor is taken.
+//
+// This family stands in for gcc/sjeng-like SPEC workloads (jump tables,
+// parser loops).
+type SwitcherParams struct {
+	// Tokens is the number of token kinds (switch cases).
+	Tokens int
+	// TransitionNoise is the probability of leaving the dominant
+	// successor chain.
+	TransitionNoise float64
+	// CaseWork and CaseConds shape each case body.
+	CaseWork  int
+	CaseConds int
+	// CondNoise is the probability a case conditional is random.
+	CondNoise float64
+	// MonoCalls monomorphic helper calls per token from a MonoSites pool.
+	MonoCalls int
+	MonoSites int
+	// Bank separates address spaces.
+	Bank int
+}
+
+type switcherModel struct {
+	p     SwitcherParams
+	seq   []int // the deterministic token stream (one period)
+	cases []uint64
+	mono  monoHelpers
+	pos   int
+	tok   int
+}
+
+func newSwitcher(p SwitcherParams, rng *rand.Rand) *switcherModel {
+	if p.Tokens <= 1 {
+		panic("workload: switcher needs at least 2 tokens")
+	}
+	m := &switcherModel{p: p}
+	// The token stream is a fixed Zipf-weighted sequence: hot tokens
+	// recur (real parsers see mostly identifiers/operators), cold cases
+	// appear occasionally. Period 4x the token count.
+	cdf := zipfTable(p.Tokens, 1.2)
+	m.seq = make([]int, 4*p.Tokens)
+	for i := range m.seq {
+		m.seq[i] = drawCDF(cdf, rng)
+	}
+	m.tok = m.seq[0]
+	m.cases = make([]uint64, p.Tokens)
+	for i := range m.cases {
+		m.cases[i] = funcAddr(p.Bank, 32+i)
+	}
+	m.mono = newMonoHelpers(p.Bank, p.MonoSites)
+	return m
+}
+
+func (m *switcherModel) step(e *emitter, rng *rand.Rand) {
+	loopPC := funcAddr(m.p.Bank, 0)
+	switchPC := funcAddr(m.p.Bank, 1)
+	e.cond(loopPC, true)
+	e.work(2)
+	e.ijump(switchPC, m.cases[m.tok])
+	e.work(m.p.CaseWork / 2)
+	innerLoop(e, m.cases[m.tok]+0x100, 1+m.tok%4, m.p.CaseWork/4+2)
+	for j := 0; j < m.p.CaseConds; j++ {
+		taken := (m.tok+j)%2 == 0
+		if m.p.CondNoise > 0 && rng.Float64() < m.p.CondNoise {
+			taken = rng.Intn(2) == 0
+		}
+		e.cond(m.cases[m.tok]+8+uint64(j)*8, taken)
+	}
+	m.mono.emit(e, m.p.MonoCalls, m.tok)
+	m.pos++
+	if m.pos >= len(m.seq) {
+		m.pos = 0
+	}
+	if m.p.TransitionNoise > 0 && rng.Float64() < m.p.TransitionNoise {
+		m.tok = rng.Intn(m.p.Tokens)
+	} else {
+		m.tok = m.seq[m.pos]
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import "math/rand"
+
+// VDispatchParams models C++/Java-style virtual dispatch: a traversal over
+// an array of polymorphic objects, calling a virtual method on each. The
+// receiver-class sequence is fixed per seed (periodic, learnable), with
+// optional type noise. AlternatingSites adds call sites that strictly
+// ping-pong between two method bodies whose addresses differ in target bit
+// 3 — a pattern BLBP's local history captures even when the surrounding
+// global history is noisy.
+//
+// This family stands in for eon/povray/xalancbmk-like workloads and the
+// Java-heavy CBP-5 mobile traces.
+type VDispatchParams struct {
+	// Classes is the number of receiver classes per site.
+	Classes int
+	// Sites is the number of static virtual call sites.
+	Sites int
+	// Objects is the traversal length (the class-sequence period).
+	Objects int
+	// TypeNoise is the probability a visit re-draws the class at random.
+	TypeNoise float64
+	// AlternatingSites adds this many strict A/B alternating call sites.
+	AlternatingSites int
+	// MethodWork and MethodConds shape each method body.
+	MethodWork  int
+	MethodConds int
+	// CondNoise is the probability a method conditional is random.
+	CondNoise float64
+	// MonoCalls monomorphic helper calls per visit from a MonoSites pool.
+	MonoCalls int
+	MonoSites int
+	// Bank separates address spaces.
+	Bank int
+}
+
+type vdispatchModel struct {
+	p       VDispatchParams
+	classes []int // class of each object in the array
+	// methods[class][site] is the method body address for the site.
+	methods [][]uint64
+	altA    []uint64 // alternating-site method pair (differ in bit 3)
+	altB    []uint64
+	mono    monoHelpers
+	idx     int
+	altFlip bool
+}
+
+func newVDispatch(p VDispatchParams, rng *rand.Rand) *vdispatchModel {
+	if p.Classes <= 0 || p.Sites <= 0 || p.Objects <= 0 {
+		panic("workload: vdispatch needs positive Classes, Sites, Objects")
+	}
+	m := &vdispatchModel{p: p}
+	m.classes = make([]int, p.Objects)
+	// Receiver classes are Zipf-skewed: most objects are instances of a
+	// few dominant classes, matching real polymorphic call-site profiles.
+	cdf := zipfTable(p.Classes, 1.1)
+	for i := range m.classes {
+		m.classes[i] = drawCDF(cdf, rng)
+	}
+	m.methods = make([][]uint64, p.Classes)
+	for c := range m.methods {
+		m.methods[c] = make([]uint64, p.Sites)
+		for s := range m.methods[c] {
+			m.methods[c][s] = funcAddr(p.Bank, 64+c*p.Sites+s)
+		}
+	}
+	m.altA = make([]uint64, p.AlternatingSites)
+	m.altB = make([]uint64, p.AlternatingSites)
+	for i := range m.altA {
+		base := funcAddr(p.Bank, 8192+i*2)
+		m.altA[i] = base &^ 8 // the pair differs exactly in target bit 3
+		m.altB[i] = base | 8
+	}
+	m.mono = newMonoHelpers(p.Bank, p.MonoSites)
+	return m
+}
+
+func (m *vdispatchModel) step(e *emitter, rng *rand.Rand) {
+	loopPC := funcAddr(m.p.Bank, 0)
+	e.cond(loopPC, m.idx != 0)
+	cls := m.classes[m.idx]
+	if m.p.TypeNoise > 0 && rng.Float64() < m.p.TypeNoise {
+		cls = rng.Intn(m.p.Classes)
+	}
+	site := m.idx % m.p.Sites
+	sitePC := funcAddr(m.p.Bank, 1+site)
+	fn := m.methods[cls][site]
+	e.work(3)
+	e.icall(sitePC, fn)
+	// Method body: work, a counted field/element loop, biased conditionals.
+	e.work(m.p.MethodWork / 2)
+	innerLoop(e, fn+0x100, 1+cls%3, m.p.MethodWork/4+2)
+	for j := 0; j < m.p.MethodConds; j++ {
+		taken := (cls+j)%3 != 0
+		if m.p.CondNoise > 0 && rng.Float64() < m.p.CondNoise {
+			taken = rng.Intn(2) == 0
+		}
+		e.cond(fn+8+uint64(j)*8, taken)
+	}
+	e.ret(fn + 8 + uint64(m.p.MethodConds)*8)
+
+	// Alternating sites: exercised every third visit (hot, but not on the
+	// critical path of every object), immune to type noise.
+	if m.p.AlternatingSites > 0 && m.idx%3 == 0 {
+		for i := 0; i < m.p.AlternatingSites; i++ {
+			fn := m.altA[i]
+			if m.altFlip {
+				fn = m.altB[i]
+			}
+			altSitePC := funcAddr(m.p.Bank, 4096+i)
+			e.icall(altSitePC, fn)
+			e.work(12)
+			e.ret(fn + 16)
+		}
+		m.altFlip = !m.altFlip
+	}
+	m.mono.emit(e, m.p.MonoCalls, cls)
+
+	m.idx++
+	if m.idx >= m.p.Objects {
+		m.idx = 0
+	}
+}

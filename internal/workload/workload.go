@@ -1,0 +1,199 @@
+// Package workload synthesizes branch traces that stand in for the paper's
+// proprietary inputs (SPEC simpoints and Samsung CBP-5 traces; see DESIGN.md
+// §3 for the substitution rationale). Each generator models a program-shaped
+// control-flow process — interpreter dispatch, virtual dispatch, switch
+// parsing, callback tables — parameterized by seed, so every trace is
+// deterministic and the full 88-workload suite mirrors Table 1's categories.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blbp/internal/trace"
+)
+
+// instructionSize matches the engine's convention: return address is call
+// PC + 4.
+const instructionSize = 4
+
+// emitter builds a trace while tracking straight-line instruction counts
+// and a call stack so call/return pairs stay balanced.
+type emitter struct {
+	tr      *trace.Trace
+	pending int64 // straight-line instructions since the last branch
+	instr   int64
+	limit   int64
+	stack   []uint64
+}
+
+func newEmitter(name string, limit int64) *emitter {
+	return &emitter{tr: &trace.Trace{Name: name}, limit: limit}
+}
+
+// done reports whether the instruction budget is exhausted.
+func (e *emitter) done() bool { return e.instr >= e.limit }
+
+// work accounts n straight-line (non-branch) instructions.
+func (e *emitter) work(n int) {
+	if n > 0 {
+		e.pending += int64(n)
+	}
+}
+
+func (e *emitter) emit(rec trace.Record) {
+	const maxPending = 1 << 20
+	for e.pending > maxPending {
+		// Extremely long straight-line runs are split across records via
+		// zero-cost filler conditional branches; in practice generators
+		// never get here, but the guard keeps InstrBefore in uint32 range.
+		e.pending -= maxPending
+		e.tr.Append(trace.Record{PC: rec.PC - 8, Target: rec.PC - 4, InstrBefore: maxPending, Type: trace.CondDirect})
+		e.instr += maxPending + 1
+	}
+	rec.InstrBefore = uint32(e.pending)
+	e.instr += e.pending + 1
+	e.pending = 0
+	e.tr.Append(rec)
+}
+
+// cond emits a conditional branch.
+func (e *emitter) cond(pc uint64, taken bool) {
+	target := pc + instructionSize
+	if taken {
+		target = pc + 0x20
+	}
+	e.emit(trace.Record{PC: pc, Target: target, Type: trace.CondDirect, Taken: taken})
+}
+
+// jump emits an unconditional direct jump.
+func (e *emitter) jump(pc, target uint64) {
+	e.emit(trace.Record{PC: pc, Target: target, Type: trace.UncondDirect, Taken: true})
+}
+
+// call emits a direct call and pushes the return address.
+func (e *emitter) call(pc, fn uint64) {
+	e.emit(trace.Record{PC: pc, Target: fn, Type: trace.DirectCall, Taken: true})
+	e.stack = append(e.stack, pc+instructionSize)
+}
+
+// icall emits an indirect call and pushes the return address.
+func (e *emitter) icall(pc, fn uint64) {
+	e.emit(trace.Record{PC: pc, Target: fn, Type: trace.IndirectCall, Taken: true})
+	e.stack = append(e.stack, pc+instructionSize)
+}
+
+// ijump emits an indirect jump.
+func (e *emitter) ijump(pc, target uint64) {
+	e.emit(trace.Record{PC: pc, Target: target, Type: trace.IndirectJump, Taken: true})
+}
+
+// ret emits a return to the matching call site. It panics on an unbalanced
+// stack, which is a generator bug.
+func (e *emitter) ret(pc uint64) {
+	if len(e.stack) == 0 {
+		panic("workload: return without matching call")
+	}
+	target := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	e.emit(trace.Record{PC: pc, Target: target, Type: trace.Return, Taken: true})
+}
+
+// model is one program-shaped control-flow process; step emits one logical
+// iteration (a dispatch, an object visit, a parsed token, ...).
+type model interface {
+	step(e *emitter, rng *rand.Rand)
+}
+
+// innerLoop emits a counted inner loop: trips taken back-edges plus the
+// final not-taken exit, with workPer straight-line instructions per
+// iteration. These predictable conditionals provide the conditional-branch
+// bulk real traces have (the paper's Fig. 1 mix) and space indirect
+// branches apart.
+func innerLoop(e *emitter, pc uint64, trips, workPer int) {
+	for t := 0; t < trips; t++ {
+		e.work(workPer)
+		e.cond(pc, true)
+	}
+	e.work(workPer)
+	e.cond(pc, false)
+}
+
+// Spec names one fully-parameterized workload of the suite.
+type Spec struct {
+	// Name is the unique workload name (e.g. "mobile-s-07").
+	Name string
+	// Category mirrors Table 1's benchmark sources.
+	Category string
+	// Seed drives all generator randomness.
+	Seed int64
+	// Instructions is the trace length.
+	Instructions int64
+	// Build constructs the workload's models.
+	build func(rng *rand.Rand) model
+}
+
+// Build synthesizes the trace for the spec.
+func (s Spec) Build() *trace.Trace {
+	if s.build == nil {
+		panic(fmt.Sprintf("workload: spec %q has no generator", s.Name))
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	m := s.build(rng)
+	e := newEmitter(s.Name, s.Instructions)
+	for !e.done() {
+		m.step(e, rng)
+	}
+	// Unwind any live call stack so traces end balanced.
+	for i := len(e.stack); i > 0; i-- {
+		e.ret(0x3FF000 + uint64(i)*instructionSize)
+	}
+	return e.tr
+}
+
+// funcAddr returns the synthetic address of function index i in bank b.
+// Banks keep the address spaces of independent models disjoint. The 0x48
+// stride makes low-order target bits (including bit 3, which BLBP's local
+// histories record) vary across functions, as real code layouts do — a
+// uniform power-of-two stride would freeze those bits artificially.
+func funcAddr(bank, i int) uint64 {
+	return 0x40_0000 + uint64(bank)<<24 + uint64(i)*0x48
+}
+
+// zipfTable builds a cumulative distribution over n items with a Zipf-like
+// skew (item 0 hottest); draw with drawCDF.
+func zipfTable(n int, skew float64) []float64 {
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		w := 1.0
+		for s := skew; s >= 1; s-- {
+			w /= float64(i + 1)
+		}
+		if frac := skew - float64(int(skew)); frac > 0 {
+			// Linear interpolation of the fractional exponent keeps the
+			// table cheap without math.Pow in the loop.
+			w *= 1 - frac + frac/float64(i+1)
+		}
+		weights[i] = w
+		total += w
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1
+	return cdf
+}
+
+func drawCDF(cdf []float64, rng *rand.Rand) int {
+	x := rng.Float64()
+	for i, c := range cdf {
+		if x <= c {
+			return i
+		}
+	}
+	return len(cdf) - 1
+}

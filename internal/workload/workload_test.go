@@ -1,0 +1,374 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"blbp/internal/trace"
+)
+
+func TestSuiteHas88Workloads(t *testing.T) {
+	suite := Suite(10_000)
+	if len(suite) != 88 {
+		t.Fatalf("suite has %d workloads, want 88", len(suite))
+	}
+	counts := map[string]int{}
+	names := map[string]bool{}
+	for _, s := range suite {
+		counts[s.Category]++
+		if names[s.Name] {
+			t.Errorf("duplicate workload name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	want := map[string]int{
+		CatSPEC2000:    1,
+		CatSPEC2006:    12,
+		CatSPEC2017:    7,
+		CatMobileShort: 24,
+		CatMobileLong:  12,
+		CatServerShort: 20,
+		CatServerLong:  12,
+	}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("category %q has %d workloads, want %d", cat, counts[cat], n)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s := Suite(5_000)[0]
+	a := s.Build()
+	b := s.Build()
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildReachesInstructionBudget(t *testing.T) {
+	for _, s := range []Spec{
+		InterpreterSpec("t-i", "T", 20_000, InterpreterParams{Opcodes: 8, ProgramLen: 40, Work: 5, CondPerHandler: 1}),
+		SwitcherSpec("t-s", "T", 20_000, SwitcherParams{Tokens: 8, CaseWork: 5, CaseConds: 1}),
+		VDispatchSpec("t-v", "T", 20_000, VDispatchParams{Classes: 3, Sites: 2, Objects: 16, MethodWork: 5, MethodConds: 1}),
+		CallbacksSpec("t-c", "T", 20_000, CallbacksParams{Events: 4, Skew: 1.2, Wrappers: 2, HandlerWork: 5, HandlerConds: 1}),
+		MonoSpec("t-m", "T", 20_000, MonoParams{Sites: 32, Work: 5}),
+	} {
+		tr := s.Build()
+		got := tr.Instructions()
+		if got < 20_000 || got > 21_000 {
+			t.Errorf("%s: instructions = %d, want ~20000", s.Name, got)
+		}
+		if len(tr.Records) == 0 {
+			t.Errorf("%s: empty trace", s.Name)
+		}
+	}
+}
+
+func TestTracesAreValid(t *testing.T) {
+	for _, s := range Suite(5_000)[:10] {
+		tr := s.Build()
+		for i, r := range tr.Records {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("%s record %d: %v", s.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestCallReturnBalance(t *testing.T) {
+	// Every return must target the instruction after some prior call, and
+	// the stack never underflows (Build would panic otherwise). Verify by
+	// replaying with a stack.
+	s := VDispatchSpec("bal", "T", 30_000, VDispatchParams{
+		Classes: 4, Sites: 3, Objects: 32, AlternatingSites: 2,
+		MethodWork: 6, MethodConds: 2,
+	})
+	tr := s.Build()
+	var stack []uint64
+	returns := 0
+	for i, r := range tr.Records {
+		switch r.Type {
+		case trace.DirectCall, trace.IndirectCall:
+			stack = append(stack, r.PC+4)
+		case trace.Return:
+			if len(stack) == 0 {
+				t.Fatalf("record %d: return with empty stack", i)
+			}
+			want := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if r.Target != want {
+				t.Fatalf("record %d: return to %#x, want %#x", i, r.Target, want)
+			}
+			returns++
+		}
+	}
+	if returns == 0 {
+		t.Error("no returns in a vdispatch trace")
+	}
+}
+
+func TestMobileTracesAreIndirectRich(t *testing.T) {
+	suite := Suite(30_000)
+	var mobile, server *trace.Stats
+	for _, s := range suite {
+		if s.Name == "long-mobile-08" {
+			mobile = trace.Analyze(s.Build())
+		}
+		if s.Name == "403.gcc-1" {
+			server = trace.Analyze(s.Build())
+		}
+	}
+	if mobile == nil || server == nil {
+		t.Fatal("expected workloads not found")
+	}
+	// The LONG-MOBILE-8 analog has more indirect branches than conditionals.
+	if mobile.IndirectCount() <= mobile.Count[trace.CondDirect] {
+		t.Errorf("long-mobile-08: indirect=%d <= cond=%d, want indirect-dominated",
+			mobile.IndirectCount(), mobile.Count[trace.CondDirect])
+	}
+	// A gcc-like trace is conditional-dominated.
+	if server.IndirectCount() >= server.Count[trace.CondDirect] {
+		t.Errorf("403.gcc-1: indirect=%d >= cond=%d, want conditional-dominated",
+			server.IndirectCount(), server.Count[trace.CondDirect])
+	}
+}
+
+func TestPolymorphismVaries(t *testing.T) {
+	suite := Suite(30_000)
+	minPoly, maxPoly := 2.0, -1.0
+	for _, s := range suite[:30] {
+		st := trace.Analyze(s.Build())
+		p := st.PolymorphicFraction()
+		if p < minPoly {
+			minPoly = p
+		}
+		if p > maxPoly {
+			maxPoly = p
+		}
+	}
+	if maxPoly-minPoly < 0.3 {
+		t.Errorf("polymorphism range [%.2f, %.2f] too narrow; want diverse suite", minPoly, maxPoly)
+	}
+}
+
+func TestSuiteHoldoutDisjointNames(t *testing.T) {
+	main := Suite(1_000)
+	hold := SuiteHoldout(1_000)
+	if len(hold) != 12 {
+		t.Fatalf("holdout has %d workloads, want 12", len(hold))
+	}
+	names := map[string]bool{}
+	for _, s := range main {
+		names[s.Name] = true
+	}
+	for _, s := range hold {
+		if names[s.Name] {
+			t.Errorf("holdout workload %q collides with main suite", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	suite := Suite(1_000)
+	s, ok := ByName("252.eon", suite)
+	if !ok || s.Name != "252.eon" {
+		t.Error("ByName failed to find 252.eon")
+	}
+	if _, ok := ByName("no-such-workload", suite); ok {
+		t.Error("ByName found a nonexistent workload")
+	}
+}
+
+func TestZipfTable(t *testing.T) {
+	cdf := zipfTable(8, 1.2)
+	if len(cdf) != 8 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("cdf not monotone")
+		}
+	}
+	if cdf[7] != 1 {
+		t.Errorf("cdf[last] = %v, want 1", cdf[7])
+	}
+	// Head must be the hottest item.
+	if cdf[0] < 1.0/8 {
+		t.Errorf("cdf[0] = %v; Zipf head should exceed uniform share", cdf[0])
+	}
+}
+
+func TestDefaultBaseApplied(t *testing.T) {
+	suite := Suite(0)
+	if suite[0].Instructions <= 0 {
+		t.Error("zero base did not apply a default")
+	}
+}
+
+func TestSpecWithoutGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build on generator-less spec did not panic")
+		}
+	}()
+	Spec{Name: "empty"}.Build()
+}
+
+func TestRecursiveBalancedAndDeep(t *testing.T) {
+	s := RecursiveSpec("rec", "T", 60_000, RecursiveParams{
+		MaxDepth: 90, MinDepth: 10, VisitorClasses: 3, Work: 8,
+	})
+	tr := s.Build()
+	var stack []uint64
+	maxDepth := 0
+	for i, r := range tr.Records {
+		switch r.Type {
+		case trace.DirectCall, trace.IndirectCall:
+			stack = append(stack, r.PC+4)
+			if len(stack) > maxDepth {
+				maxDepth = len(stack)
+			}
+		case trace.Return:
+			if len(stack) == 0 {
+				t.Fatalf("record %d: unmatched return", i)
+			}
+			if r.Target != stack[len(stack)-1] {
+				t.Fatalf("record %d: return target mismatch", i)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if maxDepth <= 64 {
+		t.Errorf("max call depth %d, want > 64 to overflow the RAS", maxDepth)
+	}
+	st := trace.Analyze(tr)
+	if st.Count[trace.Return] == 0 || st.IndirectCount() == 0 {
+		t.Error("recursive trace missing returns or indirect calls")
+	}
+}
+
+func TestRecursiveRASOverflowMispredicts(t *testing.T) {
+	// Sanity at the trace level: depths beyond 64 guarantee that a
+	// 64-entry RAS replayed over this trace would mispredict some returns.
+	s := RecursiveSpec("rec2", "T", 60_000, RecursiveParams{
+		MaxDepth: 100, MinDepth: 80, Work: 6,
+	})
+	tr := s.Build()
+	// Emulate a bounded circular RAS.
+	const cap = 64
+	ras := make([]uint64, 0, cap)
+	mispredicts := 0
+	for _, r := range tr.Records {
+		switch r.Type {
+		case trace.DirectCall, trace.IndirectCall:
+			if len(ras) == cap {
+				ras = ras[1:]
+			}
+			ras = append(ras, r.PC+4)
+		case trace.Return:
+			if len(ras) == 0 {
+				mispredicts++
+				continue
+			}
+			top := ras[len(ras)-1]
+			ras = ras[:len(ras)-1]
+			if top != r.Target {
+				mispredicts++
+			}
+		}
+	}
+	if mispredicts == 0 {
+		t.Error("expected RAS overflow mispredictions at depth 80-100")
+	}
+}
+
+func TestRecursiveConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid recursive params accepted")
+		}
+	}()
+	RecursiveSpec("bad", "T", 1000, RecursiveParams{MaxDepth: 5, MinDepth: 10}).Build()
+}
+
+func TestMixedConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name    string
+		models  []model
+		weights []int
+	}{
+		{"empty", nil, nil},
+		{"mismatched", []model{&monoModel{}}, []int{1, 2}},
+		{"zero weight", []model{&monoModel{}}, []int{0}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			newMixed(c.models, c.weights, false)
+		}()
+	}
+}
+
+func TestMixedRoundRobinFollowsWeights(t *testing.T) {
+	// A 2:1 round-robin over two mono models must interleave their PCs in
+	// bursts of 2 and 1.
+	rng := rand.New(rand.NewSource(1))
+	a := newMono(MonoParams{Sites: 1, Work: 1, Bank: 0}, rng)
+	b := newMono(MonoParams{Sites: 1, Work: 1, Bank: 1}, rng)
+	m := newMixed([]model{a, b}, []int{2, 1}, false)
+	e := newEmitter("rr", 10_000)
+	banks := []int{}
+	for i := 0; i < 9; i++ {
+		before := len(e.tr.Records)
+		m.step(e, rng)
+		// Identify which bank emitted by inspecting the new records' PCs.
+		for _, r := range e.tr.Records[before:] {
+			if r.Type == trace.IndirectCall {
+				bank := 0
+				if r.PC >= 0x40_0000+1<<24 {
+					bank = 1
+				}
+				banks = append(banks, bank)
+				break
+			}
+		}
+	}
+	want := []int{0, 0, 1, 0, 0, 1, 0, 0, 1}
+	for i := range want {
+		if banks[i] != want[i] {
+			t.Fatalf("burst pattern = %v, want %v", banks, want)
+		}
+	}
+}
+
+func TestMixedRandomModeDeterministicPerSeed(t *testing.T) {
+	build := func() *trace.Trace {
+		return mixedSpec("mix-rand", "T", 20_000, true,
+			mixedPart{func(rng *rand.Rand) model {
+				return newMono(MonoParams{Sites: 4, Work: 5, Bank: 0}, rng)
+			}, 1},
+			mixedPart{func(rng *rand.Rand) model {
+				return newMono(MonoParams{Sites: 4, Work: 5, Bank: 1}, rng)
+			}, 3},
+		).Build()
+	}
+	a, b := build(), build()
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
