@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test ci bench micro results
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full CI gate: vet + build + race-enabled tests + gofmt check.
+ci:
+	sh scripts/ci.sh
+
+# Throughput report: writes BENCH_1.json (see ROADMAP.md for the BENCH_*
+# convention) and prints the headline numbers.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_1.json
+
+# Fine-grained predictor microbenchmarks with allocation stats.
+micro:
+	$(GO) test -run xxx -bench 'BenchmarkPredict$$|BenchmarkPredictUpdate|BenchmarkOnCond' -benchmem ./internal/core/
+	$(GO) test -run xxx -bench 'BenchmarkFolded|BenchmarkFoldFromScratch' -benchmem ./internal/history/
+	$(GO) test -run xxx -bench 'Throughput|EndToEnd' -benchmem .
+
+# Regenerate the committed results (full-scale instruction base).
+results:
+	$(GO) run ./cmd/experiments -base 600000 -csv results all

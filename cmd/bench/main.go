@@ -1,0 +1,215 @@
+// Command bench measures simulation throughput — the branches and
+// instructions the engine pushes through per second — and writes the
+// numbers to a JSON report (BENCH_<n>.json by convention; see ROADMAP.md).
+// It complements `go test -bench`: the testing benchmarks give fine-grained
+// ns/op under the benchmark framework, while this command records the
+// headline throughput figures in a machine-readable file that can be
+// committed next to the results they contextualize.
+//
+// Usage:
+//
+//	bench [-out BENCH_1.json] [-base 60000] [-reps 3]
+//
+// -base sets the per-workload instruction budget for the suite wall-clock
+// measurement (the full-scale experiment runs use 400k+; the default keeps
+// the tool interactive). -reps controls how many times each measurement is
+// repeated; the fastest repetition is reported, minimizing scheduler noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"blbp"
+)
+
+// Report is the serialized benchmark result.
+type Report struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Base      int64   `json:"suite_instr_base"`
+	Reps      int     `json:"reps"`
+	Results   []Entry `json:"results"`
+}
+
+// Entry is one measured configuration.
+type Entry struct {
+	Name string `json:"name"`
+	// Events is what was pushed through: branches for predictor
+	// microbenchmarks, instructions for engine measurements.
+	Events int64 `json:"events"`
+	// Unit names the event kind.
+	Unit      string  `json:"unit"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"per_second"`
+}
+
+// microTrace builds the moderately polymorphic virtual-dispatch trace the
+// predictor microbenchmarks replay (mirrors the root bench_test.go
+// workload).
+func microTrace() *blbp.Trace {
+	spec := blbp.NewVDispatchWorkload("micro", "bench", 200_000, blbp.VDispatchParams{
+		Classes: 6, Sites: 4, Objects: 32, MethodWork: 40, MethodConds: 2,
+		MonoCalls: 1, MonoSites: 20,
+	})
+	return spec.Build()
+}
+
+// fastest runs f reps times and returns the smallest elapsed duration.
+func fastest(reps int, f func()) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// measurePredictor replays the trace through a fresh predictor, driving the
+// engine contract by hand, and returns branches per second.
+func measurePredictor(name string, tr *blbp.Trace, reps int, mk func() blbp.IndirectPredictor) Entry {
+	d := fastest(reps, func() {
+		p := mk()
+		for ri := range tr.Records {
+			r := &tr.Records[ri]
+			switch {
+			case r.Type == blbp.CondDirect:
+				p.OnCond(r.PC, r.Taken)
+			case r.Type.IsIndirect():
+				p.Predict(r.PC)
+				p.Update(r.PC, r.Target)
+			default:
+				p.OnOther(r.PC, r.Target, r.Type)
+			}
+		}
+	})
+	n := int64(len(tr.Records))
+	return Entry{
+		Name: name, Events: n, Unit: "branches",
+		Seconds: d.Seconds(), PerSecond: float64(n) / d.Seconds(),
+	}
+}
+
+// measureEngine runs the full engine (hashed perceptron + RAS + BLBP) over
+// the trace and returns instructions per second.
+func measureEngine(tr *blbp.Trace, reps int) (Entry, error) {
+	var simErr error
+	d := fastest(reps, func() {
+		if _, err := blbp.Simulate(tr, blbp.NewBLBP(blbp.DefaultBLBPConfig())); err != nil {
+			simErr = err
+		}
+	})
+	if simErr != nil {
+		return Entry{}, simErr
+	}
+	instr := tr.Instructions()
+	return Entry{
+		Name: "engine_end_to_end", Events: instr, Unit: "instructions",
+		Seconds: d.Seconds(), PerSecond: float64(instr) / d.Seconds(),
+	}, nil
+}
+
+// measureSuite builds the full workload suite at the given base and
+// simulates BLBP and ITTAGE over every trace — the shape of one
+// cmd/experiments pass — returning instructions per second of suite
+// wall-clock.
+func measureSuite(base int64, reps int) (Entry, error) {
+	specs := blbp.Workloads(base)
+	traces := make([]*blbp.Trace, len(specs))
+	var instr int64
+	for i, s := range specs {
+		traces[i] = s.Build()
+		instr += traces[i].Instructions()
+	}
+	var simErr error
+	d := fastest(reps, func() {
+		for _, tr := range traces {
+			_, err := blbp.Simulate(tr,
+				blbp.NewBLBP(blbp.DefaultBLBPConfig()),
+				blbp.NewITTAGE(blbp.DefaultITTAGEConfig()))
+			if err != nil {
+				simErr = err
+				return
+			}
+		}
+	})
+	if simErr != nil {
+		return Entry{}, simErr
+	}
+	return Entry{
+		Name: "suite_pass", Events: instr, Unit: "instructions",
+		Seconds: d.Seconds(), PerSecond: float64(instr) / d.Seconds(),
+	}, nil
+}
+
+// run executes every measurement and assembles the report.
+func run(base int64, reps int) (*Report, error) {
+	rep := &Report{
+		Schema:    "blbp-bench-1",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Base:      base,
+		Reps:      reps,
+	}
+	tr := microTrace()
+	rep.Results = append(rep.Results,
+		measurePredictor("blbp_micro", tr, reps, func() blbp.IndirectPredictor {
+			return blbp.NewBLBP(blbp.DefaultBLBPConfig())
+		}),
+		measurePredictor("ittage_micro", tr, reps, func() blbp.IndirectPredictor {
+			return blbp.NewITTAGE(blbp.DefaultITTAGEConfig())
+		}),
+	)
+	engine, err := measureEngine(tr, reps)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, engine)
+	suite, err := measureSuite(base, reps)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, suite)
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	base := flag.Int64("base", 60_000, "per-workload instruction base for the suite pass")
+	reps := flag.Int("reps", 3, "repetitions per measurement (fastest wins)")
+	flag.Parse()
+	if *base <= 0 || *reps <= 0 {
+		fmt.Fprintln(os.Stderr, "bench: -base and -reps must be positive")
+		os.Exit(2)
+	}
+	rep, err := run(*base, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Results {
+		fmt.Printf("%-18s %12.0f %s/sec  (%d %s in %.3fs)\n",
+			e.Name, e.PerSecond, e.Unit, e.Events, e.Unit, e.Seconds)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestRunProducesCompleteReport runs the measurement pipeline at a tiny
+// instruction base and checks every entry is populated and positive.
+func TestRunProducesCompleteReport(t *testing.T) {
+	rep, err := run(2_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "blbp-bench-1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	want := map[string]bool{
+		"blbp_micro": false, "ittage_micro": false,
+		"engine_end_to_end": false, "suite_pass": false,
+	}
+	for _, e := range rep.Results {
+		if _, ok := want[e.Name]; !ok {
+			t.Errorf("unexpected entry %q", e.Name)
+			continue
+		}
+		want[e.Name] = true
+		if e.Events <= 0 || e.Seconds <= 0 || e.PerSecond <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", e.Name, e)
+		}
+		if e.Unit != "branches" && e.Unit != "instructions" {
+			t.Errorf("%s: unknown unit %q", e.Name, e.Unit)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing entry %q", name)
+		}
+	}
+}

@@ -156,7 +156,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		h.SpecShift(i%2 == 0)
 	}
-	h.HistRestore(snap)
+	h.HistRestore(&snap)
 	after := h.Predict(0x999)
 	if before != after {
 		t.Error("prediction changed across snapshot/restore round trip")

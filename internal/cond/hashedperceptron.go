@@ -118,14 +118,15 @@ func (c HPConfig) validate() error {
 // (SpecShift, HistSnapshot/HistRestore) that the VPC predictor needs to walk
 // virtual PCs.
 type HashedPerceptron struct {
-	cfg     HPConfig
-	weights [][]int8 // one table per feature
-	ghist   *history.Global
-	local   *history.Local
-	path    *history.Path
-	theta   *threshold.Adaptive
-	wMin    int8
-	wMax    int8
+	cfg      HPConfig
+	weights  [][]int8 // one table per feature
+	ghist    *history.FoldedSet
+	featFold []history.FoldID // registered fold per FeatureGlobal feature (else -1)
+	local    *history.Local
+	path     *history.Path
+	theta    *threshold.Adaptive
+	wMin     int8
+	wMax     int8
 
 	scratch []int // per-feature indices, reused between Predict and Train
 	lastPC  uint64
@@ -143,16 +144,25 @@ func NewHashedPerceptron(cfg HPConfig) *HashedPerceptron {
 		w[i] = make([]int8, cfg.TableEntries)
 	}
 	maxW := int8(1<<uint(cfg.WeightBits-1) - 1)
+	ghist := history.NewFoldedSet(cfg.HistBits)
+	featFold := make([]history.FoldID, len(cfg.Features))
+	for i, f := range cfg.Features {
+		featFold[i] = -1
+		if f.Kind == FeatureGlobal {
+			featFold[i] = ghist.Register(f.Lo, f.Hi, 22)
+		}
+	}
 	return &HashedPerceptron{
-		cfg:     cfg,
-		weights: w,
-		ghist:   history.NewGlobal(cfg.HistBits),
-		local:   history.NewLocal(cfg.LocalEntries, cfg.LocalBits),
-		path:    history.NewPath(cfg.PathDepth),
-		theta:   threshold.New(cfg.ThetaInit, 16, 1, 1024),
-		wMin:    -maxW - 1,
-		wMax:    maxW,
-		scratch: make([]int, len(cfg.Features)),
+		cfg:      cfg,
+		weights:  w,
+		ghist:    ghist,
+		featFold: featFold,
+		local:    history.NewLocal(cfg.LocalEntries, cfg.LocalBits),
+		path:     history.NewPath(cfg.PathDepth),
+		theta:    threshold.New(cfg.ThetaInit, 16, 1, 1024),
+		wMin:     -maxW - 1,
+		wMax:     maxW,
+		scratch:  make([]int, len(cfg.Features)),
 	}
 }
 
@@ -168,7 +178,7 @@ func (h *HashedPerceptron) featureIndex(fi int, pc uint64) int {
 	case FeatureBias:
 		mix = pcH
 	case FeatureGlobal:
-		fold := h.ghist.Fold(f.Lo, f.Hi, 22)
+		fold := h.ghist.Value(h.featFold[fi])
 		mix = hashing.Combine(pcH, fold)
 	case FeaturePath:
 		mix = hashing.Combine(pcH, h.path.Hash(f.Depth))
@@ -266,11 +276,19 @@ func (h *HashedPerceptron) SpecShift(taken bool) {
 	h.lastOK = false
 }
 
-// HistSnapshot captures global-history state for later rollback.
-func (h *HashedPerceptron) HistSnapshot() history.GlobalSnapshot { return h.ghist.Snapshot() }
+// HistSnapshot captures global-history state (including the incrementally
+// maintained folds) for later rollback.
+func (h *HashedPerceptron) HistSnapshot() history.FoldedSnapshot { return h.ghist.Snapshot() }
+
+// HistSnapshotInto captures global-history state into a caller-owned
+// snapshot, reusing its storage; VPC snapshots once per prediction, making
+// this the allocation-free hot variant.
+func (h *HashedPerceptron) HistSnapshotInto(dst *history.FoldedSnapshot) {
+	h.ghist.SnapshotInto(dst)
+}
 
 // HistRestore rolls global history back to a snapshot.
-func (h *HashedPerceptron) HistRestore(s history.GlobalSnapshot) {
+func (h *HashedPerceptron) HistRestore(s *history.FoldedSnapshot) {
 	h.ghist.Restore(s)
 	h.lastOK = false
 }

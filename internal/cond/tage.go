@@ -51,13 +51,15 @@ type tageEntry struct {
 
 // TAGE is the conditional direction predictor.
 type TAGE struct {
-	cfg     TAGEConfig
-	lens    []int
-	tagBits []int
-	tables  [][]tageEntry
-	base    []counter2
-	ghist   *history.Global
-	phist   uint64
+	cfg      TAGEConfig
+	lens     []int
+	tagBits  []int
+	tables   [][]tageEntry
+	base     []counter2
+	ghist    *history.FoldedSet
+	idxFolds []history.FoldID // per-table index fold over [0, lens[i]-1]
+	tagFolds []history.FoldID // per-table tag fold over the same interval
+	phist    uint64
 
 	useAltOnNA int8
 
@@ -106,6 +108,9 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	lens[cfg.Tables-1] = cfg.MaxHist
 	tables := make([][]tageEntry, cfg.Tables)
 	tagBits := make([]int, cfg.Tables)
+	ghist := history.NewFoldedSet(cfg.HistBits)
+	idxFolds := make([]history.FoldID, cfg.Tables)
+	tagFolds := make([]history.FoldID, cfg.Tables)
 	for i := range tables {
 		tables[i] = make([]tageEntry, cfg.TableEntries)
 		tb := cfg.TagBitsMin + i/2
@@ -113,19 +118,23 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 			tb = 15
 		}
 		tagBits[i] = tb
+		idxFolds[i] = ghist.Register(0, lens[i]-1, 22)
+		tagFolds[i] = ghist.Register(0, lens[i]-1, 17)
 	}
 	base := make([]counter2, cfg.BaseEntries)
 	for i := range base {
 		base[i] = 1
 	}
 	return &TAGE{
-		cfg:     cfg,
-		lens:    lens,
-		tagBits: tagBits,
-		tables:  tables,
-		base:    base,
-		ghist:   history.NewGlobal(cfg.HistBits),
-		rng:     0x853c49e6748fea9b,
+		cfg:      cfg,
+		lens:     lens,
+		tagBits:  tagBits,
+		tables:   tables,
+		base:     base,
+		ghist:    ghist,
+		idxFolds: idxFolds,
+		tagFolds: tagFolds,
+		rng:      0x853c49e6748fea9b,
 	}
 }
 
@@ -140,13 +149,13 @@ func (t *TAGE) nextRand() uint64 {
 }
 
 func (t *TAGE) tableIndex(i int, pc uint64) int {
-	fold := t.ghist.Fold(0, t.lens[i]-1, 22)
+	fold := t.ghist.Value(t.idxFolds[i])
 	h := hashing.Combine(hashing.Mix64(pc)+uint64(i)<<48, fold^t.phist)
 	return hashing.Index(h, t.cfg.TableEntries)
 }
 
 func (t *TAGE) tableTag(i int, pc uint64) uint64 {
-	fold := t.ghist.Fold(0, t.lens[i]-1, 17)
+	fold := t.ghist.Value(t.tagFolds[i])
 	h := hashing.Combine(hashing.Mix64(pc)*3+uint64(i)<<40, fold*7+t.phist)
 	return hashing.Tag(h, t.tagBits[i])
 }

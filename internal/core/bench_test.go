@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchStream builds a steady-state BLBP over a polymorphic indirect
+// workload — a handful of dispatch sites, each with a skewed target set,
+// interleaved with conditional history traffic — and returns the trained
+// predictor plus the event stream to replay. Only the stable public API
+// (New, Predict, Update, OnCond) is exercised, so the same benchmark
+// measures any revision of the predictor core.
+type benchEvent struct {
+	pc     uint64
+	target uint64
+	cond   bool // conditional outcome event rather than an indirect branch
+	taken  bool
+}
+
+func benchStream(n int) (*BLBP, []benchEvent) {
+	rng := rand.New(rand.NewSource(1234))
+	sites := make([]struct {
+		pc      uint64
+		targets []uint64
+	}, 8)
+	for i := range sites {
+		sites[i].pc = 0x400000 + uint64(i)*0x224
+		k := 2 + rng.Intn(14)
+		sites[i].targets = make([]uint64, k)
+		for j := range sites[i].targets {
+			sites[i].targets[j] = 0x500000 + uint64(rng.Intn(1<<16))*4
+		}
+	}
+	events := make([]benchEvent, n)
+	for i := range events {
+		if rng.Intn(4) != 0 { // 3:1 conditional-to-indirect mix
+			events[i] = benchEvent{
+				pc:    0x600000 + uint64(rng.Intn(64))*4,
+				cond:  true,
+				taken: rng.Intn(3) != 0,
+			}
+			continue
+		}
+		s := &sites[rng.Intn(len(sites))]
+		events[i] = benchEvent{
+			pc:     s.pc,
+			target: s.targets[rng.Intn(len(s.targets))],
+		}
+	}
+	p := New(DefaultConfig())
+	// Warm to steady state: tables populated, weights trained.
+	for _, e := range events {
+		if e.cond {
+			p.OnCond(e.pc, e.taken)
+			continue
+		}
+		p.Predict(e.pc)
+		p.Update(e.pc, e.target)
+	}
+	return p, events
+}
+
+// BenchmarkPredict measures steady-state prediction cost alone: the
+// candidate lookup, per-interval folded-history table reads, weight
+// summation, suppression masking, and similarity scan.
+func BenchmarkPredict(b *testing.B) {
+	p, events := benchStream(4096)
+	indirect := make([]benchEvent, 0, len(events))
+	for _, e := range events {
+		if !e.cond {
+			indirect = append(indirect, e)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := indirect[i%len(indirect)]
+		p.Predict(e.pc)
+	}
+}
+
+// BenchmarkPredictUpdate measures the full engine contract per indirect
+// branch: Predict followed by Update with the actual target.
+func BenchmarkPredictUpdate(b *testing.B) {
+	p, events := benchStream(4096)
+	indirect := make([]benchEvent, 0, len(events))
+	for _, e := range events {
+		if !e.cond {
+			indirect = append(indirect, e)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := indirect[i%len(indirect)]
+		p.Predict(e.pc)
+		p.Update(e.pc, e.target)
+	}
+}
+
+// BenchmarkOnCond measures the conditional-outcome history shift — the
+// predictor's most frequent event (every conditional branch in the stream).
+func BenchmarkOnCond(b *testing.B) {
+	p, _ := benchStream(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OnCond(0x600000+uint64(i&63)*4, i&3 != 0)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	mathbits "math/bits"
+
 	"blbp/internal/hashing"
 	"blbp/internal/history"
 	"blbp/internal/ibtb"
@@ -16,27 +18,42 @@ import (
 type BLBP struct {
 	cfg Config
 
-	// weights[i] is sub-predictor i's table, laid out row-major:
-	// weights[i][row*K+k] is the weight for target bit k.
-	weights [][]int8
-	wMax    int8
+	// weights holds every sub-predictor table flattened into one contiguous
+	// array: sub-predictor i's row r spans
+	// weights[i*tableStride+r*K : i*tableStride+r*K+K], one weight per
+	// predicted target bit. The flat layout keeps the whole prediction
+	// working set in one allocation and lets Predict and Update share
+	// precomputed absolute row offsets.
+	weights     []int8
+	tableStride int // TableEntries * K
+	wMax        int8
 
 	transfer []int // transfer-function lookup, indexed by weight - wMin
 
-	buffer ibtb.Buffer
-	ghist  *history.Global
-	local  *history.Local
-	thetas []*threshold.Adaptive
+	// tweights caches transfer[weight-wMin] for every weight, maintained at
+	// weight-write time. Prediction sums all SubPredictors()*K transferred
+	// weights on every call, while training changes only the few gated by
+	// the adaptive thresholds — moving the table lookup to the write side
+	// keeps the per-prediction inner loop to a load and an add.
+	tweights []int8
+
+	buffer     ibtb.Buffer
+	ghist      *history.FoldedSet
+	ghistFolds []history.FoldID // one registered fold per interval table
+	local      *history.Local
+	thetas     []*threshold.Adaptive
 
 	// Prediction-time state cached for the matching Update call.
 	lastPC        uint64
 	lastOK        bool
-	rows          []int  // row index per sub-predictor
-	yout          []int  // per-bit summed confidence
-	suppress      []bool // per-bit selective-training mask
+	rowOff        []int   // absolute weight offset of each sub-predictor's active row
+	yout          [64]int // per-bit summed confidence (first K entries live)
+	suppressMask  uint64  // bit k set = selective training suppresses bit k
+	kMask         uint64  // low K bits
 	hadCandidates bool
 
-	candBuf []uint64
+	candBuf  []uint64
+	candBits []uint64 // candidate targets pre-shifted by BitOffset
 
 	// Diagnostics.
 	predictions int64
@@ -53,10 +70,7 @@ func New(cfg Config) *BLBP {
 		panic(err)
 	}
 	n := cfg.SubPredictors()
-	weights := make([][]int8, n)
-	for i := range weights {
-		weights[i] = make([]int8, cfg.TableEntries*cfg.K)
-	}
+	stride := cfg.TableEntries * cfg.K
 	maxW := int8(1<<uint(cfg.WeightBits-1) - 1)
 	thetas := make([]*threshold.Adaptive, cfg.K)
 	maxYout := n * 18 // transfer function tops out at 18 per table
@@ -72,21 +86,39 @@ func New(cfg Config) *BLBP {
 		buffer = ibtb.New(cfg.IBTB)
 		candCap = cfg.IBTB.Assoc
 	}
-	return &BLBP{
-		cfg:      cfg,
-		weights:  weights,
-		wMax:     maxW,
-		transfer: buildTransferTable(cfg.WeightBits, cfg.UseTransfer),
-		buffer:   buffer,
-		ghist:    history.NewGlobal(cfg.HistBits),
-		local:    history.NewLocal(cfg.LocalEntries, cfg.LocalBits),
-		thetas:   thetas,
-		rows:     make([]int, n),
-		yout:     make([]int, cfg.K),
-		suppress: make([]bool, cfg.K),
-		candBuf:  make([]uint64, 0, candCap),
-		candHist: make([]int64, candCap+1),
+	ghist := history.NewFoldedSet(cfg.HistBits)
+	folds := make([]history.FoldID, len(cfg.Intervals))
+	for i := range folds {
+		lo, hi := cfg.interval(i)
+		folds[i] = ghist.Register(lo, hi, 22)
 	}
+	return &BLBP{
+		cfg:         cfg,
+		weights:     make([]int8, n*stride),
+		tweights:    make([]int8, n*stride), // transfer(0) == 0 for every table
+		tableStride: stride,
+		wMax:        maxW,
+		transfer:    buildTransferTable(cfg.WeightBits, cfg.UseTransfer),
+		buffer:      buffer,
+		ghist:       ghist,
+		ghistFolds:  folds,
+		local:       history.NewLocal(cfg.LocalEntries, cfg.LocalBits),
+		thetas:      thetas,
+		rowOff:      make([]int, n),
+		kMask:       uint64(1)<<uint(cfg.K) - 1,
+		candBuf:     make([]uint64, 0, candCap),
+		candBits:    make([]uint64, 0, candCap),
+		candHist:    make([]int64, candCap+1),
+	}
+}
+
+// interval returns the global-history interval indexing sub-predictor i+1
+// under the configuration's UseIntervals setting.
+func (c *Config) interval(i int) (lo, hi int) {
+	if c.UseIntervals {
+		return c.Intervals[i].Lo, c.Intervals[i].Hi
+	}
+	return 0, c.GEHLLengths[i] - 1
 }
 
 // Name implements predictor.Indirect.
@@ -95,39 +127,37 @@ func (p *BLBP) Name() string { return "blbp" }
 // Config returns the configuration the predictor was built with.
 func (p *BLBP) Config() Config { return p.cfg }
 
-// computeRows fills p.rows with each sub-predictor's table row for pc under
-// the current history state.
+// computeRows fills p.rowOff with each sub-predictor's active-row weight
+// offset for pc under the current history state. The history folds are read
+// from the incrementally maintained FoldedSet instead of being recomputed
+// from the raw history bits.
 func (p *BLBP) computeRows(pc uint64) {
 	pcH := hashing.Mix64(pc)
 	if p.cfg.UseLocal {
-		p.rows[0] = hashing.Index(hashing.Combine(pcH, p.local.Get(pc)), p.cfg.TableEntries)
+		p.rowOff[0] = hashing.Index(hashing.Combine(pcH, p.local.Get(pc)), p.cfg.TableEntries) * p.cfg.K
 	} else {
-		p.rows[0] = hashing.Index(pcH, p.cfg.TableEntries)
+		p.rowOff[0] = hashing.Index(pcH, p.cfg.TableEntries) * p.cfg.K
 	}
-	for i := range p.cfg.Intervals {
-		var lo, hi int
-		if p.cfg.UseIntervals {
-			lo, hi = p.cfg.Intervals[i].Lo, p.cfg.Intervals[i].Hi
-		} else {
-			lo, hi = 0, p.cfg.GEHLLengths[i]-1
-		}
-		fold := p.ghist.Fold(lo, hi, 22)
-		p.rows[i+1] = hashing.Index(hashing.Combine(pcH+uint64(i+1), fold), p.cfg.TableEntries)
+	for i, id := range p.ghistFolds {
+		fold := p.ghist.Value(id)
+		row := hashing.Index(hashing.Combine(pcH+uint64(i+1), fold), p.cfg.TableEntries)
+		p.rowOff[i+1] = (i+1)*p.tableStride + row*p.cfg.K
 	}
 }
 
 // computeYout aggregates the per-bit confidences across sub-predictors
-// (Algorithm 1's inner loops), applying the transfer function.
+// (Algorithm 1's inner loops). The transfer function is already applied in
+// p.tweights, so each sub-predictor row contributes a load and an add per
+// bit.
 func (p *BLBP) computeYout() {
-	wMin := int(-p.wMax)
-	for k := range p.yout {
-		p.yout[k] = 0
+	yout := p.yout[:p.cfg.K]
+	for k := range yout {
+		yout[k] = 0
 	}
-	for i, table := range p.weights {
-		base := p.rows[i] * p.cfg.K
-		row := table[base : base+p.cfg.K]
+	for _, base := range p.rowOff {
+		row := p.tweights[base : base+len(yout)]
 		for k, w := range row {
-			p.yout[k] += p.transfer[int(w)-wMin]
+			yout[k] += int(w)
 		}
 	}
 }
@@ -136,64 +166,71 @@ func (p *BLBP) computeYout() {
 // when every candidate agrees on it (paper §3.6, "Selective Bit Training").
 // The mask only applies once the branch has at least two known targets:
 // suppressing a singleton set entirely would leave the weights blank for
-// the moment the branch turns polymorphic.
-func (p *BLBP) computeSuppress(candidates []uint64) {
-	if !p.cfg.UseSelective || len(candidates) < 2 {
-		for k := range p.suppress {
-			p.suppress[k] = false
-		}
+// the moment the branch turns polymorphic. candBits are the candidates
+// already shifted down by BitOffset.
+func (p *BLBP) computeSuppress(candBits []uint64) {
+	if !p.cfg.UseSelective || len(candBits) < 2 {
+		p.suppressMask = 0
 		return
 	}
-	first := candidates[0] >> uint(p.cfg.BitOffset)
+	first := candBits[0]
 	var differ uint64
-	for _, c := range candidates[1:] {
-		differ |= (c >> uint(p.cfg.BitOffset)) ^ first
+	for _, c := range candBits[1:] {
+		differ |= c ^ first
 	}
-	for k := range p.suppress {
-		p.suppress[k] = differ>>uint(k)&1 == 0
-	}
+	p.suppressMask = ^differ & p.kMask
 }
 
 // similarity computes the non-normalized cosine similarity between yout and
-// a candidate target's bit vector: the sum of yout[k] over unsuppressed bits
-// that are 1 in the candidate (paper §3.7).
-func (p *BLBP) similarity(target uint64) int {
-	bits := target >> uint(p.cfg.BitOffset)
+// a candidate target's pre-shifted bit vector: the sum of yout[k] over
+// unsuppressed bits that are 1 in the candidate (paper §3.7). The suppress
+// and K masks are applied once up front so the loop visits only the set
+// candidate bits.
+func (p *BLBP) similarity(candBits uint64) int {
 	sum := 0
-	for k := 0; k < p.cfg.K; k++ {
-		if p.suppress[k] && p.cfg.UseSelective {
-			continue
-		}
-		if bits>>uint(k)&1 == 1 {
-			sum += p.yout[k]
-		}
+	for m := candBits &^ p.suppressMask & p.kMask; m != 0; m &= m - 1 {
+		sum += p.yout[mathbits.TrailingZeros64(m)&63]
 	}
 	return sum
+}
+
+// prepare computes the per-prediction state shared by Predict and Update's
+// out-of-contract recompute path — candidate targets with their pre-shifted
+// bit vectors, active row offsets, yout, and the suppress mask — so the two
+// can never drift. It returns the candidate set.
+func (p *BLBP) prepare(pc uint64) []uint64 {
+	candidates := p.buffer.Candidates(pc, p.candBuf[:0])
+	p.candBuf = candidates[:0]
+	bits := p.candBits[:0]
+	for _, c := range candidates {
+		bits = append(bits, c>>uint(p.cfg.BitOffset))
+	}
+	p.candBits = bits
+	p.computeRows(pc)
+	p.computeYout()
+	p.computeSuppress(bits)
+	p.hadCandidates = len(candidates) > 0
+	return candidates
 }
 
 // Predict implements predictor.Indirect: Algorithm 1 of the paper.
 func (p *BLBP) Predict(pc uint64) (uint64, bool) {
 	p.predictions++
-	candidates := p.buffer.Candidates(pc, p.candBuf[:0])
-	p.candBuf = candidates[:0]
+	candidates := p.prepare(pc)
 	if n := len(candidates); n < len(p.candHist) {
 		p.candHist[n]++
 	} else {
 		p.candHist[len(p.candHist)-1]++
 	}
-	p.computeRows(pc)
-	p.computeYout()
-	p.computeSuppress(candidates)
 	p.lastPC, p.lastOK = pc, true
-	p.hadCandidates = len(candidates) > 0
 	if len(candidates) == 0 {
 		p.ibtbMisses++
 		return 0, false
 	}
 	best := candidates[0]
-	bestSum := p.similarity(candidates[0])
-	for _, c := range candidates[1:] {
-		if s := p.similarity(c); s > bestSum {
+	bestSum := p.similarity(p.candBits[0])
+	for i, c := range candidates[1:] {
+		if s := p.similarity(p.candBits[i+1]); s > bestSum {
 			best, bestSum = c, s
 		}
 	}
@@ -206,23 +243,17 @@ func (p *BLBP) Predict(pc uint64) (uint64, bool) {
 // adaptive thresholds.
 func (p *BLBP) Update(pc, actual uint64) {
 	if !p.lastOK || p.lastPC != pc {
-		// Out-of-contract call (tests, replay): recompute prediction state.
-		candidates := p.buffer.Candidates(pc, p.candBuf[:0])
-		p.candBuf = candidates[:0]
-		p.computeRows(pc)
-		p.computeYout()
-		p.computeSuppress(candidates)
-		p.hadCandidates = len(candidates) > 0
+		// Out-of-contract call (tests, replay): recompute prediction state
+		// through the exact code path Predict uses.
+		p.prepare(pc)
 	}
 	p.lastOK = false
 
 	p.buffer.Insert(pc, actual)
 
 	bits := actual >> uint(p.cfg.BitOffset)
-	for k := 0; k < p.cfg.K; k++ {
-		if p.suppress[k] && p.cfg.UseSelective {
-			continue
-		}
+	for m := ^p.suppressMask & p.kMask; m != 0; m &= m - 1 {
+		k := mathbits.TrailingZeros64(m) & 63
 		bit := bits>>uint(k)&1 == 1
 		y := p.yout[k]
 		a := y
@@ -239,16 +270,19 @@ func (p *BLBP) Update(pc, actual uint64) {
 			continue
 		}
 		p.trainEvents++
-		for i, table := range p.weights {
-			idx := p.rows[i]*p.cfg.K + k
-			w := table[idx]
-			if bit {
-				if w < p.wMax {
-					table[idx] = w + 1
+		wMin := int(-p.wMax)
+		if bit {
+			for _, base := range p.rowOff {
+				if w := p.weights[base+k]; w < p.wMax {
+					p.weights[base+k] = w + 1
+					p.tweights[base+k] = int8(p.transfer[int(w)+1-wMin])
 				}
-			} else {
-				if w > -p.wMax {
-					table[idx] = w - 1
+			}
+		} else {
+			for _, base := range p.rowOff {
+				if w := p.weights[base+k]; w > -p.wMax {
+					p.weights[base+k] = w - 1
+					p.tweights[base+k] = int8(p.transfer[int(w)-1-wMin])
 				}
 			}
 		}

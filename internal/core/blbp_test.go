@@ -152,11 +152,9 @@ func TestWeightsStayInRange(t *testing.T) {
 		p.Predict(pc)
 		p.Update(pc, tgt)
 	}
-	for i, table := range p.weights {
-		for j, w := range table {
-			if w < -p.wMax || w > p.wMax {
-				t.Fatalf("weight[%d][%d] = %d outside ±%d", i, j, w, p.wMax)
-			}
+	for j, w := range p.weights {
+		if w < -p.wMax || w > p.wMax {
+			t.Fatalf("weight[%d] = %d outside ±%d", j, w, p.wMax)
 		}
 	}
 }
@@ -428,10 +426,7 @@ func TestSuppressedBitsNeverTrainProperty(t *testing.T) {
 	p.Update(0x600, 0x4440)
 	p.Update(0x600, 0x4450)
 	// Snapshot weights.
-	snap := make([][]int8, len(p.weights))
-	for i := range p.weights {
-		snap[i] = append([]int8(nil), p.weights[i]...)
-	}
+	snap := append([]int8(nil), p.weights...)
 	for i := 0; i < 500; i++ {
 		p.Predict(0x600)
 		if i%2 == 0 {
@@ -442,13 +437,13 @@ func TestSuppressedBitsNeverTrainProperty(t *testing.T) {
 	}
 	// Bit 4 - BitOffset = index 2 is the only differing bit; all other
 	// bit columns of the touched rows must be unchanged.
+	// The flat layout keeps each row's K bit columns contiguous, so the
+	// column of flat index j is j % K.
 	diffBit := 2
 	changedOther := 0
-	for i := range p.weights {
-		for j, w := range p.weights[i] {
-			if w != snap[i][j] && j%cfg.K != diffBit {
-				changedOther++
-			}
+	for j, w := range p.weights {
+		if w != snap[j] && j%cfg.K != diffBit {
+			changedOther++
 		}
 	}
 	if changedOther != 0 {

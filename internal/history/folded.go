@@ -1,0 +1,191 @@
+package history
+
+import "math/bits"
+
+// FoldID identifies one registered fold within a FoldedSet.
+type FoldID int
+
+// accReg is one incrementally maintained interval accumulator. Fold's
+// definition is two-stage: XOR the interval's bit string into a 64-bit
+// accumulator by 64-bit chunks (bit b of acc = XOR of history bits lo+b,
+// lo+b+64, ...), then XOR-reduce the accumulator to width bits. The
+// accumulator is exactly a width-64 circular shift register over the
+// interval: shifting one new bit into the history ages every interval bit by
+// one chunk position, so
+//
+//	acc' = rotl64(acc, 1) ^ entering ^ leaving<<(n mod 64)
+//
+// where entering is the history bit sliding into position lo (the inserted
+// bit itself when lo == 0, else the old bit at lo-1), leaving is the old
+// bit at hi sliding out, and n = hi-lo+1. That is O(1) per history bit —
+// the folded-history CSR hardware TAGE/GEHL predictors implement — and the
+// cheap second-stage reduction on read keeps Value bit-identical to Fold.
+//
+// Because the accumulator is width-independent, folds over the same
+// (lo, hi) interval share one accReg regardless of their output widths —
+// TAGE-style predictors registering an index fold and a tag fold per
+// history length pay for each interval once per Shift, not once per fold.
+type accReg struct {
+	lo, hi   int
+	outShift uint // n mod 64: accumulator position of the leaving bit
+	acc      uint64
+}
+
+// foldView maps a registered fold to its shared accumulator and output
+// width.
+type foldView struct {
+	accIdx int
+	width  uint
+}
+
+// FoldedSet couples a Global history register with a set of interval folds
+// maintained incrementally. Each (lo, hi, width) interval is registered once
+// at predictor construction; every Shift/ShiftBits then updates the
+// registered interval accumulators in O(1) each, and Value reads a fold back
+// without re-walking the history. Values are bit-identical to calling
+// Global.Fold(lo, hi, width) on the equivalent register state.
+type FoldedSet struct {
+	g     *Global
+	accs  []accReg
+	folds []foldView
+}
+
+// NewFoldedSet returns a folded history register holding at least capacity
+// bits and no registered folds.
+func NewFoldedSet(capacity int) *FoldedSet {
+	return &FoldedSet{g: NewGlobal(capacity)}
+}
+
+// Register adds an interval fold and returns its id. Argument constraints
+// are those of Global.Fold: 0 <= lo <= hi < Capacity(), 1 <= width <= 63.
+// The initial value reflects the register's current contents, so predictors
+// may register folds before or after history has accumulated. Folds sharing
+// an interval share the underlying accumulator.
+func (s *FoldedSet) Register(lo, hi, width int) FoldID {
+	if lo < 0 || hi < lo || hi >= s.g.capBits {
+		panic("history: Register interval out of range")
+	}
+	if width <= 0 || width >= 64 {
+		panic("history: Register width out of range")
+	}
+	accIdx := -1
+	for i := range s.accs {
+		if s.accs[i].lo == lo && s.accs[i].hi == hi {
+			accIdx = i
+			break
+		}
+	}
+	if accIdx < 0 {
+		n := hi - lo + 1
+		s.accs = append(s.accs, accReg{
+			lo:       lo,
+			hi:       hi,
+			outShift: uint(n % 64),
+			acc:      s.g.foldAcc(lo, hi),
+		})
+		accIdx = len(s.accs) - 1
+	}
+	s.folds = append(s.folds, foldView{accIdx: accIdx, width: uint(width)})
+	return FoldID(len(s.folds) - 1)
+}
+
+// NumFolds returns how many folds have been registered.
+func (s *FoldedSet) NumFolds() int { return len(s.folds) }
+
+// NumAccumulators returns how many distinct interval accumulators back the
+// registered folds (folds over the same interval share one).
+func (s *FoldedSet) NumAccumulators() int { return len(s.accs) }
+
+// Value returns the current fold value for id: identical to
+// Fold(lo, hi, width) of the registered interval, without re-walking the
+// history bits.
+func (s *FoldedSet) Value(id FoldID) uint64 {
+	f := &s.folds[id]
+	return foldDown(s.accs[f.accIdx].acc, f.width)
+}
+
+// Capacity returns the usable history length in bits.
+func (s *FoldedSet) Capacity() int { return s.g.Capacity() }
+
+// Bit returns history bit i (0 = most recent) as 0 or 1.
+func (s *FoldedSet) Bit(i int) uint64 { return s.g.Bit(i) }
+
+// Fold computes an interval fold from scratch (the reference implementation;
+// see Global.Fold). Registered folds match it bit for bit.
+func (s *FoldedSet) Fold(lo, hi, width int) uint64 { return s.g.Fold(lo, hi, width) }
+
+// Shift inserts one outcome bit as the new most-recent history bit and
+// updates every registered interval accumulator in O(1).
+func (s *FoldedSet) Shift(b bool) {
+	g := s.g
+	var in0 uint64
+	if b {
+		in0 = 1
+	}
+	for i := range s.accs {
+		f := &s.accs[i]
+		in := in0
+		if f.lo != 0 {
+			in = g.bit(f.lo - 1)
+		}
+		out := g.bit(f.hi)
+		f.acc = bits.RotateLeft64(f.acc, 1) ^ in ^ out<<f.outShift
+	}
+	g.Shift(b)
+}
+
+// ShiftBits inserts the low n bits of v, oldest-first, exactly as
+// Global.ShiftBits does.
+func (s *FoldedSet) ShiftBits(v uint64, n int) {
+	for i := 0; i < n; i++ {
+		s.Shift(v>>uint(i)&1 != 0)
+	}
+}
+
+// Reset clears all history bits and registered folds.
+func (s *FoldedSet) Reset() {
+	s.g.Reset()
+	for i := range s.accs {
+		s.accs[i].acc = 0
+	}
+}
+
+// FoldedSnapshot is an opaque copy of a FoldedSet's state (history bits and
+// fold accumulators). The zero value is valid as a SnapshotInto destination.
+type FoldedSnapshot struct {
+	words []uint64
+	head  int
+	accs  []uint64
+}
+
+// SnapshotInto captures the current state into dst, reusing dst's storage
+// when possible so steady-state snapshotting does not allocate. VPC
+// snapshots once per prediction, which makes this the hot variant.
+func (s *FoldedSet) SnapshotInto(dst *FoldedSnapshot) {
+	dst.words = append(dst.words[:0], s.g.words...)
+	dst.head = s.g.head
+	dst.accs = dst.accs[:0]
+	for i := range s.accs {
+		dst.accs = append(dst.accs, s.accs[i].acc)
+	}
+}
+
+// Snapshot returns a freshly allocated copy of the current state.
+func (s *FoldedSet) Snapshot() FoldedSnapshot {
+	var snap FoldedSnapshot
+	s.SnapshotInto(&snap)
+	return snap
+}
+
+// Restore reinstates a snapshot taken from a FoldedSet with the same
+// capacity and fold registrations.
+func (s *FoldedSet) Restore(snap *FoldedSnapshot) {
+	if len(snap.words) != len(s.g.words) || len(snap.accs) != len(s.accs) {
+		panic("history: FoldedSet.Restore snapshot from different shape")
+	}
+	copy(s.g.words, snap.words)
+	s.g.head = snap.head
+	for i := range s.accs {
+		s.accs[i].acc = snap.accs[i]
+	}
+}

@@ -55,6 +55,12 @@ func (g *Global) Bit(i int) uint64 {
 	if i < 0 || i >= g.capBits {
 		panic("history: Bit index out of range")
 	}
+	return g.bit(i)
+}
+
+// bit is Bit without the range check, for hot paths that index within
+// registered bounds (FoldedSet's per-shift fold updates).
+func (g *Global) bit(i int) uint64 {
 	pos := g.head + i
 	if pos >= g.capBits {
 		pos -= g.capBits
@@ -89,6 +95,13 @@ func (g *Global) Fold(lo, hi, width int) uint64 {
 	if width <= 0 || width >= 64 {
 		panic("history: Fold width out of range")
 	}
+	return foldDown(g.foldAcc(lo, hi), uint(width))
+}
+
+// foldAcc XOR-combines the [lo, hi] interval's 64-bit chunks: bit b of the
+// result is the XOR of history bits lo+b, lo+b+64, lo+b+128, ... — the first
+// stage of Fold, and the quantity FoldedSet maintains incrementally.
+func (g *Global) foldAcc(lo, hi int) uint64 {
 	n := hi - lo + 1
 	var acc uint64
 	for off := 0; off < n; off += 64 {
@@ -98,11 +111,17 @@ func (g *Global) Fold(lo, hi, width int) uint64 {
 		}
 		acc ^= w
 	}
-	mask := uint64(1)<<uint(width) - 1
+	return acc
+}
+
+// foldDown reduces a 64-bit chunk accumulator to width bits — the second
+// stage of Fold.
+func foldDown(acc uint64, width uint) uint64 {
+	mask := uint64(1)<<width - 1
 	var out uint64
 	for acc != 0 {
 		out ^= acc & mask
-		acc >>= uint(width)
+		acc >>= width
 	}
 	return out
 }

@@ -7,6 +7,8 @@
 package ibtb
 
 import (
+	mathbits "math/bits"
+
 	"blbp/internal/hashing"
 	"blbp/internal/region"
 	"blbp/internal/replacement"
@@ -34,18 +36,25 @@ func DefaultConfig() Config {
 }
 
 type entry struct {
-	tag    uint64
 	ref    region.Ref
 	offset uint64
-	valid  bool
 }
 
 // IBTB is the indirect branch target buffer.
+//
+// Valid bits and partial tags live in compact arrays parallel to the entry
+// payloads: the way search — every way of a set, on every prediction — scans
+// a per-set valid bitmask and a dense uint32 tag array instead of walking
+// 32-byte entry structs, modeling the narrow CAM match hardware performs and
+// keeping the scan's cache footprint to a few lines per set.
 type IBTB struct {
-	cfg     Config
-	entries []entry
-	rrip    *replacement.RRIP
-	regions *region.Array
+	cfg       Config
+	entries   []entry
+	tags      []uint32 // partial tag per entry (meaningful only when valid)
+	valid     []uint64 // per-set way bitmask, maskWords words per set
+	maskWords int      // (Assoc+63)/64
+	rrip      *replacement.RRIP
+	regions   *region.Array
 }
 
 // New constructs an IBTB; it panics on invalid geometry.
@@ -59,20 +68,28 @@ func New(cfg Config) *IBTB {
 	if cfg.RRIPBits <= 0 {
 		panic("ibtb: RRIP bits must be positive")
 	}
+	maskWords := (cfg.Assoc + 63) / 64
 	return &IBTB{
-		cfg:     cfg,
-		entries: make([]entry, cfg.Sets*cfg.Assoc),
-		rrip:    replacement.NewRRIP(cfg.Sets, cfg.Assoc, cfg.RRIPBits),
-		regions: region.New(cfg.RegionEntries, cfg.OffsetBits),
+		cfg:       cfg,
+		entries:   make([]entry, cfg.Sets*cfg.Assoc),
+		tags:      make([]uint32, cfg.Sets*cfg.Assoc),
+		valid:     make([]uint64, cfg.Sets*maskWords),
+		maskWords: maskWords,
+		rrip:      replacement.NewRRIP(cfg.Sets, cfg.Assoc, cfg.RRIPBits),
+		regions:   region.New(cfg.RegionEntries, cfg.OffsetBits),
 	}
 }
 
 // Config returns the geometry the buffer was built with.
 func (b *IBTB) Config() Config { return b.cfg }
 
-func (b *IBTB) setAndTag(pc uint64) (int, uint64) {
+func (b *IBTB) setAndTag(pc uint64) (int, uint32) {
 	h := hashing.Mix64(pc)
-	return hashing.Index(h, b.cfg.Sets), hashing.Tag(h, b.cfg.TagBits)
+	return hashing.Index(h, b.cfg.Sets), uint32(hashing.Tag(h, b.cfg.TagBits))
+}
+
+func (b *IBTB) invalidate(set, w int) {
+	b.valid[set*b.maskWords+w>>6] &^= 1 << uint(w&63)
 }
 
 // Candidates appends to buf every stored target for the branch at pc, in
@@ -82,17 +99,20 @@ func (b *IBTB) setAndTag(pc uint64) (int, uint64) {
 func (b *IBTB) Candidates(pc uint64, buf []uint64) []uint64 {
 	set, tag := b.setAndTag(pc)
 	base := set * b.cfg.Assoc
-	for w := 0; w < b.cfg.Assoc; w++ {
-		e := &b.entries[base+w]
-		if !e.valid || e.tag != tag {
-			continue
+	for wi := 0; wi < b.maskWords; wi++ {
+		for m := b.valid[set*b.maskWords+wi]; m != 0; m &= m - 1 {
+			w := wi<<6 + mathbits.TrailingZeros64(m)
+			if b.tags[base+w] != tag {
+				continue
+			}
+			e := &b.entries[base+w]
+			target, ok := b.regions.Resolve(e.ref, e.offset)
+			if !ok {
+				b.invalidate(set, w)
+				continue
+			}
+			buf = append(buf, target)
 		}
-		target, ok := b.regions.Resolve(e.ref, e.offset)
-		if !ok {
-			e.valid = false
-			continue
-		}
-		buf = append(buf, target)
 	}
 	return buf
 }
@@ -103,52 +123,65 @@ func (b *IBTB) Candidates(pc uint64, buf []uint64) []uint64 {
 func (b *IBTB) Insert(pc, target uint64) {
 	set, tag := b.setAndTag(pc)
 	base := set * b.cfg.Assoc
-	invalid := -1
-	for w := 0; w < b.cfg.Assoc; w++ {
-		e := &b.entries[base+w]
-		if !e.valid {
-			if invalid < 0 {
-				invalid = w
+	for wi := 0; wi < b.maskWords; wi++ {
+		for m := b.valid[set*b.maskWords+wi]; m != 0; m &= m - 1 {
+			w := wi<<6 + mathbits.TrailingZeros64(m)
+			if b.tags[base+w] != tag {
+				continue
 			}
-			continue
-		}
-		if e.tag != tag {
-			continue
-		}
-		target2, ok := b.regions.Resolve(e.ref, e.offset)
-		if !ok {
-			e.valid = false
-			if invalid < 0 {
-				invalid = w
+			e := &b.entries[base+w]
+			target2, ok := b.regions.Resolve(e.ref, e.offset)
+			if !ok {
+				b.invalidate(set, w)
+				continue
 			}
-			continue
-		}
-		if target2 == target {
-			b.rrip.OnHit(set, w)
-			b.regions.Touch(e.ref)
-			return
+			if target2 == target {
+				b.rrip.OnHit(set, w)
+				b.regions.Touch(e.ref)
+				return
+			}
 		}
 	}
-	way := invalid
+	way := b.firstInvalidWay(set)
 	if way < 0 {
 		way = b.rrip.Victim(set)
 	}
 	ref, offset := b.regions.Acquire(target)
-	b.entries[base+way] = entry{tag: tag, ref: ref, offset: offset, valid: true}
+	b.entries[base+way] = entry{ref: ref, offset: offset}
+	b.tags[base+way] = tag
+	b.valid[set*b.maskWords+way>>6] |= 1 << uint(way&63)
 	b.rrip.OnInsert(set, way)
+}
+
+// firstInvalidWay returns the lowest-numbered empty way of the set, or -1
+// when the set is full.
+func (b *IBTB) firstInvalidWay(set int) int {
+	for wi := 0; wi < b.maskWords; wi++ {
+		inv := ^b.valid[set*b.maskWords+wi]
+		if rem := b.cfg.Assoc - wi<<6; rem < 64 {
+			inv &= 1<<uint(rem) - 1
+		}
+		if inv != 0 {
+			return wi<<6 + mathbits.TrailingZeros64(inv)
+		}
+	}
+	return -1
 }
 
 // Contains reports whether the exact (pc, target) pair is currently stored.
 func (b *IBTB) Contains(pc, target uint64) bool {
 	set, tag := b.setAndTag(pc)
 	base := set * b.cfg.Assoc
-	for w := 0; w < b.cfg.Assoc; w++ {
-		e := &b.entries[base+w]
-		if !e.valid || e.tag != tag {
-			continue
-		}
-		if got, ok := b.regions.Resolve(e.ref, e.offset); ok && got == target {
-			return true
+	for wi := 0; wi < b.maskWords; wi++ {
+		for m := b.valid[set*b.maskWords+wi]; m != 0; m &= m - 1 {
+			w := wi<<6 + mathbits.TrailingZeros64(m)
+			if b.tags[base+w] != tag {
+				continue
+			}
+			e := &b.entries[base+w]
+			if got, ok := b.regions.Resolve(e.ref, e.offset); ok && got == target {
+				return true
+			}
 		}
 	}
 	return false
@@ -172,6 +205,12 @@ func (b *IBTB) StorageBits() int {
 func (b *IBTB) Reset() {
 	for i := range b.entries {
 		b.entries[i] = entry{}
+	}
+	for i := range b.tags {
+		b.tags[i] = 0
+	}
+	for i := range b.valid {
+		b.valid[i] = 0
 	}
 	b.regions.Reset()
 }

@@ -93,14 +93,16 @@ type baseEntry struct {
 
 // ITTAGE is the predictor.
 type ITTAGE struct {
-	cfg     Config
-	lens    []int // geometric history length per tagged table
-	tagBits []int
-	tables  [][]taggedEntry
-	base    []baseEntry
-	regions *region.Array
-	ghist   *history.Global
-	phist   uint64 // 16-bit path history
+	cfg      Config
+	lens     []int // geometric history length per tagged table
+	tagBits  []int
+	tables   [][]taggedEntry
+	base     []baseEntry
+	regions  *region.Array
+	ghist    *history.FoldedSet
+	idxFolds []history.FoldID // per-table index fold over [0, lens[i]-1]
+	tagFolds []history.FoldID // per-table tag fold over the same interval
+	phist    uint64           // 16-bit path history
 
 	useAltOnNA int8 // counter choosing altpred for newly allocated entries
 
@@ -129,6 +131,9 @@ func New(cfg Config) *ITTAGE {
 	lens := geometricLengths(cfg.MinHist, cfg.MaxHist, cfg.Tables)
 	tables := make([][]taggedEntry, cfg.Tables)
 	tagBits := make([]int, cfg.Tables)
+	ghist := history.NewFoldedSet(cfg.HistBits)
+	idxFolds := make([]history.FoldID, cfg.Tables)
+	tagFolds := make([]history.FoldID, cfg.Tables)
 	for i := range tables {
 		tables[i] = make([]taggedEntry, cfg.TableEntries)
 		tb := cfg.TagBitsMin + i/2
@@ -136,16 +141,20 @@ func New(cfg Config) *ITTAGE {
 			tb = 15
 		}
 		tagBits[i] = tb
+		idxFolds[i] = ghist.Register(0, lens[i]-1, 22)
+		tagFolds[i] = ghist.Register(0, lens[i]-1, 17)
 	}
 	return &ITTAGE{
-		cfg:     cfg,
-		lens:    lens,
-		tagBits: tagBits,
-		tables:  tables,
-		base:    make([]baseEntry, cfg.BaseEntries),
-		regions: region.New(cfg.RegionEntries, cfg.OffsetBits),
-		ghist:   history.NewGlobal(cfg.HistBits),
-		rng:     0x9e3779b97f4a7c15,
+		cfg:      cfg,
+		lens:     lens,
+		tagBits:  tagBits,
+		tables:   tables,
+		base:     make([]baseEntry, cfg.BaseEntries),
+		regions:  region.New(cfg.RegionEntries, cfg.OffsetBits),
+		ghist:    ghist,
+		idxFolds: idxFolds,
+		tagFolds: tagFolds,
+		rng:      0x9e3779b97f4a7c15,
 	}
 }
 
@@ -200,13 +209,13 @@ func (p *ITTAGE) nextRand() uint64 {
 }
 
 func (p *ITTAGE) tableIndex(i int, pc uint64) int {
-	fold := p.ghist.Fold(0, p.lens[i]-1, 22)
+	fold := p.ghist.Value(p.idxFolds[i])
 	h := hashing.Combine(hashing.Mix64(pc)+uint64(i)<<48, fold^p.phist)
 	return hashing.Index(h, p.cfg.TableEntries)
 }
 
 func (p *ITTAGE) tableTag(i int, pc uint64) uint64 {
-	fold := p.ghist.Fold(0, p.lens[i]-1, 17)
+	fold := p.ghist.Value(p.tagFolds[i])
 	h := hashing.Combine(hashing.Mix64(pc)*3+uint64(i)<<40, fold*7+p.phist)
 	return hashing.Tag(h, p.tagBits[i])
 }

@@ -95,15 +95,17 @@ func Run(tr *trace.Trace, cp cond.Predictor, indirects []predictor.Indirect, opt
 	if len(indirects) == 0 {
 		return nil, fmt.Errorf("sim: no indirect predictors")
 	}
+	// Validate once up front (cached on the trace across passes) instead of
+	// re-checking every record inside the hot loop.
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	stack := ras.New(opts.rasDepth())
 	var shared Result
 	perPred := make([]Result, len(indirects))
 
 	for ri := range tr.Records {
 		r := &tr.Records[ri]
-		if err := r.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: record %d: %w", ri, err)
-		}
 		shared.Instructions += r.Instructions()
 
 		switch r.Type {

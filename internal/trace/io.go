@@ -151,5 +151,8 @@ func Read(r io.Reader) (*Trace, error) {
 		prevPC = rec.PC
 		t.Records = append(t.Records, rec)
 	}
+	// Every record was validated during decoding; mark the trace so
+	// simulation passes skip revalidation.
+	t.validated = true
 	return t, nil
 }

@@ -112,6 +112,29 @@ type Trace struct {
 	Name string
 	// Records is the ordered branch sequence.
 	Records []Record
+
+	// validated caches a successful Validate so consumers that replay the
+	// trace many times (one simulation pass per predictor configuration)
+	// pay the per-record check once instead of inside every hot loop.
+	// Append clears it; callers who mutate Records directly and need
+	// revalidation should go through Append or a fresh Trace.
+	validated bool
+}
+
+// Validate checks every record for internal consistency. A successful
+// result is cached on the trace, making repeated calls O(1) until the next
+// Append.
+func (t *Trace) Validate() error {
+	if t.validated {
+		return nil
+	}
+	for i := range t.Records {
+		if err := t.Records[i].Validate(); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	t.validated = true
+	return nil
 }
 
 // Instructions returns the total instruction count of the trace.
@@ -123,5 +146,8 @@ func (t *Trace) Instructions() int64 {
 	return n
 }
 
-// Append adds a record to the trace.
-func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
+// Append adds a record to the trace and clears the cached validation.
+func (t *Trace) Append(r Record) {
+	t.Records = append(t.Records, r)
+	t.validated = false
+}

@@ -17,6 +17,7 @@ import (
 	"blbp/internal/btb"
 	"blbp/internal/cond"
 	"blbp/internal/hashing"
+	"blbp/internal/history"
 	"blbp/internal/trace"
 )
 
@@ -46,6 +47,7 @@ type VPC struct {
 	lastOK bool
 
 	scratchVPCA []uint64
+	snapBuf     history.FoldedSnapshot // reused across predictions
 }
 
 // New constructs a VPC predictor over the given shared conditional
@@ -84,8 +86,8 @@ func (v *VPC) vpcAddr(pc uint64, iter int) uint64 {
 // and rolled back before returning.
 func (v *VPC) Predict(pc uint64) (uint64, bool) {
 	v.lastPC, v.lastOK = pc, true
-	snap := v.hp.HistSnapshot()
-	defer v.hp.HistRestore(snap)
+	v.hp.HistSnapshotInto(&v.snapBuf)
+	defer v.hp.HistRestore(&v.snapBuf)
 	for iter := 1; iter <= v.cfg.MaxIter; iter++ {
 		vpca := v.vpcAddr(pc, iter)
 		target, hit := v.btb.Lookup(vpca)
