@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench micro results
+.PHONY: all build test ci bench micro profile results
 
 all: build
 
@@ -14,10 +14,16 @@ test:
 ci:
 	sh scripts/ci.sh
 
-# Throughput report: writes BENCH_1.json (see ROADMAP.md for the BENCH_*
+# Throughput report: writes BENCH_2.json (see ROADMAP.md for the BENCH_*
 # convention) and prints the headline numbers.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_2.json
+
+# CPU + allocation profiles of the suite-scale benchmark run, for pprof.
+profile:
+	$(GO) run ./cmd/bench -out /tmp/bench_profile.json \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"
 
 # Fine-grained predictor microbenchmarks with allocation stats.
 micro:

@@ -24,6 +24,13 @@ const benchBase = 60_000
 
 func benchSuite() []workload.Spec { return workload.Suite(benchBase) }
 
+// benchRunner is the execution layer shared by every macro benchmark in
+// this file: its trace cache means each workload is synthesized once for
+// the whole `go test -bench` run, and the shared tape keeps repeated
+// conditional-side simulation off the measured path after the first
+// driver touches a workload.
+var benchRunner = experiments.NewRunner(0)
+
 // BenchmarkTable1Suite regenerates Table 1: building every workload in the
 // suite and tabulating it by category.
 func BenchmarkTable1Suite(b *testing.B) {
@@ -54,7 +61,7 @@ func BenchmarkTable2Budgets(b *testing.B) {
 func BenchmarkFig1BranchMix(b *testing.B) {
 	var indirectMax float64
 	for i := 0; i < b.N; i++ {
-		_, rows := experiments.Fig1(benchSuite(), 0)
+		_, rows := benchRunner.Fig1(benchSuite())
 		indirectMax = rows[len(rows)-1].Indirect
 	}
 	b.ReportMetric(indirectMax, "max-indirect-per-KI")
@@ -65,7 +72,7 @@ func BenchmarkFig1BranchMix(b *testing.B) {
 func BenchmarkFig6Polymorphism(b *testing.B) {
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		_, rows := experiments.Fig6(benchSuite(), 0)
+		_, rows := benchRunner.Fig6(benchSuite())
 		spread = rows[len(rows)-1].PolyPct - rows[0].PolyPct
 	}
 	b.ReportMetric(spread, "poly-pct-spread")
@@ -76,7 +83,7 @@ func BenchmarkFig6Polymorphism(b *testing.B) {
 func BenchmarkFig7TargetDistribution(b *testing.B) {
 	var atLeast5 float64
 	for i := 0; i < b.N; i++ {
-		_, pts := experiments.Fig7(benchSuite(), 0, 64)
+		_, pts := benchRunner.Fig7(benchSuite(), 64)
 		atLeast5 = pts[4].PctAtLeast
 	}
 	b.ReportMetric(atLeast5, "pct-with-5plus-targets")
@@ -87,7 +94,7 @@ func BenchmarkFig7TargetDistribution(b *testing.B) {
 func BenchmarkOverallMPKI(b *testing.B) {
 	var data experiments.OverallData
 	for i := 0; i < b.N; i++ {
-		_, d, err := experiments.Overall(benchSuite(), 0)
+		_, d, err := benchRunner.Overall(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +113,7 @@ func BenchmarkOverallMPKI(b *testing.B) {
 // VPC, ITTAGE, and BLBP sorted by BLBP MPKI.
 func BenchmarkFig8MPKI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, data, err := experiments.Overall(benchSuite(), 0)
+		_, data, err := benchRunner.Overall(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +127,7 @@ func BenchmarkFig8MPKI(b *testing.B) {
 // MPKI shares per benchmark.
 func BenchmarkFig9Relative(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, data, err := experiments.Overall(benchSuite(), 0)
+		_, data, err := benchRunner.Overall(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +142,7 @@ func BenchmarkFig9Relative(b *testing.B) {
 func BenchmarkHoldoutSuite(b *testing.B) {
 	var data experiments.OverallData
 	for i := 0; i < b.N; i++ {
-		_, d, err := experiments.Overall(workload.SuiteHoldout(benchBase), 0)
+		_, d, err := benchRunner.Overall(workload.SuiteHoldout(benchBase))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +157,7 @@ func BenchmarkHoldoutSuite(b *testing.B) {
 func BenchmarkFig10Ablation(b *testing.B) {
 	var rows []experiments.Fig10Row
 	for i := 0; i < b.N; i++ {
-		_, r, err := experiments.Fig10(benchSuite(), 0)
+		_, r, err := benchRunner.Fig10(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +175,7 @@ func BenchmarkFig10Ablation(b *testing.B) {
 func BenchmarkFig11Associativity(b *testing.B) {
 	var rows []experiments.Fig11Row
 	for i := 0; i < b.N; i++ {
-		_, r, err := experiments.Fig11(benchSuite(), 0)
+		_, r, err := benchRunner.Fig11(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +197,7 @@ func BenchmarkFig11Associativity(b *testing.B) {
 func BenchmarkExtrasBaselines(b *testing.B) {
 	var means map[string]float64
 	for i := 0; i < b.N; i++ {
-		_, m, err := experiments.Extras(benchSuite(), 0)
+		_, m, err := benchRunner.Extras(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +213,7 @@ func BenchmarkExtrasBaselines(b *testing.B) {
 func BenchmarkAblationArrays(b *testing.B) {
 	var means map[string]float64
 	for i := 0; i < b.N; i++ {
-		_, m, err := experiments.Arrays(benchSuite(), 0)
+		_, m, err := benchRunner.Arrays(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,7 +228,7 @@ func BenchmarkAblationArrays(b *testing.B) {
 func BenchmarkAblationTargetBits(b *testing.B) {
 	var means map[string]float64
 	for i := 0; i < b.N; i++ {
-		_, m, err := experiments.TargetBits(benchSuite(), 0)
+		_, m, err := benchRunner.TargetBits(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +244,7 @@ func BenchmarkAblationTargetBits(b *testing.B) {
 func BenchmarkExtensionCombined(b *testing.B) {
 	var res experiments.CombinedResult
 	for i := 0; i < b.N; i++ {
-		_, r, err := experiments.Combined(benchSuite(), 0)
+		_, r, err := benchRunner.Combined(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -332,7 +339,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 func BenchmarkExtensionHierarchy(b *testing.B) {
 	var res experiments.HierarchyResult
 	for i := 0; i < b.N; i++ {
-		_, r, err := experiments.Hierarchy(benchSuite(), 0)
+		_, r, err := benchRunner.Hierarchy(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -348,7 +355,7 @@ func BenchmarkExtensionHierarchy(b *testing.B) {
 func BenchmarkExtensionCottage(b *testing.B) {
 	var res experiments.CottageResult
 	for i := 0; i < b.N; i++ {
-		_, r, err := experiments.Cottage(benchSuite(), 0)
+		_, r, err := benchRunner.Cottage(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -364,7 +371,7 @@ func BenchmarkExtensionCottage(b *testing.B) {
 func BenchmarkExtensionLatency(b *testing.B) {
 	var res experiments.LatencyResult
 	for i := 0; i < b.N; i++ {
-		_, r, err := experiments.Latency(benchSuite(), 0)
+		_, r, err := benchRunner.Latency(benchSuite())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +386,7 @@ func BenchmarkExtensionLatency(b *testing.B) {
 func BenchmarkExtensionSeeds(b *testing.B) {
 	var rows []experiments.SeedsRow
 	for i := 0; i < b.N; i++ {
-		_, r, err := experiments.Seeds(benchBase, []string{"", "a"}, 0)
+		_, r, err := benchRunner.Seeds(benchBase, []string{"", "a"})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,12 +8,20 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_1.json] [-base 60000] [-reps 3]
+//	bench [-out BENCH_2.json] [-base 60000] [-reps 3] [-parallel N]
+//	      [-cpuprofile F] [-memprofile F]
 //
 // -base sets the per-workload instruction budget for the suite wall-clock
 // measurement (the full-scale experiment runs use 400k+; the default keeps
 // the tool interactive). -reps controls how many times each measurement is
 // repeated; the fastest repetition is reported, minimizing scheduler noise.
+//
+// The suite measurements run on the experiments execution layer: one shared
+// trace cache feeds both the single-worker (suite_pass) and multi-worker
+// (suite_pass_parallel) measurements, so traces are built once and the
+// conditional/RAS side of the simulation is replayed from the shared tape
+// after the first repetition — the same warm path cmd/experiments hits when
+// several drivers share a workload.
 package main
 
 import (
@@ -22,20 +30,41 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"blbp"
+	"blbp/internal/experiments"
+	"blbp/internal/tracecache"
+	"blbp/internal/workload"
 )
 
 // Report is the serialized benchmark result.
 type Report struct {
-	Schema    string  `json:"schema"`
-	GoVersion string  `json:"go_version"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"`
-	Base      int64   `json:"suite_instr_base"`
-	Reps      int     `json:"reps"`
-	Results   []Entry `json:"results"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's processor limit at measurement time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Parallel is the worker count of the suite_pass_parallel measurement.
+	Parallel int     `json:"parallel"`
+	Base     int64   `json:"suite_instr_base"`
+	Reps     int     `json:"reps"`
+	Results  []Entry `json:"results"`
+	// TraceCache snapshots the shared trace-cache counters after all suite
+	// measurements: builds counts distinct trace constructions (one per
+	// workload regardless of how many measurements replayed it).
+	TraceCache CacheCounters `json:"trace_cache"`
+}
+
+// CacheCounters is the serialized trace-cache counter snapshot.
+type CacheCounters struct {
+	Builds     int64 `json:"builds"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	SpillLoads int64 `json:"spill_loads"`
+	Evictions  int64 `json:"evictions"`
 }
 
 // Entry is one measured configuration.
@@ -118,48 +147,61 @@ func measureEngine(tr *blbp.Trace, reps int) (Entry, error) {
 	}, nil
 }
 
-// measureSuite builds the full workload suite at the given base and
-// simulates BLBP and ITTAGE over every trace — the shape of one
-// cmd/experiments pass — returning instructions per second of suite
-// wall-clock.
-func measureSuite(base int64, reps int) (Entry, error) {
-	specs := blbp.Workloads(base)
-	traces := make([]*blbp.Trace, len(specs))
+// suitePass is the measured configuration of the suite measurements: the
+// shape of one cmd/experiments pass (ITTAGE + BLBP over a shared hashed
+// perceptron).
+func suitePass() experiments.Pass {
+	return experiments.Shared(experiments.CondKeyHP, func() (blbp.ConditionalPredictor, []blbp.IndirectPredictor) {
+		return blbp.NewHashedPerceptron(), []blbp.IndirectPredictor{
+			blbp.NewITTAGE(blbp.DefaultITTAGEConfig()),
+			blbp.NewBLBP(blbp.DefaultBLBPConfig()),
+		}
+	})
+}
+
+// measureSuite runs the suite pass on the experiments execution layer with
+// the given worker count, sharing cache (and therefore traces and tapes)
+// with every other suite measurement. Traces are prebuilt through the cache
+// outside the timed region, as in the previous schema where construction
+// was untimed.
+func measureSuite(name string, specs []blbp.WorkloadSpec, cache *tracecache.Cache, workers, reps int) (Entry, error) {
 	var instr int64
-	for i, s := range specs {
-		traces[i] = s.Build()
-		instr += traces[i].Instructions()
+	for _, s := range specs {
+		tr := cache.Get(s).Trace()
+		instr += tr.Instructions()
 	}
+	r := experiments.NewRunnerCache(workers, cache)
+	defer r.Close()
+	passes := []experiments.Pass{suitePass()}
 	var simErr error
 	d := fastest(reps, func() {
-		for _, tr := range traces {
-			_, err := blbp.Simulate(tr,
-				blbp.NewBLBP(blbp.DefaultBLBPConfig()),
-				blbp.NewITTAGE(blbp.DefaultITTAGEConfig()))
-			if err != nil {
-				simErr = err
-				return
-			}
+		if _, err := r.RunSuite(specs, passes); err != nil {
+			simErr = err
 		}
 	})
 	if simErr != nil {
 		return Entry{}, simErr
 	}
 	return Entry{
-		Name: "suite_pass", Events: instr, Unit: "instructions",
+		Name: name, Events: instr, Unit: "instructions",
 		Seconds: d.Seconds(), PerSecond: float64(instr) / d.Seconds(),
 	}, nil
 }
 
 // run executes every measurement and assembles the report.
-func run(base int64, reps int) (*Report, error) {
+func run(base int64, reps, parallel int) (*Report, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
 	rep := &Report{
-		Schema:    "blbp-bench-1",
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Base:      base,
-		Reps:      reps,
+		Schema:     "blbp-bench-2",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   parallel,
+		Base:       base,
+		Reps:       reps,
 	}
 	tr := microTrace()
 	rep.Results = append(rep.Results,
@@ -175,24 +217,70 @@ func run(base int64, reps int) (*Report, error) {
 		return nil, err
 	}
 	rep.Results = append(rep.Results, engine)
-	suite, err := measureSuite(base, reps)
+
+	specs := workload.Suite(base)
+	cache := tracecache.New(tracecache.Config{})
+	defer cache.Close()
+	suite, err := measureSuite("suite_pass", specs, cache, 1, reps)
 	if err != nil {
 		return nil, err
 	}
 	rep.Results = append(rep.Results, suite)
+	suitePar, err := measureSuite("suite_pass_parallel", specs, cache, parallel, reps)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, suitePar)
+
+	cs := cache.Stats()
+	rep.TraceCache = CacheCounters{
+		Builds:     cs.Builds,
+		Hits:       cs.Hits,
+		Misses:     cs.Misses,
+		SpillLoads: cs.SpillLoads,
+		Evictions:  cs.Evictions,
+	}
 	return rep, nil
 }
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
 	base := flag.Int64("base", 60_000, "per-workload instruction base for the suite pass")
 	reps := flag.Int("reps", 3, "repetitions per measurement (fastest wins)")
+	parallel := flag.Int("parallel", 0, "workers for suite_pass_parallel (0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	if *base <= 0 || *reps <= 0 {
 		fmt.Fprintln(os.Stderr, "bench: -base and -reps must be positive")
 		os.Exit(2)
 	}
-	rep, err := run(*base, *reps)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
+	rep, err := run(*base, *reps, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -208,8 +296,11 @@ func main() {
 		os.Exit(1)
 	}
 	for _, e := range rep.Results {
-		fmt.Printf("%-18s %12.0f %s/sec  (%d %s in %.3fs)\n",
+		fmt.Printf("%-20s %12.0f %s/sec  (%d %s in %.3fs)\n",
 			e.Name, e.PerSecond, e.Unit, e.Events, e.Unit, e.Seconds)
 	}
+	tc := rep.TraceCache
+	fmt.Printf("trace cache: %d builds, %d hits, %d misses (%d spill loads, %d evictions)\n",
+		tc.Builds, tc.Hits, tc.Misses, tc.SpillLoads, tc.Evictions)
 	fmt.Println("wrote", *out)
 }

@@ -5,16 +5,23 @@ import "testing"
 // TestRunProducesCompleteReport runs the measurement pipeline at a tiny
 // instruction base and checks every entry is populated and positive.
 func TestRunProducesCompleteReport(t *testing.T) {
-	rep, err := run(2_000, 1)
+	rep, err := run(2_000, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "blbp-bench-1" {
+	if rep.Schema != "blbp-bench-2" {
 		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Parallel != 2 {
+		t.Errorf("parallel = %d, want 2", rep.Parallel)
+	}
+	if rep.GOMAXPROCS <= 0 {
+		t.Errorf("gomaxprocs = %d", rep.GOMAXPROCS)
 	}
 	want := map[string]bool{
 		"blbp_micro": false, "ittage_micro": false,
 		"engine_end_to_end": false, "suite_pass": false,
+		"suite_pass_parallel": false,
 	}
 	for _, e := range rep.Results {
 		if _, ok := want[e.Name]; !ok {
@@ -33,5 +40,17 @@ func TestRunProducesCompleteReport(t *testing.T) {
 		if !seen {
 			t.Errorf("missing entry %q", name)
 		}
+	}
+	// Both suite measurements share one cache: every trace is built exactly
+	// once, and the second measurement hits for every workload.
+	tc := rep.TraceCache
+	if tc.Builds <= 0 {
+		t.Errorf("trace cache builds = %d, want > 0", tc.Builds)
+	}
+	if tc.Misses != tc.Builds {
+		t.Errorf("misses (%d) != builds (%d): some build was duplicated or spilled unexpectedly", tc.Misses, tc.Builds)
+	}
+	if tc.Hits < tc.Builds {
+		t.Errorf("hits = %d, want >= %d (second suite measurement must hit)", tc.Hits, tc.Builds)
 	}
 }

@@ -11,11 +11,21 @@
 //
 // Flags:
 //
-//	-base N      instruction base per SHORT trace (default 400000;
-//	             SPEC traces run 1.5x, LONG traces 2x)
-//	-parallel N  worker goroutines (default: GOMAXPROCS)
-//	-csv DIR     also write each table as DIR/<experiment>.csv
-//	-chart       render fig10/fig11 as ASCII bar charts too
+//	-base N         instruction base per SHORT trace (default 400000;
+//	                SPEC traces run 1.5x, LONG traces 2x)
+//	-parallel N     worker goroutines (default: GOMAXPROCS)
+//	-csv DIR        also write each table as DIR/<experiment>.csv
+//	-chart          render fig10/fig11 as ASCII bar charts too
+//	-cachemb N      bound the trace cache to ~N MiB, spilling evicted
+//	                traces to disk (0 = unbounded, the default)
+//	-cachespill DIR spill directory for evicted traces (default: temp dir)
+//	-cachestats     print trace-cache counters to stderr at the end
+//	-cpuprofile F   write a CPU profile to F
+//	-memprofile F   write an allocation profile to F at exit
+//
+// All experiments of one invocation share a single trace cache and worker
+// pool, so each workload's trace is built exactly once no matter how many
+// experiments touch it.
 package main
 
 import (
@@ -23,9 +33,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"blbp/internal/experiments"
 	"blbp/internal/report"
+	"blbp/internal/tracecache"
 	"blbp/internal/workload"
 )
 
@@ -42,6 +55,11 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "directory for CSV copies of each table")
 	chart := fs.Bool("chart", false, "render fig10/fig11 results as ASCII bar charts too")
+	cacheMB := fs.Int64("cachemb", 0, "trace-cache budget in MiB (0 = unbounded)")
+	cacheSpill := fs.String("cachespill", "", "spill directory for evicted traces")
+	cacheStats := fs.Bool("cachestats", false, "print trace-cache counters to stderr at the end")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +71,41 @@ func run(args []string) error {
 		names = []string{"table1", "table2", "fig1", "fig6", "fig7", "overall", "fig8", "fig9", "holdout", "fig10", "fig11", "extras", "arrays", "targetbits", "combined", "hierarchy", "cottage", "latency", "seeds"}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
+
+	cacheCfg := tracecache.Config{SpillDir: *cacheSpill}
+	if *cacheMB > 0 {
+		cacheCfg.MaxBytes = *cacheMB << 20
+	}
+	cache := tracecache.New(cacheCfg)
+	defer cache.Close()
+	runner := experiments.NewRunnerCache(*parallel, cache)
+	defer runner.Close()
+	if *cacheStats {
+		defer func() { fmt.Fprintf(os.Stderr, "trace cache: %s\n", cache.Stats()) }()
+	}
+
 	suite := workload.Suite(*base)
 
 	// Overall data is shared by overall/fig8/fig9; compute lazily once.
@@ -61,7 +114,7 @@ func run(args []string) error {
 		if overallData != nil {
 			return *overallData, nil
 		}
-		_, data, err := experiments.Overall(suite, *parallel)
+		_, data, err := runner.Overall(suite)
 		if err != nil {
 			return experiments.OverallData{}, err
 		}
@@ -101,17 +154,17 @@ func run(args []string) error {
 				return err
 			}
 		case "fig1":
-			tb, _ := experiments.Fig1(suite, *parallel)
+			tb, _ := runner.Fig1(suite)
 			if err := emit(name, tb); err != nil {
 				return err
 			}
 		case "fig6":
-			tb, _ := experiments.Fig6(suite, *parallel)
+			tb, _ := runner.Fig6(suite)
 			if err := emit(name, tb); err != nil {
 				return err
 			}
 		case "fig7":
-			tb, _ := experiments.Fig7(suite, *parallel, 64)
+			tb, _ := runner.Fig7(suite, 64)
 			if err := emit(name, tb); err != nil {
 				return err
 			}
@@ -144,7 +197,7 @@ func run(args []string) error {
 				return err
 			}
 		case "holdout":
-			tb, _, err := experiments.Overall(workload.SuiteHoldout(*base), *parallel)
+			tb, _, err := runner.Overall(workload.SuiteHoldout(*base))
 			if err != nil {
 				return err
 			}
@@ -153,7 +206,7 @@ func run(args []string) error {
 				return err
 			}
 		case "fig10":
-			tb, rows, err := experiments.Fig10(suite, *parallel)
+			tb, rows, err := runner.Fig10(suite)
 			if err != nil {
 				return err
 			}
@@ -171,7 +224,7 @@ func run(args []string) error {
 				fmt.Println()
 			}
 		case "fig11":
-			tb, rows, err := experiments.Fig11(suite, *parallel)
+			tb, rows, err := runner.Fig11(suite)
 			if err != nil {
 				return err
 			}
@@ -193,7 +246,7 @@ func run(args []string) error {
 				fmt.Println()
 			}
 		case "extras":
-			tb, _, err := experiments.Extras(suite, *parallel)
+			tb, _, err := runner.Extras(suite)
 			if err != nil {
 				return err
 			}
@@ -201,7 +254,7 @@ func run(args []string) error {
 				return err
 			}
 		case "arrays":
-			tb, _, err := experiments.Arrays(suite, *parallel)
+			tb, _, err := runner.Arrays(suite)
 			if err != nil {
 				return err
 			}
@@ -209,7 +262,7 @@ func run(args []string) error {
 				return err
 			}
 		case "targetbits":
-			tb, _, err := experiments.TargetBits(suite, *parallel)
+			tb, _, err := runner.TargetBits(suite)
 			if err != nil {
 				return err
 			}
@@ -217,7 +270,7 @@ func run(args []string) error {
 				return err
 			}
 		case "combined":
-			tb, _, err := experiments.Combined(suite, *parallel)
+			tb, _, err := runner.Combined(suite)
 			if err != nil {
 				return err
 			}
@@ -225,7 +278,7 @@ func run(args []string) error {
 				return err
 			}
 		case "hierarchy":
-			tb, _, err := experiments.Hierarchy(suite, *parallel)
+			tb, _, err := runner.Hierarchy(suite)
 			if err != nil {
 				return err
 			}
@@ -233,7 +286,7 @@ func run(args []string) error {
 				return err
 			}
 		case "cottage":
-			tb, _, err := experiments.Cottage(suite, *parallel)
+			tb, _, err := runner.Cottage(suite)
 			if err != nil {
 				return err
 			}
@@ -241,7 +294,7 @@ func run(args []string) error {
 				return err
 			}
 		case "latency":
-			tb, _, err := experiments.Latency(suite, *parallel)
+			tb, _, err := runner.Latency(suite)
 			if err != nil {
 				return err
 			}
@@ -249,7 +302,7 @@ func run(args []string) error {
 				return err
 			}
 		case "seeds":
-			tb, _, err := experiments.Seeds(*base, nil, *parallel)
+			tb, _, err := runner.Seeds(*base, nil)
 			if err != nil {
 				return err
 			}

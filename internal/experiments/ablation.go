@@ -45,10 +45,10 @@ type Fig10Row struct {
 
 // Fig10 reproduces the optimization ablation: every variant plus the ITTAGE
 // reference run over the suite.
-func Fig10(specs []workload.Spec, parallel int) (*report.Table, []Fig10Row, error) {
+func (r *Runner) Fig10(specs []workload.Spec) (*report.Table, []Fig10Row, error) {
 	variants := AblationVariants()
-	passes := []PassFactory{BLBPVariantsPass(variants), ITTAGEPass()}
-	rows, err := RunSuite(specs, passes, parallel)
+	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
+	rows, err := r.RunSuite(specs, passes)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -36,11 +36,11 @@ type Fig11Row struct {
 
 // Fig11 reproduces the associativity sweep, with ITTAGE as the reference
 // final row (Assoc = 0 marks the reference in the returned data).
-func Fig11(specs []workload.Spec, parallel int) (*report.Table, []Fig11Row, error) {
+func (r *Runner) Fig11(specs []workload.Spec) (*report.Table, []Fig11Row, error) {
 	assocs := []int{4, 8, 16, 32, 64}
 	variants := AssocVariants(assocs)
-	passes := []PassFactory{BLBPVariantsPass(variants), ITTAGEPass()}
-	rows, err := RunSuite(specs, passes, parallel)
+	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
+	rows, err := r.RunSuite(specs, passes)
 	if err != nil {
 		return nil, nil, err
 	}

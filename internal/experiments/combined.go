@@ -25,17 +25,19 @@ type CombinedResult struct {
 // Combined runs the paper's §6 consolidation proposal: one BLBP structure
 // predicting both conditional directions and indirect targets, against the
 // dedicated split (hashed perceptron + BLBP).
-func Combined(specs []workload.Spec, parallel int) (*report.Table, CombinedResult, error) {
-	dedicated := func() (cond.Predictor, []predictor.Indirect) {
-		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+func (r *Runner) Combined(specs []workload.Spec) (*report.Table, CombinedResult, error) {
+	dedicated := Shared(CondKeyHP, func() (cond.Predictor, []predictor.Indirect) {
+		return newHP(), []predictor.Indirect{
 			core.New(core.DefaultConfig()),
 		}
-	}
-	consolidated := func() (cond.Predictor, []predictor.Indirect) {
+	})
+	// The consolidated pass shares one structure between the conditional and
+	// indirect roles, so it owns its conditional state and is fully simulated.
+	consolidated := Exclusive(func() (cond.Predictor, []predictor.Indirect) {
 		p := combined.New(core.DefaultConfig())
 		return p, []predictor.Indirect{p.Indirect()}
-	}
-	rows, err := RunSuite(specs, []PassFactory{dedicated, consolidated}, parallel)
+	})
+	rows, err := r.RunSuite(specs, []Pass{dedicated, consolidated})
 	if err != nil {
 		return nil, CombinedResult{}, err
 	}

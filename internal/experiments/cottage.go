@@ -25,18 +25,18 @@ type CottageResult struct {
 // conditional branches combined with ITTAGE for indirect targets — against
 // this repository's default pairing (hashed perceptron + BLBP), on both
 // axes at once.
-func Cottage(specs []workload.Spec, parallel int) (*report.Table, CottageResult, error) {
-	hpPass := func() (cond.Predictor, []predictor.Indirect) {
-		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+func (r *Runner) Cottage(specs []workload.Spec) (*report.Table, CottageResult, error) {
+	hpPass := Shared(CondKeyHP, func() (cond.Predictor, []predictor.Indirect) {
+		return newHP(), []predictor.Indirect{
 			core.New(core.DefaultConfig()),
 		}
-	}
-	cottagePass := func() (cond.Predictor, []predictor.Indirect) {
+	})
+	cottagePass := Shared(CondKeyTAGE, func() (cond.Predictor, []predictor.Indirect) {
 		return cond.NewTAGE(cond.DefaultTAGEConfig()), []predictor.Indirect{
 			ittage.New(ittage.DefaultConfig()),
 		}
-	}
-	rows, err := RunSuite(specs, []PassFactory{hpPass, cottagePass}, parallel)
+	})
+	rows, err := r.RunSuite(specs, []Pass{hpPass, cottagePass})
 	if err != nil {
 		return nil, CottageResult{}, err
 	}
@@ -80,20 +80,25 @@ type LatencyResult struct {
 // cosine similarities computed per cycle, the paper argues over half of all
 // predictions take one cycle and 90% take at most four. The driver runs
 // BLBP over the suite and aggregates its candidate-set-size histogram.
-func Latency(specs []workload.Spec, parallel int) (*report.Table, LatencyResult, error) {
-	recs := make([]*latencyRecorder, 0, len(specs))
-	pass := func() (cond.Predictor, []predictor.Indirect) {
-		r := &latencyRecorder{BLBP: core.New(core.DefaultConfig())}
-		recs = append(recs, r)
-		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{r}
-	}
-	// Sequential: recs is appended from the factory.
-	if _, err := RunSuite(specs, []PassFactory{pass}, 1); err != nil {
+func (r *Runner) Latency(specs []workload.Spec) (*report.Table, LatencyResult, error) {
+	// Each task owns the recorder slot of its workload index, so the driver
+	// is parallel-safe and the aggregation below visits recorders in
+	// deterministic spec order.
+	recs := make([]*latencyRecorder, len(specs))
+	pass := Pass{CondKey: CondKeyHP, New: func(w int) (cond.Predictor, []predictor.Indirect) {
+		rec := &latencyRecorder{BLBP: core.New(core.DefaultConfig())}
+		recs[w] = rec
+		return newHP(), []predictor.Indirect{rec}
+	}}
+	if _, err := r.RunSuite(specs, []Pass{pass}); err != nil {
 		return nil, LatencyResult{}, err
 	}
 	var hist []int64
-	for _, r := range recs {
-		h := r.BLBP.CandidateHistogram()
+	for _, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		h := rec.BLBP.CandidateHistogram()
 		if hist == nil {
 			hist = make([]int64, len(h))
 		}

@@ -8,9 +8,19 @@ import (
 	"blbp/internal/cond"
 	"blbp/internal/core"
 	"blbp/internal/predictor"
+	"blbp/internal/report"
+	"blbp/internal/sim"
 	"blbp/internal/trace"
 	"blbp/internal/workload"
 )
+
+// testRunner returns a Runner closed when the test ends.
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	r := NewRunner(0)
+	t.Cleanup(r.Close)
+	return r
+}
 
 // miniSuite returns a small but diverse workload set for fast integration
 // tests.
@@ -65,13 +75,13 @@ func TestRunSuiteErrors(t *testing.T) {
 		t.Error("no passes accepted")
 	}
 	// Duplicate predictor names across passes must be rejected.
-	dup := []PassFactory{
-		func() (cond.Predictor, []predictor.Indirect) {
+	dup := []Pass{
+		Exclusive(func() (cond.Predictor, []predictor.Indirect) {
 			return cond.NewBimodal(64), []predictor.Indirect{core.New(core.DefaultConfig())}
-		},
-		func() (cond.Predictor, []predictor.Indirect) {
+		}),
+		Exclusive(func() (cond.Predictor, []predictor.Indirect) {
 			return cond.NewBimodal(64), []predictor.Indirect{core.New(core.DefaultConfig())}
-		},
+		}),
 	}
 	if _, err := RunSuite(miniSuite(5_000), dup, 1); err == nil {
 		t.Error("duplicate predictor names accepted")
@@ -109,7 +119,7 @@ func TestRenameWrapsPredictor(t *testing.T) {
 }
 
 func TestFig1RowsSortedByIndirect(t *testing.T) {
-	tb, rows := Fig1(miniSuite(60_000), 0)
+	tb, rows := testRunner(t).Fig1(miniSuite(60_000))
 	if tb.Rows() != 3 || len(rows) != 3 {
 		t.Fatalf("rows = %d/%d, want 3", tb.Rows(), len(rows))
 	}
@@ -126,7 +136,7 @@ func TestFig1RowsSortedByIndirect(t *testing.T) {
 }
 
 func TestFig6Bounds(t *testing.T) {
-	_, rows := Fig6(miniSuite(60_000), 0)
+	_, rows := testRunner(t).Fig6(miniSuite(60_000))
 	for _, r := range rows {
 		if r.PolyPct < 0 || r.PolyPct > 100 {
 			t.Errorf("%s: PolyPct = %v out of range", r.Workload, r.PolyPct)
@@ -140,7 +150,7 @@ func TestFig6Bounds(t *testing.T) {
 }
 
 func TestFig7CCDFMonotone(t *testing.T) {
-	_, pts := Fig7(miniSuite(60_000), 0, 16)
+	_, pts := testRunner(t).Fig7(miniSuite(60_000), 16)
 	if len(pts) != 16 {
 		t.Fatalf("got %d points, want 16", len(pts))
 	}
@@ -155,7 +165,7 @@ func TestFig7CCDFMonotone(t *testing.T) {
 }
 
 func TestOverallAndDerivedFigures(t *testing.T) {
-	tb, data, err := Overall(miniSuite(120_000), 0)
+	tb, data, err := testRunner(t).Overall(miniSuite(120_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +229,7 @@ func TestFig10OnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, rows, err := Fig10(miniSuite(80_000), 0)
+	tb, rows, err := testRunner(t).Fig10(miniSuite(80_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +269,7 @@ func TestFig11OnMiniSuite(t *testing.T) {
 			Classes: 12, Sites: 24, Objects: 96, MethodWork: 20, MethodConds: 1,
 		}),
 	}
-	_, rows, err := Fig11(specs, 0)
+	_, rows, err := testRunner(t).Fig11(specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,6 +327,114 @@ func TestAnalyzeSuiteOrder(t *testing.T) {
 	for i, st := range stats {
 		if st.Name != specs[i].Name {
 			t.Errorf("stats[%d] = %s, want %s (order must match)", i, st.Name, specs[i].Name)
+		}
+	}
+}
+
+// renderTable renders a driver's table to bytes for exact comparison.
+func renderTable(t *testing.T, tb *report.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDriverTablesIdenticalAcrossParallelism renders every driver's table
+// under a single-worker Runner and an 8-worker Runner and requires the
+// outputs to be byte-identical: the scheduler and the shared tape must not
+// leak execution order into any result.
+func TestDriverTablesIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow integration")
+	}
+	specs := miniSuite(60_000)
+	drivers := []struct {
+		name string
+		run  func(r *Runner) (*report.Table, error)
+	}{
+		{"fig1", func(r *Runner) (*report.Table, error) { tb, _ := r.Fig1(specs); return tb, nil }},
+		{"fig6", func(r *Runner) (*report.Table, error) { tb, _ := r.Fig6(specs); return tb, nil }},
+		{"fig7", func(r *Runner) (*report.Table, error) { tb, _ := r.Fig7(specs, 16); return tb, nil }},
+		{"overall", func(r *Runner) (*report.Table, error) { tb, _, err := r.Overall(specs); return tb, err }},
+		{"fig10", func(r *Runner) (*report.Table, error) { tb, _, err := r.Fig10(specs); return tb, err }},
+		{"fig11", func(r *Runner) (*report.Table, error) { tb, _, err := r.Fig11(specs); return tb, err }},
+		{"extras", func(r *Runner) (*report.Table, error) { tb, _, err := r.Extras(specs); return tb, err }},
+		{"arrays", func(r *Runner) (*report.Table, error) { tb, _, err := r.Arrays(specs); return tb, err }},
+		{"targetbits", func(r *Runner) (*report.Table, error) { tb, _, err := r.TargetBits(specs); return tb, err }},
+		{"combined", func(r *Runner) (*report.Table, error) { tb, _, err := r.Combined(specs); return tb, err }},
+		{"hierarchy", func(r *Runner) (*report.Table, error) { tb, _, err := r.Hierarchy(specs); return tb, err }},
+		{"cottage", func(r *Runner) (*report.Table, error) { tb, _, err := r.Cottage(specs); return tb, err }},
+		{"latency", func(r *Runner) (*report.Table, error) { tb, _, err := r.Latency(specs); return tb, err }},
+	}
+	seq := NewRunner(1)
+	defer seq.Close()
+	par := NewRunner(8)
+	defer par.Close()
+	for _, d := range drivers {
+		tbSeq, err := d.run(seq)
+		if err != nil {
+			t.Fatalf("%s (parallel=1): %v", d.name, err)
+		}
+		tbPar, err := d.run(par)
+		if err != nil {
+			t.Fatalf("%s (parallel=8): %v", d.name, err)
+		}
+		if !bytes.Equal(renderTable(t, tbSeq), renderTable(t, tbPar)) {
+			t.Errorf("%s: table differs between parallel=1 and parallel=8", d.name)
+		}
+	}
+}
+
+// TestRunnerBuildsEachTraceOnce runs several drivers over one suite on one
+// Runner and asserts via the cache counters that each workload's trace was
+// constructed exactly once.
+func TestRunnerBuildsEachTraceOnce(t *testing.T) {
+	specs := miniSuite(30_000)
+	r := testRunner(t)
+	r.Fig1(specs)
+	if _, _, err := r.Overall(specs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Cottage(specs); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Cache().Stats()
+	if st.Builds != int64(len(specs)) {
+		t.Errorf("cache builds = %d, want %d (one per workload)", st.Builds, len(specs))
+	}
+	if st.Misses != int64(len(specs)) {
+		t.Errorf("cache misses = %d, want %d", st.Misses, len(specs))
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits across three drivers")
+	}
+}
+
+// TestTapeSharedCondMatchesFullSimulation cross-checks the engine split: a
+// pass run through the shared tape (CondKeyHP) must produce exactly the
+// numbers the monolithic simulation produces.
+func TestTapeSharedCondMatchesFullSimulation(t *testing.T) {
+	specs := miniSuite(60_000)
+	r := testRunner(t)
+	rows, err := r.RunSuite(specs, []Pass{
+		Shared(CondKeyHP, func() (cond.Predictor, []predictor.Indirect) {
+			return newHP(), []predictor.Indirect{core.New(core.DefaultConfig())}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		tr := spec.Build()
+		want, err := sim.Run(tr, newHP(), []predictor.Indirect{core.New(core.DefaultConfig())}, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rows[i].Results[NameBLBP]
+		if got != want[0] {
+			t.Errorf("%s: tape result %+v != full simulation %+v", spec.Name, got, want[0])
 		}
 	}
 }

@@ -19,11 +19,11 @@ import (
 // Calder & Grunwald's 2-bit BTB, Chang et al.'s Target Cache, and Driesen &
 // Hölzle's cascaded predictor, alongside the BTB/ITTAGE/BLBP anchors. It
 // reproduces the related-work lineage (§2.2) quantitatively.
-func Extras(specs []workload.Spec, parallel int) (*report.Table, map[string]float64, error) {
-	pass := func() (cond.Predictor, []predictor.Indirect) {
+func (r *Runner) Extras(specs []workload.Spec) (*report.Table, map[string]float64, error) {
+	pass := Shared(CondKeyHP, func() (cond.Predictor, []predictor.Indirect) {
 		twoBit := btb.Default32K()
 		twoBit.Hysteresis = true
-		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+		return newHP(), []predictor.Indirect{
 			btb.NewIndirect(btb.Default32K()),
 			btb.NewIndirect(twoBit),
 			targetcache.New(targetcache.DefaultConfig()),
@@ -31,8 +31,8 @@ func Extras(specs []workload.Spec, parallel int) (*report.Table, map[string]floa
 			ittage.New(ittage.DefaultConfig()),
 			core.New(core.DefaultConfig()),
 		}
-	}
-	rows, err := RunSuite(specs, []PassFactory{pass}, parallel)
+	})
+	rows, err := r.RunSuite(specs, []Pass{pass})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -135,10 +135,10 @@ func ArraysVariants(arrayCounts []int) []BLBPVariant {
 
 // Arrays runs the SRAM-array-count sweep at (approximately) constant weight
 // storage.
-func Arrays(specs []workload.Spec, parallel int) (*report.Table, map[string]float64, error) {
+func (r *Runner) Arrays(specs []workload.Spec) (*report.Table, map[string]float64, error) {
 	variants := ArraysVariants(nil)
-	passes := []PassFactory{BLBPVariantsPass(variants), ITTAGEPass()}
-	rows, err := RunSuite(specs, passes, parallel)
+	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
+	rows, err := r.RunSuite(specs, passes)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -179,10 +179,10 @@ func TargetBitsVariants() []BLBPVariant {
 }
 
 // TargetBits runs the GlobalTargetBits ablation.
-func TargetBits(specs []workload.Spec, parallel int) (*report.Table, map[string]float64, error) {
+func (r *Runner) TargetBits(specs []workload.Spec) (*report.Table, map[string]float64, error) {
 	variants := TargetBitsVariants()
-	passes := []PassFactory{BLBPVariantsPass(variants), ITTAGEPass()}
-	rows, err := RunSuite(specs, passes, parallel)
+	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
+	rows, err := r.RunSuite(specs, passes)
 	if err != nil {
 		return nil, nil, err
 	}

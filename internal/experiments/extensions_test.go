@@ -69,7 +69,7 @@ func TestExtrasOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, means, err := Extras(miniSuite(80_000), 0)
+	tb, means, err := testRunner(t).Extras(miniSuite(80_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestTargetBitsOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	_, means, err := TargetBits(miniSuite(60_000), 0)
+	_, means, err := testRunner(t).TargetBits(miniSuite(60_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestArraysOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, means, err := Arrays(miniSuite(60_000), 0)
+	tb, means, err := testRunner(t).Arrays(miniSuite(60_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestCombinedOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, res, err := Combined(miniSuite(80_000), 0)
+	tb, res, err := testRunner(t).Combined(miniSuite(80_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestHierarchyOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, res, err := Hierarchy(miniSuite(80_000), 0)
+	tb, res, err := testRunner(t).Hierarchy(miniSuite(80_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestCottageOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, res, err := Cottage(miniSuite(80_000), 0)
+	tb, res, err := testRunner(t).Cottage(miniSuite(80_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestLatencyOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, res, err := Latency(miniSuite(60_000), 0)
+	tb, res, err := testRunner(t).Latency(miniSuite(60_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestSeedsOnMiniBase(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, rows, err := Seeds(20_000, []string{"", "x"}, 0)
+	tb, rows, err := testRunner(t).Seeds(20_000, []string{"", "x"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,8 +19,8 @@ type Fig1Row struct {
 
 // Fig1 reproduces the paper's Figure 1: the per-kilo-instruction breakdown
 // of branch types per benchmark, sorted by increasing indirect prevalence.
-func Fig1(specs []workload.Spec, parallel int) (*report.Table, []Fig1Row) {
-	stats := AnalyzeSuite(specs, parallel)
+func (r *Runner) Fig1(specs []workload.Spec) (*report.Table, []Fig1Row) {
+	stats := r.AnalyzeSuite(specs)
 	rows := make([]Fig1Row, len(specs))
 	for i, st := range stats {
 		row := Fig1Row{
@@ -63,8 +63,8 @@ type Fig6Row struct {
 
 // Fig6 reproduces Figure 6: polymorphism per workload, ordered from fewest
 // to most targets.
-func Fig6(specs []workload.Spec, parallel int) (*report.Table, []Fig6Row) {
-	stats := AnalyzeSuite(specs, parallel)
+func (r *Runner) Fig6(specs []workload.Spec) (*report.Table, []Fig6Row) {
+	stats := r.AnalyzeSuite(specs)
 	rows := make([]Fig6Row, len(specs))
 	for i, st := range stats {
 		rows[i] = Fig6Row{
@@ -95,11 +95,11 @@ type Fig7Point struct {
 
 // Fig7 reproduces Figure 7: the distribution of the number of potential
 // targets, aggregated over the whole suite (dynamic weighting).
-func Fig7(specs []workload.Spec, parallel int, maxTargets int) (*report.Table, []Fig7Point) {
+func (r *Runner) Fig7(specs []workload.Spec, maxTargets int) (*report.Table, []Fig7Point) {
 	if maxTargets <= 0 {
 		maxTargets = 64
 	}
-	stats := AnalyzeSuite(specs, parallel)
+	stats := r.AnalyzeSuite(specs)
 	// Aggregate execution-weighted CCDF across workloads: accumulate raw
 	// per-trace CCDFs weighted by each trace's indirect execution count.
 	agg := make([]float64, maxTargets)

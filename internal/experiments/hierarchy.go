@@ -26,30 +26,28 @@ type HierarchyResult struct {
 // Hierarchy runs the §6 future-work IBTB-hierarchy study: can a two-level
 // structure match the 64-way monolith's accuracy while keeping the common
 // case at 8-way associativity?
-func Hierarchy(specs []workload.Spec, parallel int) (*report.Table, HierarchyResult, error) {
+func (r *Runner) Hierarchy(specs []workload.Spec) (*report.Table, HierarchyResult, error) {
 	mono8 := core.DefaultConfig()
 	mono8.IBTB.Assoc = 8
 	mono8.IBTB.Sets = 512
 	hier := core.DefaultConfig()
 	hier.UseHierarchicalIBTB = true
 
-	// Collect L2 probe rates from the hierarchical instances as they run;
-	// instances are created per workload, so accumulate through a shared
-	// slice (the run below is sequential).
-	var samples []*probeSample
-	pass := func() (cond.Predictor, []predictor.Indirect) {
+	// Collect L2 probe rates from the hierarchical instances as they run.
+	// Each task writes only its own workload's slot, so the driver is
+	// parallel-safe and the aggregation visits samples in spec order.
+	samples := make([]*probeSample, len(specs))
+	pass := Pass{CondKey: CondKeyHP, New: func(w int) (cond.Predictor, []predictor.Indirect) {
 		h := core.New(hier)
 		s := &probeSample{}
-		samples = append(samples, s)
-		return cond.NewHashedPerceptron(cond.DefaultHPConfig()), []predictor.Indirect{
+		samples[w] = s
+		return newHP(), []predictor.Indirect{
 			Rename(core.New(core.DefaultConfig()), "mono-64way"),
 			Rename(core.New(mono8), "mono-8way"),
 			Rename(&probeRecorder{BLBP: h, out: s}, "hierarchy"),
 		}
-	}
-	// samples is appended from worker goroutines; run sequentially to keep
-	// the accounting simple and deterministic.
-	rows, err := RunSuite(specs, []PassFactory{pass}, 1)
+	}}
+	rows, err := r.RunSuite(specs, []Pass{pass})
 	if err != nil {
 		return nil, HierarchyResult{}, err
 	}
@@ -67,6 +65,9 @@ func Hierarchy(specs []workload.Spec, parallel int) (*report.Table, HierarchyRes
 	res.HierMPKI = stats.Mean(mh)
 	rates := make([]float64, 0, len(samples))
 	for _, s := range samples {
+		if s == nil {
+			continue
+		}
 		rates = append(rates, s.rate)
 	}
 	res.HierL2ProbeRate = stats.Mean(rates)

@@ -41,8 +41,8 @@ func (d OverallData) CondAccuracyMean(name string) float64 {
 // Overall runs the four standard predictors over the suite — the §5.1
 // headline experiment. The returned table lists suite-mean MPKI per
 // predictor (paper: BTB 3.40, VPC 0.29, ITTAGE 0.193, BLBP 0.183).
-func Overall(specs []workload.Spec, parallel int) (*report.Table, OverallData, error) {
-	rows, err := RunSuite(specs, StandardPasses(), parallel)
+func (r *Runner) Overall(specs []workload.Spec) (*report.Table, OverallData, error) {
+	rows, err := r.RunSuite(specs, StandardPasses())
 	if err != nil {
 		return nil, OverallData{}, err
 	}

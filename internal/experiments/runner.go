@@ -3,17 +3,25 @@
 // driver returns both a rendered report table and the raw data, so the
 // command-line tool, the benchmarks, and the tests all share one
 // implementation.
+//
+// Drivers run on a Runner, the process-wide execution layer: one trace
+// cache (internal/tracecache) so each workload's trace is built exactly
+// once per process no matter how many drivers touch it, and one
+// work-stealing worker pool that schedules (workload × pass) tasks — the
+// granularity CBP-style trace-driven infrastructures parallelize at — so
+// multi-pass drivers like the Fig. 10 ablation no longer run their passes
+// serially inside one goroutine.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"blbp/internal/cond"
 	"blbp/internal/predictor"
 	"blbp/internal/sim"
 	"blbp/internal/trace"
+	"blbp/internal/tracecache"
 	"blbp/internal/workload"
 )
 
@@ -21,6 +29,33 @@ import (
 // indirect predictors that share it. Factories are invoked once per
 // workload so every trace starts with cold predictors, as in the paper.
 type PassFactory func() (cond.Predictor, []predictor.Indirect)
+
+// Pass couples a pass factory with its scheduling contract.
+type Pass struct {
+	// CondKey identifies the conditional predictor configuration when its
+	// simulation is shareable: every pass declaring the same key must
+	// construct an identical conditional predictor, and the engine then
+	// simulates the conditional/RAS side once per (trace, key) on the
+	// workload's tape and replays it for every other pass (see sim.Tape).
+	// An empty key marks a pass that owns conditional state (VPC, the
+	// consolidated predictor) and is always fully simulated.
+	CondKey string
+	// New builds the pass's predictors for workload index w. Most passes
+	// ignore w; drivers that collect per-workload side data (Hierarchy,
+	// Latency) use it to key sample ownership instead of sharing slices.
+	New func(w int) (cond.Predictor, []predictor.Indirect)
+}
+
+// Shared wraps a factory into a Pass whose conditional configuration is
+// shared under condKey.
+func Shared(condKey string, f PassFactory) Pass {
+	return Pass{CondKey: condKey, New: func(int) (cond.Predictor, []predictor.Indirect) { return f() }}
+}
+
+// Exclusive wraps a factory into a Pass that owns its conditional state.
+func Exclusive(f PassFactory) Pass {
+	return Pass{New: func(int) (cond.Predictor, []predictor.Indirect) { return f() }}
+}
 
 // WorkloadResult holds all predictor results for one workload.
 type WorkloadResult struct {
@@ -33,65 +68,136 @@ func (w WorkloadResult) MPKI(name string) float64 {
 	return w.Results[name].IndirectMPKI()
 }
 
-// RunSuite simulates every pass over every spec, building each trace once
-// and running workloads in parallel. Results preserve spec order.
-func RunSuite(specs []workload.Spec, factories []PassFactory, parallel int) ([]WorkloadResult, error) {
+// Runner is the suite-wide execution layer shared by every driver of one
+// process: the trace cache and the work-stealing pool. Create one per
+// process (or per experiment batch), run any number of drivers on it, and
+// Close it when done.
+type Runner struct {
+	cache     *tracecache.Cache
+	pool      *pool
+	ownsCache bool
+}
+
+// NewRunner returns a Runner with workers worker goroutines (0 = GOMAXPROCS)
+// and an unbounded private trace cache.
+func NewRunner(workers int) *Runner {
+	r := NewRunnerCache(workers, tracecache.New(tracecache.Config{}))
+	r.ownsCache = true
+	return r
+}
+
+// NewRunnerCache returns a Runner over an externally owned trace cache,
+// letting several runners (or a benchmark harness) share built traces.
+func NewRunnerCache(workers int, cache *tracecache.Cache) *Runner {
+	return &Runner{cache: cache, pool: newPool(workers)}
+}
+
+// Close stops the worker pool (and drops a private cache's entries).
+func (r *Runner) Close() {
+	r.pool.close()
+	if r.ownsCache {
+		r.cache.Close()
+	}
+}
+
+// Cache exposes the trace cache (for counter reporting).
+func (r *Runner) Cache() *tracecache.Cache { return r.cache }
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.pool.workers() }
+
+// RunSuite simulates every pass over every spec. The run is decomposed
+// into (workload × pass) tasks on the shared pool: each task fetches the
+// workload's trace from the cache (building it at most once process-wide),
+// obtains the shared tape, and replays its pass. Results are reassembled
+// in deterministic spec/pass order, so the output is byte-for-byte
+// independent of the worker count.
+func (r *Runner) RunSuite(specs []workload.Spec, passes []Pass) ([]WorkloadResult, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("experiments: no workloads")
 	}
-	if len(factories) == 0 {
+	if len(passes) == 0 {
 		return nil, fmt.Errorf("experiments: no passes")
 	}
-	if parallel <= 0 {
-		parallel = runtime.NumCPU()
+	type cell struct {
+		res []sim.Result
+		err error
 	}
-	if parallel > len(specs) {
-		parallel = len(specs)
+	cells := make([]cell, len(specs)*len(passes))
+	var wg sync.WaitGroup
+	wg.Add(len(cells))
+	for i := range specs {
+		for j := range passes {
+			c := &cells[i*len(passes)+j]
+			spec, pass := specs[i], passes[j]
+			w := i
+			r.pool.submit(func() {
+				defer wg.Done()
+				tape, err := r.cache.Get(spec).Tape()
+				if err != nil {
+					c.err = err
+					return
+				}
+				cp, indirects := pass.New(w)
+				c.res, c.err = tape.Run(pass.CondKey, cp, indirects, sim.Options{})
+			})
+		}
 	}
+	wg.Wait()
 
 	out := make([]WorkloadResult, len(specs))
-	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				out[i], errs[i] = runWorkload(specs[i], factories)
-			}
-		}()
-	}
 	for i := range specs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: workload %s: %w", specs[i].Name, err)
+		wr := WorkloadResult{Spec: specs[i], Results: make(map[string]sim.Result)}
+		for j := range passes {
+			c := &cells[i*len(passes)+j]
+			if c.err != nil {
+				return nil, fmt.Errorf("experiments: workload %s: %w", specs[i].Name, c.err)
+			}
+			for _, res := range c.res {
+				if _, dup := wr.Results[res.Predictor]; dup {
+					return nil, fmt.Errorf("experiments: workload %s: duplicate predictor name %q", specs[i].Name, res.Predictor)
+				}
+				wr.Results[res.Predictor] = res
+			}
 		}
+		out[i] = wr
 	}
 	return out, nil
 }
 
-func runWorkload(spec workload.Spec, factories []PassFactory) (WorkloadResult, error) {
-	tr := spec.Build()
-	wr := WorkloadResult{Spec: spec, Results: make(map[string]sim.Result)}
-	for _, f := range factories {
-		cp, indirects := f()
-		results, err := sim.Run(tr, cp, indirects, sim.Options{})
-		if err != nil {
-			return wr, err
-		}
-		for _, r := range results {
-			if _, dup := wr.Results[r.Predictor]; dup {
-				return wr, fmt.Errorf("duplicate predictor name %q", r.Predictor)
-			}
-			wr.Results[r.Predictor] = r
-		}
+// AnalyzeSuite returns each spec's trace statistics in spec order. Both
+// the traces and their statistics are memoized on the cache, so the
+// characterization figures (Fig. 1/6/7) analyze each workload once between
+// them.
+func (r *Runner) AnalyzeSuite(specs []workload.Spec) []*trace.Stats {
+	out := make([]*trace.Stats, len(specs))
+	var wg sync.WaitGroup
+	wg.Add(len(specs))
+	for i := range specs {
+		spec := specs[i]
+		out2 := &out[i]
+		r.pool.submit(func() {
+			defer wg.Done()
+			*out2 = r.cache.Get(spec).Stats()
+		})
 	}
-	return wr, nil
+	wg.Wait()
+	return out
+}
+
+// RunSuite is the one-shot form: a private Runner with parallel workers
+// (0 = GOMAXPROCS) serves the single call.
+func RunSuite(specs []workload.Spec, passes []Pass, parallel int) ([]WorkloadResult, error) {
+	r := NewRunner(parallel)
+	defer r.Close()
+	return r.RunSuite(specs, passes)
+}
+
+// AnalyzeSuite is the one-shot form of Runner.AnalyzeSuite.
+func AnalyzeSuite(specs []workload.Spec, parallel int) []*trace.Stats {
+	r := NewRunner(parallel)
+	defer r.Close()
+	return r.AnalyzeSuite(specs)
 }
 
 // named renames an indirect predictor so several instances of one type can
@@ -107,32 +213,3 @@ func Rename(p predictor.Indirect, name string) predictor.Indirect {
 }
 
 func (n named) Name() string { return n.name }
-
-// AnalyzeSuite builds each spec's trace and returns its statistics, in spec
-// order (parallel across specs). Used by the characterization figures.
-func AnalyzeSuite(specs []workload.Spec, parallel int) []*trace.Stats {
-	if parallel <= 0 {
-		parallel = runtime.NumCPU()
-	}
-	if parallel > len(specs) {
-		parallel = len(specs)
-	}
-	out := make([]*trace.Stats, len(specs))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				out[i] = trace.Analyze(specs[i].Build())
-			}
-		}()
-	}
-	for i := range specs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	return out
-}

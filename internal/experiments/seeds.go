@@ -20,7 +20,7 @@ type SeedsRow struct {
 // seeded draws of the workload suite (same names and parameters, different
 // random content) to check that the BLBP-vs-ITTAGE margin is a property of
 // the workload population, not of one random draw.
-func Seeds(base int64, salts []string, parallel int) (*report.Table, []SeedsRow, error) {
+func (r *Runner) Seeds(base int64, salts []string) (*report.Table, []SeedsRow, error) {
 	if len(salts) == 0 {
 		salts = []string{"", "a", "b", "c"}
 	}
@@ -31,7 +31,7 @@ func Seeds(base int64, salts []string, parallel int) (*report.Table, []SeedsRow,
 	)
 	for _, salt := range salts {
 		suite := workload.SuiteSeeded(base, salt)
-		_, data, err := Overall(suite, parallel)
+		_, data, err := r.Overall(suite)
 		if err != nil {
 			return nil, nil, err
 		}

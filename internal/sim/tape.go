@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"blbp/internal/cond"
+	"blbp/internal/predictor"
+	"blbp/internal/ras"
+	"blbp/internal/trace"
+)
+
+// Tape is the shared, replayable side of simulating one trace. Everything a
+// pass observes that is a function of the trace alone — per-record
+// instruction counts, the conditional outcome stream, the RAS push/pop
+// sequence — is identical across every pass over that trace, so the tape
+// precomputes it once: the aggregate totals at construction, the
+// return-stack misprediction count once per RAS depth, and the conditional
+// predictor's misprediction count once per conditional configuration key.
+// Passes that declare a shared conditional configuration then replay the
+// tape, driving only their indirect predictors over the record stream,
+// instead of re-simulating the conditional and return sides.
+//
+// A Tape is safe for concurrent use: the scheduler runs many passes of the
+// same workload at once and they all share one tape.
+type Tape struct {
+	tr           *trace.Trace
+	instructions int64
+	condBranches int64
+	returns      int64
+
+	mu   sync.Mutex
+	ras  map[int]*rasMemo
+	cond map[string]*condMemo
+}
+
+// condMemo memoizes one conditional configuration's misprediction count.
+// Once gives single-flight semantics: concurrent passes over the same key
+// block until the first has simulated the conditional side, then share it.
+type condMemo struct {
+	once        sync.Once
+	mispredicts int64
+}
+
+type rasMemo struct {
+	once        sync.Once
+	mispredicts int64
+}
+
+// NewTape validates the trace and scans it once for the pass-invariant
+// totals. The conditional and RAS sides are filled in lazily on first use.
+func NewTape(tr *trace.Trace) (*Tape, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	tp := &Tape{tr: tr, ras: make(map[int]*rasMemo), cond: make(map[string]*condMemo)}
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		tp.instructions += r.Instructions()
+		switch r.Type {
+		case trace.CondDirect:
+			tp.condBranches++
+		case trace.Return:
+			tp.returns++
+		}
+	}
+	return tp, nil
+}
+
+// Trace returns the underlying trace (shared; callers must not mutate it).
+func (tp *Tape) Trace() *trace.Trace { return tp.tr }
+
+// Instructions returns the trace's total instruction count.
+func (tp *Tape) Instructions() int64 { return tp.instructions }
+
+// condMispredicts returns the misprediction count of the conditional
+// configuration named by key, simulating cp over the trace on the key's
+// first use. Callers guarantee that every cp arriving under one key is a
+// freshly constructed predictor of the identical configuration; later
+// arrivals are discarded unused.
+func (tp *Tape) condMispredicts(key string, cp cond.Predictor) int64 {
+	tp.mu.Lock()
+	m := tp.cond[key]
+	if m == nil {
+		m = &condMemo{}
+		tp.cond[key] = m
+	}
+	tp.mu.Unlock()
+	m.once.Do(func() { m.mispredicts = tp.simulateCond(cp) })
+	return m.mispredicts
+}
+
+// simulateCond drives the conditional predictor over the trace exactly as
+// Run does — same call sequence, no indirect predictors — and returns its
+// misprediction count.
+func (tp *Tape) simulateCond(cp cond.Predictor) int64 {
+	tt, hasTT := cp.(cond.TargetTrainer)
+	var mis int64
+	for i := range tp.tr.Records {
+		r := &tp.tr.Records[i]
+		if r.Type == trace.CondDirect {
+			if cp.Predict(r.PC) != r.Taken {
+				mis++
+			}
+			if hasTT {
+				tt.TrainWithTarget(r.PC, r.Taken, r.Target)
+			} else {
+				cp.Train(r.PC, r.Taken)
+			}
+			cp.UpdateHistory(r.PC, r.Taken)
+		} else {
+			cp.OnOther(r.PC, r.Target, r.Type)
+		}
+	}
+	return mis
+}
+
+// returnMispredicts returns the RAS misprediction count at the given stack
+// depth, replaying the trace's call/return sequence on the depth's first
+// use.
+func (tp *Tape) returnMispredicts(depth int) int64 {
+	tp.mu.Lock()
+	m := tp.ras[depth]
+	if m == nil {
+		m = &rasMemo{}
+		tp.ras[depth] = m
+	}
+	tp.mu.Unlock()
+	m.once.Do(func() {
+		stack := ras.New(depth)
+		var mis int64
+		for i := range tp.tr.Records {
+			r := &tp.tr.Records[i]
+			switch r.Type {
+			case trace.DirectCall, trace.IndirectCall:
+				stack.Push(r.PC + instructionSize)
+			case trace.Return:
+				if !stack.Predict(r.Target) {
+					mis++
+				}
+			}
+		}
+		m.mispredicts = mis
+	})
+	return m.mispredicts
+}
+
+// Run simulates one pass over the tape's trace. A non-empty condKey names
+// the pass's conditional predictor configuration: the conditional and
+// return-stack sides are then sourced from the tape (simulated once per
+// key and depth, shared by every pass that declares them) and only the
+// indirect predictors replay the record stream. With condKey == "" the pass
+// owns conditional state — VPC and the consolidated predictor share state
+// between the two sides — and the full engine runs instead.
+//
+// Every caller passing the same condKey must construct cp identically;
+// results are bit-identical to Run because the conditional predictor, the
+// RAS, and the indirect predictors never exchange state within a pass.
+func (tp *Tape) Run(condKey string, cp cond.Predictor, indirects []predictor.Indirect, opts Options) ([]Result, error) {
+	if condKey == "" {
+		return Run(tp.tr, cp, indirects, opts)
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("sim: nil conditional predictor")
+	}
+	if len(indirects) == 0 {
+		return nil, fmt.Errorf("sim: no indirect predictors")
+	}
+	condMis := tp.condMispredicts(condKey, cp)
+	retMis := tp.returnMispredicts(opts.rasDepth())
+
+	perPred := make([]Result, len(indirects))
+	for ri := range tp.tr.Records {
+		r := &tp.tr.Records[ri]
+		switch r.Type {
+		case trace.CondDirect:
+			for _, ip := range indirects {
+				ip.OnCond(r.PC, r.Taken)
+			}
+		case trace.IndirectJump, trace.IndirectCall:
+			for i, ip := range indirects {
+				perPred[i].IndirectBranches++
+				pred, ok := ip.Predict(r.PC)
+				if !ok {
+					perPred[i].NoPrediction++
+					perPred[i].IndirectMispredicts++
+				} else if pred != r.Target {
+					perPred[i].IndirectMispredicts++
+				}
+				ip.Update(r.PC, r.Target)
+			}
+		default: // Return, DirectCall, UncondDirect
+			for _, ip := range indirects {
+				ip.OnOther(r.PC, r.Target, r.Type)
+			}
+		}
+	}
+
+	for i, ip := range indirects {
+		perPred[i].Trace = tp.tr.Name
+		perPred[i].Predictor = ip.Name()
+		perPred[i].Instructions = tp.instructions
+		perPred[i].CondBranches = tp.condBranches
+		perPred[i].CondMispredicts = condMis
+		perPred[i].Returns = tp.returns
+		perPred[i].ReturnMispredicts = retMis
+	}
+	return perPred, nil
+}

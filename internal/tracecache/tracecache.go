@@ -1,0 +1,294 @@
+// Package tracecache memoizes workload trace construction across every
+// experiment driver in one process. A full `experiments all` run touches
+// the same 88-workload suite from a dozen drivers; without the cache each
+// driver rebuilds every trace from its generator (internal/experiments PR 1
+// profile: most of the suite wall clock). The cache keys on the spec's
+// identity (name, seed, instruction budget — see workload.Spec.Identity),
+// deduplicates concurrent builds with single-flight entries, counts hits,
+// misses and bytes, and can bound its memory footprint with an LRU spill
+// that evicts traces to disk in the internal/trace binary format and
+// decodes them back on the next touch instead of rebuilding.
+//
+// Each entry also memoizes the two derived artifacts every driver needs:
+// the trace's statistics (trace.Analyze, shared by the characterization
+// figures) and its simulation tape (sim.NewTape, shared by every predictor
+// pass; see internal/sim).
+package tracecache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"blbp/internal/sim"
+	"blbp/internal/trace"
+	"blbp/internal/workload"
+)
+
+// entryOverheadBytes approximates per-entry bookkeeping; recordBytes is the
+// in-memory size of one trace.Record (two uint64, a uint32, two bytes,
+// padded).
+const (
+	recordBytes        = 24
+	entryOverheadBytes = 256
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxBytes bounds the approximate in-memory footprint of live traces;
+	// 0 means unbounded. When the bound is exceeded the least-recently-used
+	// entries are evicted.
+	MaxBytes int64
+	// SpillDir, when non-empty, receives evicted traces in the binary trace
+	// format so a later Get decodes them from disk instead of re-running
+	// the generator. Empty means evicted traces are simply dropped.
+	SpillDir string
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Builds counts generator invocations (spec.Build calls).
+	Builds int64
+	// Hits counts Gets served from a live entry, including Gets that
+	// coalesced onto an in-flight build.
+	Hits int64
+	// Misses counts Gets that had to create the entry.
+	Misses int64
+	// SpillLoads counts entries restored by decoding a spilled trace file.
+	SpillLoads int64
+	// Evictions counts entries evicted from memory by the byte budget.
+	Evictions int64
+	// LiveBytes approximates the bytes held by live entries.
+	LiveBytes int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d builds, %d hits, %d misses, %d spill loads, %d evictions, %.1f MB live",
+		s.Builds, s.Hits, s.Misses, s.SpillLoads, s.Evictions, float64(s.LiveBytes)/(1<<20))
+}
+
+// Cache is a process-wide trace cache. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[workload.Identity]*Entry
+	lru     *list.List // of *Entry, front = most recently used
+	spilled map[workload.Identity]string
+	live    int64 // bytes, under mu
+
+	builds     atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	spillLoads atomic.Int64
+	evictions  atomic.Int64
+}
+
+// New constructs a cache.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[workload.Identity]*Entry),
+		lru:     list.New(),
+		spilled: make(map[workload.Identity]string),
+	}
+}
+
+// Entry is one cached workload: the built trace plus memoized derived
+// artifacts. Entries stay valid after eviction — eviction only drops the
+// cache's own reference.
+type Entry struct {
+	id    workload.Identity
+	once  sync.Once
+	build func() // bound at creation; every Get runs it through once
+	tr    *trace.Trace
+	bytes int64
+	elem  *list.Element // LRU position, nil once evicted; under Cache.mu
+
+	statsOnce sync.Once
+	stats     *trace.Stats
+
+	tapeOnce sync.Once
+	tape     *sim.Tape
+	tapeErr  error
+}
+
+// Trace returns the built trace (shared; callers must not mutate it).
+func (e *Entry) Trace() *trace.Trace { return e.tr }
+
+// Stats returns the trace's statistics, analyzing it on first use.
+func (e *Entry) Stats() *trace.Stats {
+	e.statsOnce.Do(func() { e.stats = trace.Analyze(e.tr) })
+	return e.stats
+}
+
+// Tape returns the trace's simulation tape, building it on first use.
+func (e *Entry) Tape() (*sim.Tape, error) {
+	e.tapeOnce.Do(func() { e.tape, e.tapeErr = sim.NewTape(e.tr) })
+	return e.tape, e.tapeErr
+}
+
+// Get returns the cache entry for the spec, building the trace on first
+// touch. Concurrent Gets of the same spec coalesce onto one build; every
+// other caller blocks until it completes and shares the entry.
+func (c *Cache) Get(spec workload.Spec) *Entry {
+	id := spec.Identity()
+	c.mu.Lock()
+	e := c.entries[id]
+	if e != nil {
+		c.touch(e)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		e.once.Do(e.build) // coalesce onto an in-flight build
+		return e
+	}
+	e = &Entry{id: id}
+	spillPath := c.spilled[id]
+	e.build = func() {
+		if spillPath != "" {
+			if tr, err := loadSpill(spillPath); err == nil && tr.Name == spec.Name {
+				c.spillLoads.Add(1)
+				e.tr = tr
+			}
+		}
+		if e.tr == nil {
+			c.builds.Add(1)
+			e.tr = spec.Build()
+		}
+		e.bytes = int64(len(e.tr.Records))*recordBytes + int64(len(e.tr.Name)) + entryOverheadBytes
+	}
+	c.entries[id] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.once.Do(e.build)
+
+	c.mu.Lock()
+	if e.elem == nil && c.entries[id] == e {
+		e.elem = c.lru.PushFront(e)
+		c.live += e.bytes
+	}
+	victims := c.collectVictims(e)
+	c.mu.Unlock()
+	c.spill(victims)
+	return e
+}
+
+// touch moves a live entry to the LRU front. Caller holds mu.
+func (c *Cache) touch(e *Entry) {
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// collectVictims evicts least-recently-used entries until the footprint
+// fits the budget again, sparing keep, and returns them for spilling.
+// Caller holds mu.
+func (c *Cache) collectVictims(keep *Entry) []*Entry {
+	if c.cfg.MaxBytes <= 0 {
+		return nil
+	}
+	var victims []*Entry
+	for c.live > c.cfg.MaxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		v := back.Value.(*Entry)
+		if v == keep {
+			break
+		}
+		c.lru.Remove(back)
+		v.elem = nil
+		delete(c.entries, v.id)
+		c.live -= v.bytes
+		c.evictions.Add(1)
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+// spill writes evicted traces to the spill directory (outside the lock; a
+// failed write just means the next Get rebuilds from the generator).
+func (c *Cache) spill(victims []*Entry) {
+	if c.cfg.SpillDir == "" {
+		return
+	}
+	for _, v := range victims {
+		c.mu.Lock()
+		path, done := c.spilled[v.id]
+		c.mu.Unlock()
+		if done && path != "" {
+			continue
+		}
+		path = filepath.Join(c.cfg.SpillDir, spillName(v.id))
+		if err := writeSpill(path, v.tr); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		c.spilled[v.id] = path
+		c.mu.Unlock()
+	}
+}
+
+func spillName(id workload.Identity) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", id.Name, id.Seed, id.Instructions)
+	return fmt.Sprintf("%016x.blbptrc", h.Sum64())
+}
+
+func writeSpill(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, tr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+func loadSpill(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	live := c.live
+	c.mu.Unlock()
+	return Stats{
+		Builds:     c.builds.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		SpillLoads: c.spillLoads.Load(),
+		Evictions:  c.evictions.Load(),
+		LiveBytes:  live,
+	}
+}
+
+// Close drops every entry and removes the cache's spill files.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, path := range c.spilled {
+		os.Remove(path)
+		delete(c.spilled, id)
+	}
+	c.entries = make(map[workload.Identity]*Entry)
+	c.lru.Init()
+	c.live = 0
+}

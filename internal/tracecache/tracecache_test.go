@@ -1,0 +1,163 @@
+package tracecache
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"blbp/internal/workload"
+)
+
+func testSpec(name string, instr int64) workload.Spec {
+	return workload.InterpreterSpec(name, "T", instr, workload.InterpreterParams{
+		Opcodes: 10, ProgramLen: 24, Work: 20, CondPerHandler: 1,
+		CondNoise: 0.005, DispatchNoise: 0.002,
+	})
+}
+
+func TestGetBuildsOnceAndHits(t *testing.T) {
+	c := New(Config{})
+	defer c.Close()
+	spec := testSpec("cache-a", 5_000)
+	e1 := c.Get(spec)
+	if e1.Trace() == nil || len(e1.Trace().Records) == 0 {
+		t.Fatal("empty trace")
+	}
+	e2 := c.Get(spec)
+	if e1 != e2 {
+		t.Error("second Get returned a different entry")
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 build / 1 miss / 1 hit", st)
+	}
+	if st.LiveBytes <= 0 {
+		t.Errorf("live bytes = %d", st.LiveBytes)
+	}
+}
+
+// TestConcurrentGetSingleFlight launches many goroutines on a randomized
+// schedule over a few specs; each spec must be built exactly once and all
+// callers must share one entry per spec.
+func TestConcurrentGetSingleFlight(t *testing.T) {
+	c := New(Config{})
+	defer c.Close()
+	specs := []workload.Spec{
+		testSpec("sf-a", 4_000),
+		testSpec("sf-b", 4_000),
+		testSpec("sf-c", 4_000),
+	}
+	const goroutines = 16
+	rng := rand.New(rand.NewSource(1))
+	order := make([][]int, goroutines)
+	for g := range order {
+		order[g] = rng.Perm(len(specs))
+	}
+	entries := make([][]*Entry, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		entries[g] = make([]*Entry, len(specs))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, si := range order[g] {
+				entries[g][si] = c.Get(specs[si])
+			}
+		}()
+	}
+	wg.Wait()
+	for si := range specs {
+		for g := 1; g < goroutines; g++ {
+			if entries[g][si] != entries[0][si] {
+				t.Errorf("spec %d: goroutine %d got a different entry", si, g)
+			}
+		}
+		if tr := entries[0][si].Trace(); tr == nil || tr.Name != specs[si].Name {
+			t.Errorf("spec %d: wrong or missing trace", si)
+		}
+	}
+	st := c.Stats()
+	if st.Builds != int64(len(specs)) {
+		t.Errorf("builds = %d, want %d (single-flight violated)", st.Builds, len(specs))
+	}
+	if st.Hits+st.Misses != int64(goroutines*len(specs)) {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, goroutines*len(specs))
+	}
+}
+
+// TestSpillRoundTrip bounds the cache so the first trace is evicted and
+// spilled, then re-Gets it and checks it comes back from disk, record for
+// record, without a second generator run.
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specA := testSpec("spill-a", 5_000)
+	specB := testSpec("spill-b", 5_000)
+
+	reference := specA.Build()
+
+	c := New(Config{MaxBytes: 1, SpillDir: dir})
+	defer c.Close()
+	c.Get(specA)
+	c.Get(specB) // evicts and spills A (budget fits nothing, newest is spared)
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 1-byte budget: %+v", st)
+	}
+	names, _ := os.ReadDir(dir)
+	if len(names) == 0 {
+		t.Fatal("no spill file written")
+	}
+
+	e := c.Get(specA)
+	st = c.Stats()
+	if st.SpillLoads != 1 {
+		t.Errorf("spill loads = %d, want 1", st.SpillLoads)
+	}
+	if st.Builds != 2 {
+		t.Errorf("builds = %d, want 2 (reload must not rebuild)", st.Builds)
+	}
+	tr := e.Trace()
+	if tr.Name != reference.Name || len(tr.Records) != len(reference.Records) {
+		t.Fatalf("reloaded trace shape differs: %s/%d vs %s/%d",
+			tr.Name, len(tr.Records), reference.Name, len(reference.Records))
+	}
+	for i := range tr.Records {
+		if tr.Records[i] != reference.Records[i] {
+			t.Fatalf("record %d differs after spill round trip", i)
+		}
+	}
+}
+
+func TestCloseRemovesSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{MaxBytes: 1, SpillDir: dir})
+	c.Get(testSpec("close-a", 4_000))
+	c.Get(testSpec("close-b", 4_000))
+	c.Close()
+	names, _ := os.ReadDir(dir)
+	if len(names) != 0 {
+		t.Errorf("%d spill files left after Close", len(names))
+	}
+}
+
+func TestEntryMemoizesDerivedArtifacts(t *testing.T) {
+	c := New(Config{})
+	defer c.Close()
+	e := c.Get(testSpec("derived", 5_000))
+	if e.Stats() != e.Stats() {
+		t.Error("Stats not memoized")
+	}
+	tp1, err := e.Tape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2, _ := e.Tape()
+	if tp1 != tp2 {
+		t.Error("Tape not memoized")
+	}
+	if tp1.Instructions() <= 0 {
+		t.Errorf("tape instructions = %d", tp1.Instructions())
+	}
+}

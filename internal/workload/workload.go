@@ -133,6 +133,22 @@ type Spec struct {
 	build func(rng *rand.Rand) model
 }
 
+// Identity is a spec's comparable cache identity. Workload names determine
+// the generator and its parameters by construction (every suite assigns one
+// parameter set per name), so together with the seed — which carries any
+// suite salt — and the instruction budget, equal identities build
+// byte-identical traces. The trace cache keys on it.
+type Identity struct {
+	Name         string
+	Seed         int64
+	Instructions int64
+}
+
+// Identity returns the spec's cache identity.
+func (s Spec) Identity() Identity {
+	return Identity{Name: s.Name, Seed: s.Seed, Instructions: s.Instructions}
+}
+
 // Build synthesizes the trace for the spec.
 func (s Spec) Build() *trace.Trace {
 	if s.build == nil {
