@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench micro profile results
+.PHONY: all build test lint ci bench micro profile results
 
 all: build
 
@@ -10,7 +10,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Full CI gate: vet + build + race-enabled tests + gofmt check.
+# Static gate: go vet plus the repo's own invariant analyzers
+# (cmd/blbplint: determinism, hwbudget, satweights, atomics, hotalloc).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/blbplint ./...
+
+# Full CI gate: lint + build + race-enabled tests + fuzz smoke + gofmt -s.
 ci:
 	sh scripts/ci.sh
 

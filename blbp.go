@@ -140,13 +140,18 @@ type SimOptions = sim.Options
 // Simulate runs the indirect predictors over the trace in one pass, using a
 // fresh hashed perceptron for conditional branches, and returns one Result
 // per predictor in input order.
+//
+//blbp:hot
 func Simulate(tr *Trace, preds ...IndirectPredictor) ([]Result, error) {
+	//blbp:allow(hotalloc) conditional predictor boxed once at run setup, not per branch
 	return sim.Run(tr, NewHashedPerceptron(), preds, sim.Options{})
 }
 
 // SimulateWith is Simulate with an explicit conditional predictor and
 // options (required for VPC, which must share the engine's conditional
 // predictor).
+//
+//blbp:hot
 func SimulateWith(tr *Trace, cp ConditionalPredictor, preds []IndirectPredictor, opts SimOptions) ([]Result, error) {
 	return sim.Run(tr, cp, preds, opts)
 }

@@ -1,0 +1,75 @@
+// Command blbplint is the multichecker for the BLBP invariant analyzers
+// (internal/analysis): determinism, hwbudget, satweights, atomics, and
+// hotalloc. It loads the requested packages with full type information and
+// prints one line per finding:
+//
+//	file:line:col: analyzer: message
+//
+// The exit status is 1 if any unsuppressed finding is reported. With
+// -suppressed, findings silenced by //blbp:allow comments are listed too
+// (tagged "suppressed"), so ANALYSIS_EXCEPTIONS.md can be audited against
+// the live set; suppressed findings never affect the exit status.
+//
+// Usage:
+//
+//	blbplint [-suppressed] [-dir root] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"blbp/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("blbplint", flag.ExitOnError)
+	showSuppressed := fs.Bool("suppressed", false, "also list findings silenced by //blbp:allow comments")
+	dir := fs.String("dir", ".", "directory to resolve package patterns from")
+	fs.Parse(args)
+
+	prog, err := analysis.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := analysis.Run(prog, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	failed := false
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showSuppressed {
+				fmt.Fprintf(out, "%s (suppressed)\n", d)
+			}
+			continue
+		}
+		failed = true
+		fmt.Fprintln(out, d)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoIsLintClean runs the multichecker exactly as make lint does and
+// requires a zero exit over the whole module.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	if code := run([]string{"-dir", "../.."}, os.Stdout); code != 0 {
+		t.Fatalf("blbplint over the repository exited %d; want 0", code)
+	}
+}
+
+// TestSuppressedListing checks that -suppressed keeps the exit status at
+// zero: audited exceptions must not fail the build.
+func TestSuppressedListing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-suppressed", "-dir", "../.."}, devnull); code != 0 {
+		t.Fatalf("blbplint -suppressed exited %d; want 0", code)
+	}
+}

@@ -1,0 +1,198 @@
+// Package analysis is a repo-specific static-analysis suite enforcing the
+// invariants the paper's evaluation rests on: bit-reproducible results
+// (determinism), hardware structures that stay inside the paper's declared
+// bit budgets (hwbudget), saturating weight and counter arithmetic
+// (satweights), consistent atomic access (atomics), and allocation-free
+// prediction hot loops (hotalloc).
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis — an
+// Analyzer runs over one type-checked package at a time and reports
+// position-tagged diagnostics — but is built on the standard library only
+// (go/ast, go/types, and export data from `go list -export`), because this
+// repository carries no external dependencies. Whole-program analyzers
+// (atomics) additionally implement a Collect phase that visits every
+// package before any Run, standing in for x/tools facts.
+//
+// Suppressions: a comment of the form
+//
+//	//blbp:allow(<analyzer>) <reason>
+//
+// on the flagged line or the line immediately above silences that
+// analyzer's diagnostics for the line. Every suppression must be recorded
+// in ANALYSIS_EXCEPTIONS.md at the repository root; `blbplint -suppressed`
+// lists the live ones so the file can be audited.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Collect, when non-nil, runs over every package of the program before
+	// any Run call, letting whole-program analyzers gather facts (stored on
+	// Program.Facts keyed by the analyzer).
+	Collect func(*Pass)
+	// Run reports diagnostics for one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed marks diagnostics silenced by a //blbp:allow comment;
+	// they are kept (for auditing) but do not fail the build.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// allow maps file:line to the analyzer names allowed there, built
+	// lazily from //blbp:allow comments.
+	allow map[string]map[string]bool
+}
+
+// Program is the full set of packages under analysis plus cross-package
+// state shared between Collect and Run phases.
+type Program struct {
+	Packages []*Package
+	// Facts holds whole-program state keyed by analyzer; Collect writes it,
+	// Run reads it. The driver runs phases sequentially, so no locking.
+	Facts map[*Analyzer]interface{}
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Program  *Program
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+var allowRe = regexp.MustCompile(`^//blbp:allow\(([a-z,]+)\)\s+\S`)
+
+// allowedAt reports whether the named analyzer is suppressed at position
+// pos by a //blbp:allow comment on the same line or the line above.
+func (pkg *Package) allowedAt(name string, pos token.Position) bool {
+	if pkg.allow == nil {
+		pkg.allow = map[string]map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					cp := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", cp.Filename, cp.Line)
+					set := pkg.allow[key]
+					if set == nil {
+						set = map[string]bool{}
+						pkg.allow[key] = set
+					}
+					for _, n := range strings.Split(m[1], ",") {
+						set[strings.TrimSpace(n)] = true
+					}
+				}
+			}
+		}
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if set := pkg.allow[fmt.Sprintf("%s:%d", pos.Filename, line)]; set[name] || set["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the program: every Collect phase first
+// (in analyzer order, package order), then every Run. Diagnostics are
+// returned in (package, file, line) order with suppressions marked.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if prog.Facts == nil {
+		prog.Facts = map[*Analyzer]interface{}{}
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Collect == nil {
+			continue
+		}
+		for _, pkg := range prog.Packages {
+			a.Collect(&Pass{Analyzer: a, Pkg: pkg, Program: prog, report: func(Diagnostic) {}})
+		}
+	}
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Program: prog}
+			pass.report = func(d Diagnostic) {
+				d.Suppressed = pkg.allowedAt(d.Analyzer, d.Pos)
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// pathIn reports whether the package path matches any of the given path
+// suffixes (each matched at a path-segment boundary).
+func pathIn(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the doc comment group contains the given
+// //blbp:<name> directive.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//"+directive) {
+			return true
+		}
+	}
+	return false
+}

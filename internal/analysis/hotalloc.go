@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc keeps the per-branch prediction path allocation-free. Functions
+// carrying the //blbp:hot directive (the PR 1 hot loops: the predictor's
+// Predict/Update, the history shifts, the IBTB probe) run once per
+// simulated branch; a single escaping literal or interface boxing there
+// turns into millions of allocations per run. Inside a hot function the
+// analyzer forbids closures, escaping composite literals (maps, slices,
+// &T{...}), appends to slices that are not provably preallocated, and
+// concrete-to-interface conversions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//blbp:hot functions must not allocate: no closures, escaping literals, unpreallocated appends, or interface conversions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "blbp:hot") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	prealloc := preallocatedSlices(pass, fd)
+	var results *types.Tuple
+	if fn, ok := pass.ObjectOf(fd.Name).(*types.Func); ok {
+		results = fn.Type().(*types.Signature).Results()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //blbp:hot %s allocates per call; hoist it to a method or package function", fd.Name.Name)
+			return false // its body runs under its own (cold) rules
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(cl.Pos(), "&composite literal in //blbp:hot %s escapes to the heap; reuse a preallocated object", fd.Name.Name)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				pass.Reportf(n.Pos(), "%s literal in //blbp:hot %s allocates per call; hoist it into the predictor's state", kindName(t), fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, prealloc)
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				return true
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if boxesIntoInterface(pass, pass.TypeOf(lhs), n.Rhs[i]) {
+					pass.Reportf(n.Rhs[i].Pos(), "assignment boxes a concrete value into an interface in //blbp:hot %s; keep hot state concretely typed", fd.Name.Name)
+				}
+			}
+		case *ast.ReturnStmt:
+			if results == nil || len(n.Results) != results.Len() {
+				return true
+			}
+			for i, res := range n.Results {
+				if boxesIntoInterface(pass, results.At(i).Type(), res) {
+					pass.Reportf(res.Pos(), "return boxes a concrete value into an interface in //blbp:hot %s; keep hot signatures concretely typed", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags appends whose destination is not provably
+// preallocated and argument passing that boxes a concrete value into an
+// interface parameter.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+			if dst, ok := call.Args[0].(*ast.Ident); !ok || !prealloc[pass.ObjectOf(dst)] {
+				pass.Reportf(call.Pos(), "append in //blbp:hot %s may grow the backing array; preallocate with a capacity (3-arg make or slice of a fixed buffer)", fd.Name.Name)
+			}
+			return
+		}
+	}
+	sig, ok := typeOfCallee(pass, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread: the slice is passed as-is, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxesIntoInterface(pass, pt, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes a concrete value into an interface in //blbp:hot %s; avoid interface-taking calls on the prediction path", fd.Name.Name)
+		}
+	}
+}
+
+// typeOfCallee returns the call's signature, distinguishing real calls
+// from type conversions and builtins (which have no signature).
+func typeOfCallee(pass *Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	t := pass.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// preallocatedSlices collects slice-valued objects safe to append to
+// without allocating: slice-typed parameters (the caller owns the
+// capacity) and locals bound to a slice expression or a 3-argument make.
+func preallocatedSlices(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	safe := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		if _, ok := pass.TypeOf(field.Type).(*types.Slice); !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				safe[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch rhs := as.Rhs[i].(type) {
+			case *ast.SliceExpr:
+				if obj := pass.ObjectOf(id); obj != nil {
+					safe[obj] = true
+				}
+			case *ast.CallExpr:
+				if fn, ok := rhs.Fun.(*ast.Ident); ok && fn.Name == "make" && len(rhs.Args) == 3 {
+					if obj := pass.ObjectOf(id); obj != nil {
+						safe[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return safe
+}
+
+// boxesIntoInterface reports whether assigning src into a slot of type dst
+// converts a concrete value to an interface (allocating the box). nil
+// literals and values that are already interfaces carry no box.
+func boxesIntoInterface(pass *Pass, dst types.Type, src ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	st := pass.TypeOf(src)
+	if st == nil {
+		return false
+	}
+	if _, ok := st.Underlying().(*types.Interface); ok {
+		return false
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// kindName names a composite-literal type category for diagnostics.
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "composite"
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// hwbudgetScope lists the packages modeling hardware structures: their
+// table geometries are bit-budgeted in the paper and their index
+// arithmetic must be implementable as a mask.
+var hwbudgetScope = []string{
+	"internal/core",
+	"internal/ibtb",
+	"internal/btb",
+	"internal/ittage",
+	"internal/cond",
+	"internal/history",
+	"internal/vpc",
+	"internal/targetcache",
+	"internal/cascaded",
+	"internal/combined",
+	"internal/replacement",
+	"internal/region",
+}
+
+// paperConfig holds the expected field values of one default-configuration
+// composite literal, cross-checked against the paper's configuration table
+// (§4.2, Table 2), plus which fields must be powers of two (maskable).
+type paperConfig struct {
+	fn     string           // constructor function to inspect
+	want   map[string]int64 // field -> paper value
+	pow2   []string         // fields that must be maskable
+	source string           // citation used in diagnostics
+}
+
+// paperTables maps a package (by path suffix) to its checked defaults.
+var paperTables = map[string]paperConfig{
+	"internal/core": {
+		fn: "DefaultConfig",
+		want: map[string]int64{
+			"K":            12,
+			"BitOffset":    2,
+			"TableEntries": 1024,
+			"WeightBits":   4,
+			"HistBits":     631,
+			"LocalEntries": 256,
+			"LocalBits":    10,
+			"ThetaInit":    18,
+		},
+		pow2:   []string{"TableEntries", "LocalEntries"},
+		source: "paper Table 2 (BLBP)",
+	},
+	"internal/ibtb": {
+		fn: "DefaultConfig",
+		want: map[string]int64{
+			"Sets":          64,
+			"Assoc":         64,
+			"TagBits":       8,
+			"RegionEntries": 128,
+			"OffsetBits":    20,
+			"RRIPBits":      2,
+		},
+		pow2:   []string{"Sets", "Assoc", "RegionEntries"},
+		source: "paper Table 2 (IBTB)",
+	},
+}
+
+// HWBudget enforces the hardware-budget discipline: predictor tables are
+// indexed by mask, never by modulo (a non-power-of-two reduction must go
+// through hashing.Index, the one audited reduction helper), and the
+// default configurations stay bit-for-bit on the paper's configuration
+// table so every reported MPKI is measured inside the declared budget.
+var HWBudget = &Analyzer{
+	Name: "hwbudget",
+	Doc:  "table indices must be masks (no %) and default configs must match the paper's configuration table",
+	Run:  runHWBudget,
+}
+
+func runHWBudget(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path, hwbudgetScope) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			idx, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			ast.Inspect(idx.Index, func(m ast.Node) bool {
+				if b, ok := m.(*ast.BinaryExpr); ok && b.Op == token.REM {
+					pass.Reportf(b.Pos(), "table index computed with %%; size the structure to a power of two and mask (or reduce through hashing.Index)")
+				}
+				return true
+			})
+			return true
+		})
+	}
+	for suffix, cfg := range paperTables {
+		if pathIn(pass.Pkg.Path, []string{suffix}) {
+			checkPaperConfig(pass, cfg)
+		}
+	}
+	return nil
+}
+
+// checkPaperConfig locates the named constructor, extracts its returned
+// composite literal, and compares every scalar field against the paper's
+// configuration table.
+func checkPaperConfig(pass *Pass, cfg paperConfig) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != cfg.fn || fd.Recv != nil {
+				continue
+			}
+			lit := returnedCompositeLit(fd)
+			if lit == nil {
+				pass.Reportf(fd.Pos(), "%s must return a composite literal so its fields can be checked against %s", cfg.fn, cfg.source)
+				return
+			}
+			seen := map[string]bool{}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				want, checked := cfg.want[key.Name]
+				if !checked {
+					continue
+				}
+				seen[key.Name] = true
+				got, ok := constInt(pass, kv.Value)
+				if !ok {
+					pass.Reportf(kv.Value.Pos(), "%s.%s must be an integer constant (budget fields are hardware parameters)", cfg.fn, key.Name)
+					continue
+				}
+				if got != want {
+					pass.Reportf(kv.Value.Pos(), "%s.%s = %d; %s specifies %d", cfg.fn, key.Name, got, cfg.source, want)
+				}
+				for _, p := range cfg.pow2 {
+					if p == key.Name && got&(got-1) != 0 {
+						pass.Reportf(kv.Value.Pos(), "%s.%s = %d is not a power of two; the structure cannot be indexed by mask", cfg.fn, key.Name, got)
+					}
+				}
+			}
+			for name := range cfg.want {
+				if !seen[name] {
+					pass.Reportf(lit.Pos(), "%s does not set %s; %s budgets it explicitly", cfg.fn, name, cfg.source)
+				}
+			}
+			return
+		}
+	}
+}
+
+// returnedCompositeLit digs the composite literal out of the
+// constructor's (single) return statement.
+func returnedCompositeLit(fd *ast.FuncDecl) *ast.CompositeLit {
+	if fd.Body == nil {
+		return nil
+	}
+	var lit *ast.CompositeLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit != nil {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		if cl, ok := ret.Results[0].(*ast.CompositeLit); ok {
+			lit = cl
+		}
+		return true
+	})
+	return lit
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func constInt(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}

@@ -1,0 +1,34 @@
+// Package atomics is analyzer testdata. The analyzer is program-wide, so
+// the load path does not matter.
+package atomics
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64 // accessed atomically somewhere: must be atomic everywhere
+	misses int64 // never accessed atomically: plain access is fine
+	boxed  atomic.Int64
+}
+
+func (s *stats) record(hit bool) {
+	if hit {
+		atomic.AddInt64(&s.hits, 1) // ok: the sanctioned access itself
+	} else {
+		s.misses++ // ok: misses is never atomic
+	}
+	s.boxed.Add(1) // ok: atomic.Int64 is safe by type
+}
+
+func (s *stats) total() int64 {
+	return s.hits + s.misses // want "hits is accessed via sync/atomic elsewhere"
+}
+
+var global int64
+
+func bumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func readGlobal() int64 {
+	return global // want "global is accessed via sync/atomic elsewhere"
+}

@@ -1,0 +1,59 @@
+// Package determinism is analyzer testdata: loaded under a path ending in
+// internal/sim so the determinism analyzer applies.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+type cell struct {
+	res int
+	err error
+}
+
+func submit(f func()) { f() }
+
+func clockAndRand() int64 {
+	t := time.Now().UnixNano() // want "time.Now in a results-producing package breaks reproducibility"
+	n := rand.Int63()          // want "global math/rand.Int63 is process-seeded"
+	return t + n
+}
+
+func seededRand(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed)) // ok: explicit seed
+	return r.Int63()                    // ok: method on a seeded generator
+}
+
+func mapRange(m map[string]int, keys []string) int {
+	sum := 0
+	for _, v := range m { // want "ranging over a map yields a random order"
+		sum += v
+	}
+	for _, k := range keys { // ok: slices iterate in order
+		sum += m[k]
+	}
+	return sum
+}
+
+func sharedWrites(n int) []int {
+	cells := make([]cell, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			cells[i].res = i // ok: index-keyed cell
+			total = i        // want "goroutine assigns captured variable total"
+			total++          // want "goroutine mutates captured variable total"
+		}()
+		c := &cells[i]
+		submit(func() {
+			c.res = i // ok: write through captured pointer to own cell
+		})
+	}
+	out := make([]int, 0, n)
+	for _, c := range cells {
+		out = append(out, c.res)
+	}
+	return out
+}

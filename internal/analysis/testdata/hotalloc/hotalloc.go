@@ -1,0 +1,57 @@
+// Package hotalloc is analyzer testdata. Only functions carrying the
+// //blbp:hot directive are checked.
+package hotalloc
+
+type pred struct {
+	buf  []uint64
+	rows [8]int
+}
+
+type sink interface{ accept(uint64) }
+
+func use(v interface{}) { _ = v }
+
+// predict is a hot function exhibiting every forbidden allocation.
+//
+//blbp:hot
+func (p *pred) predict(pc uint64, s sink) uint64 {
+	f := func() uint64 { return pc } // want "closure in //blbp:hot predict allocates per call"
+	m := map[uint64]int{pc: 1}       // want "map literal in //blbp:hot predict allocates per call"
+	sl := []int{1, 2}                // want "slice literal in //blbp:hot predict allocates per call"
+	e := &pred{}                     // want "&composite literal in //blbp:hot predict escapes to the heap"
+	p.buf = append(p.buf, pc)        // want "append in //blbp:hot predict may grow the backing array"
+	use(pc)                          // want "argument boxes a concrete value into an interface in //blbp:hot predict"
+
+	scratch := make([]uint64, 0, 8)
+	scratch = append(scratch, pc) // ok: 3-arg make carries capacity
+	window := p.buf[:0]
+	window = append(window, pc) // ok: reslice of an existing buffer
+
+	rows := [8]int{} // ok: array value, stack-allocated
+	v := pred{}      // ok: struct value, stack-allocated
+	use(s)           // ok: already an interface
+	_ = f
+	_ = m
+	_ = sl
+	_ = e
+	_ = rows
+	_ = v
+	return scratch[0] + window[0]
+}
+
+// fill appends into a caller-owned slice: the hot contract is that the
+// caller preallocated it.
+//
+//blbp:hot
+func (p *pred) fill(dst []uint64) []uint64 {
+	dst = append(dst, p.buf...) // ok: slice-typed parameter
+	return dst
+}
+
+// cold does all the same things without the directive and is ignored.
+func (p *pred) cold(pc uint64) {
+	f := func() uint64 { return pc } // ok: not a hot function
+	m := map[uint64]int{pc: 1}       // ok
+	p.buf = append(p.buf, f(), uint64(m[pc]))
+	use(pc) // ok
+}

@@ -1,0 +1,41 @@
+// Package satweights is analyzer testdata: loaded under a path ending in
+// internal/cond so the saturating-arithmetic rules apply.
+package satweights
+
+type entry struct {
+	ctr int8
+	u   uint8
+}
+
+type table struct {
+	weights []int8
+	entries []entry
+}
+
+// satInc8 is the package-local clamp helper; its raw arithmetic is exempt.
+//
+//blbp:clamp
+func satInc8(v, max int8) int8 {
+	if v < max {
+		v++ // ok: local inside a clamp helper
+	}
+	return v
+}
+
+func (t *table) train(i int, taken bool) {
+	e := &t.entries[i]
+	if taken {
+		e.ctr++ // want "raw \+\+ on int8-typed hardware state wraps"
+	} else {
+		e.ctr = satInc8(e.ctr, 3) // ok: routed through the clamp helper
+	}
+	e.u -= 1          // want "raw -= on uint8-typed hardware state wraps"
+	t.weights[i] += 2 // want "raw \+= on int8-typed hardware state wraps"
+
+	sum := 0
+	for j := range t.weights {
+		sum++ // ok: plain local, not hardware state
+		_ = j
+	}
+	_ = sum
+}

@@ -41,6 +41,10 @@ type counter2 uint8
 
 func (c counter2) taken() bool { return c >= 2 }
 
+// update returns the counter stepped toward the outcome, saturating at
+// the 2-bit bounds.
+//
+//blbp:clamp
 func (c counter2) update(taken bool) counter2 {
 	if taken {
 		if c < 3 {

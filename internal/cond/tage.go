@@ -3,6 +3,7 @@ package cond
 import (
 	"blbp/internal/hashing"
 	"blbp/internal/history"
+	"blbp/internal/threshold"
 	"blbp/internal/trace"
 )
 
@@ -218,28 +219,23 @@ func (t *TAGE) Train(pc uint64, taken bool) {
 		provPred := e.ctr >= 0
 		weak := e.ctr == 0 || e.ctr == -1
 		if weak && t.altPred != provPred {
-			if t.altPred == taken && t.useAltOnNA < 7 {
-				t.useAltOnNA++
-			} else if provPred == taken && t.useAltOnNA > -8 {
-				t.useAltOnNA--
+			switch {
+			case t.altPred == taken:
+				t.useAltOnNA = threshold.SatInc8(t.useAltOnNA, 7)
+			case provPred == taken:
+				t.useAltOnNA = threshold.SatDec8(t.useAltOnNA, -8)
 			}
 		}
 		if taken {
-			if e.ctr < 3 {
-				e.ctr++
-			}
+			e.ctr = threshold.SatInc8(e.ctr, 3)
 		} else {
-			if e.ctr > -4 {
-				e.ctr--
-			}
+			e.ctr = threshold.SatDec8(e.ctr, -4)
 		}
 		if provPred != t.altPred {
 			if provPred == taken {
-				if e.u < 3 {
-					e.u++
-				}
-			} else if e.u > 0 {
-				e.u--
+				e.u = threshold.SatIncU8(e.u, 3)
+			} else {
+				e.u = threshold.SatDecU8(e.u, 0)
 			}
 		}
 		// Base trains when it served as alt or when the provider is new.

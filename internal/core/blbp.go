@@ -131,6 +131,8 @@ func (p *BLBP) Config() Config { return p.cfg }
 // offset for pc under the current history state. The history folds are read
 // from the incrementally maintained FoldedSet instead of being recomputed
 // from the raw history bits.
+//
+//blbp:hot
 func (p *BLBP) computeRows(pc uint64) {
 	pcH := hashing.Mix64(pc)
 	if p.cfg.UseLocal {
@@ -149,6 +151,8 @@ func (p *BLBP) computeRows(pc uint64) {
 // (Algorithm 1's inner loops). The transfer function is already applied in
 // p.tweights, so each sub-predictor row contributes a load and an add per
 // bit.
+//
+//blbp:hot
 func (p *BLBP) computeYout() {
 	yout := p.yout[:p.cfg.K]
 	for k := range yout {
@@ -168,6 +172,8 @@ func (p *BLBP) computeYout() {
 // suppressing a singleton set entirely would leave the weights blank for
 // the moment the branch turns polymorphic. candBits are the candidates
 // already shifted down by BitOffset.
+//
+//blbp:hot
 func (p *BLBP) computeSuppress(candBits []uint64) {
 	if !p.cfg.UseSelective || len(candBits) < 2 {
 		p.suppressMask = 0
@@ -186,6 +192,8 @@ func (p *BLBP) computeSuppress(candBits []uint64) {
 // unsuppressed bits that are 1 in the candidate (paper §3.7). The suppress
 // and K masks are applied once up front so the loop visits only the set
 // candidate bits.
+//
+//blbp:hot
 func (p *BLBP) similarity(candBits uint64) int {
 	sum := 0
 	for m := candBits &^ p.suppressMask & p.kMask; m != 0; m &= m - 1 {
@@ -198,6 +206,8 @@ func (p *BLBP) similarity(candBits uint64) int {
 // out-of-contract recompute path — candidate targets with their pre-shifted
 // bit vectors, active row offsets, yout, and the suppress mask — so the two
 // can never drift. It returns the candidate set.
+//
+//blbp:hot
 func (p *BLBP) prepare(pc uint64) []uint64 {
 	candidates := p.buffer.Candidates(pc, p.candBuf[:0])
 	p.candBuf = candidates[:0]
@@ -214,6 +224,8 @@ func (p *BLBP) prepare(pc uint64) []uint64 {
 }
 
 // Predict implements predictor.Indirect: Algorithm 1 of the paper.
+//
+//blbp:hot
 func (p *BLBP) Predict(pc uint64) (uint64, bool) {
 	p.predictions++
 	candidates := p.prepare(pc)
@@ -241,6 +253,8 @@ func (p *BLBP) Predict(pc uint64) (uint64, bool) {
 // the resolved target in the IBTB and trains each unsuppressed bit's
 // perceptron weights toward the actual target's bits, gated by the per-bit
 // adaptive thresholds.
+//
+//blbp:hot
 func (p *BLBP) Update(pc, actual uint64) {
 	if !p.lastOK || p.lastPC != pc {
 		// Out-of-contract call (tests, replay): recompute prediction state
@@ -299,6 +313,8 @@ func (p *BLBP) Update(pc, actual uint64) {
 
 // OnCond implements predictor.Indirect: conditional outcomes feed the
 // 630-bit global history (paper §3.3).
+//
+//blbp:hot
 func (p *BLBP) OnCond(pc uint64, taken bool) {
 	p.ghist.Shift(taken)
 	p.lastOK = false

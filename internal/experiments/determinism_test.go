@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"blbp/internal/report"
+)
+
+// renderDriverCSV runs a small driver subset on a private Runner with the
+// given worker count and renders every produced table to CSV in order —
+// the same bytes cmd/experiments would write for these drivers.
+func renderDriverCSV(t *testing.T, workers int) []byte {
+	t.Helper()
+	r := NewRunner(workers)
+	defer r.Close()
+	specs := miniSuite(60_000)
+
+	var tables []*report.Table
+	overallTb, data, err := r.Overall(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, overallTb, Fig8(data), Fig9(data))
+	seedsTb, _, err := r.Seeds(30_000, []string{"", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables = append(tables, seedsTb)
+
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestDriverCSVDeterministicAcrossParallelism is the golden determinism
+// gate: the CSV bytes of a driver subset must be identical at -parallel 1
+// and -parallel 8. Any map-order leak, shared-state race, or
+// schedule-dependent reassembly in the results path shows up here as a
+// byte diff.
+func TestDriverCSVDeterministicAcrossParallelism(t *testing.T) {
+	seq := renderDriverCSV(t, 1)
+	par := renderDriverCSV(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("driver CSV differs between 1 and 8 workers:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", seq, par)
+	}
+}

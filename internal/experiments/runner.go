@@ -113,8 +113,21 @@ func (r *Runner) Workers() int { return r.pool.workers() }
 // in deterministic spec/pass order, so the output is byte-for-byte
 // independent of the worker count.
 func (r *Runner) RunSuite(specs []workload.Spec, passes []Pass) ([]WorkloadResult, error) {
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("experiments: no workloads")
+	res, err := r.RunSuites([][]workload.Spec{specs}, passes)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// RunSuites is RunSuite over several suites at once: every (suite ×
+// workload × pass) task is submitted to the pool in a single wave, so
+// multi-draw drivers (Seeds) keep all workers busy across draw boundaries
+// instead of draining the pool between draws. Results are reassembled per
+// suite in deterministic (suite, spec, pass) order.
+func (r *Runner) RunSuites(suites [][]workload.Spec, passes []Pass) ([][]WorkloadResult, error) {
+	if len(suites) == 0 {
+		return nil, fmt.Errorf("experiments: no suites")
 	}
 	if len(passes) == 0 {
 		return nil, fmt.Errorf("experiments: no passes")
@@ -123,44 +136,61 @@ func (r *Runner) RunSuite(specs []workload.Spec, passes []Pass) ([]WorkloadResul
 		res []sim.Result
 		err error
 	}
-	cells := make([]cell, len(specs)*len(passes))
+	offsets := make([]int, len(suites))
+	total := 0
+	for s, specs := range suites {
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("experiments: no workloads")
+		}
+		offsets[s] = total
+		total += len(specs) * len(passes)
+	}
+	cells := make([]cell, total)
 	var wg sync.WaitGroup
-	wg.Add(len(cells))
-	for i := range specs {
-		for j := range passes {
-			c := &cells[i*len(passes)+j]
-			spec, pass := specs[i], passes[j]
-			w := i
-			r.pool.submit(func() {
-				defer wg.Done()
-				tape, err := r.cache.Get(spec).Tape()
-				if err != nil {
-					c.err = err
-					return
-				}
-				cp, indirects := pass.New(w)
-				c.res, c.err = tape.Run(pass.CondKey, cp, indirects, sim.Options{})
-			})
+	wg.Add(total)
+	for s := range suites {
+		specs, base := suites[s], offsets[s]
+		for i := range specs {
+			for j := range passes {
+				c := &cells[base+i*len(passes)+j]
+				spec, pass := specs[i], passes[j]
+				w := i
+				r.pool.submit(func() {
+					defer wg.Done()
+					tape, err := r.cache.Get(spec).Tape()
+					if err != nil {
+						c.err = err
+						return
+					}
+					cp, indirects := pass.New(w)
+					c.res, c.err = tape.Run(pass.CondKey, cp, indirects, sim.Options{})
+				})
+			}
 		}
 	}
 	wg.Wait()
 
-	out := make([]WorkloadResult, len(specs))
-	for i := range specs {
-		wr := WorkloadResult{Spec: specs[i], Results: make(map[string]sim.Result)}
-		for j := range passes {
-			c := &cells[i*len(passes)+j]
-			if c.err != nil {
-				return nil, fmt.Errorf("experiments: workload %s: %w", specs[i].Name, c.err)
-			}
-			for _, res := range c.res {
-				if _, dup := wr.Results[res.Predictor]; dup {
-					return nil, fmt.Errorf("experiments: workload %s: duplicate predictor name %q", specs[i].Name, res.Predictor)
+	out := make([][]WorkloadResult, len(suites))
+	for s := range suites {
+		specs, base := suites[s], offsets[s]
+		rows := make([]WorkloadResult, len(specs))
+		for i := range specs {
+			wr := WorkloadResult{Spec: specs[i], Results: make(map[string]sim.Result)}
+			for j := range passes {
+				c := &cells[base+i*len(passes)+j]
+				if c.err != nil {
+					return nil, fmt.Errorf("experiments: workload %s: %w", specs[i].Name, c.err)
 				}
-				wr.Results[res.Predictor] = res
+				for _, res := range c.res {
+					if _, dup := wr.Results[res.Predictor]; dup {
+						return nil, fmt.Errorf("experiments: workload %s: duplicate predictor name %q", specs[i].Name, res.Predictor)
+					}
+					wr.Results[res.Predictor] = res
+				}
 			}
+			rows[i] = wr
 		}
-		out[i] = wr
+		out[s] = rows
 	}
 	return out, nil
 }

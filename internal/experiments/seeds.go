@@ -19,22 +19,28 @@ type SeedsRow struct {
 // Seeds re-runs the §5.1 headline experiment on several independently
 // seeded draws of the workload suite (same names and parameters, different
 // random content) to check that the BLBP-vs-ITTAGE margin is a property of
-// the workload population, not of one random draw.
+// the workload population, not of one random draw. All draws are fanned
+// out over the Runner's pool in one (draw × workload × pass) wave, so the
+// workers never drain between draws.
 func (r *Runner) Seeds(base int64, salts []string) (*report.Table, []SeedsRow, error) {
 	if len(salts) == 0 {
 		salts = []string{"", "a", "b", "c"}
+	}
+	suites := make([][]workload.Spec, len(salts))
+	for i, salt := range salts {
+		suites[i] = workload.SuiteSeeded(base, salt)
+	}
+	results, err := r.RunSuites(suites, StandardPasses())
+	if err != nil {
+		return nil, nil, err
 	}
 	rows := make([]SeedsRow, 0, len(salts))
 	tb := report.NewTable(
 		"Extension: seed sensitivity of the §5.1 headline (independent suite draws)",
 		"seed draw", "ittage MPKI", "blbp MPKI", "blbp vs ittage %",
 	)
-	for _, salt := range salts {
-		suite := workload.SuiteSeeded(base, salt)
-		_, data, err := r.Overall(suite)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, salt := range salts {
+		data := OverallData{Rows: results[i], Predictors: []string{NameBTB, NameVPC, NameITTAGE, NameBLBP}}
 		row := SeedsRow{
 			Salt:       salt,
 			ITTAGEMean: data.Mean(NameITTAGE),

@@ -99,6 +99,8 @@ func (s *FoldedSet) NumAccumulators() int { return len(s.accs) }
 // Value returns the current fold value for id: identical to
 // Fold(lo, hi, width) of the registered interval, without re-walking the
 // history bits.
+//
+//blbp:hot
 func (s *FoldedSet) Value(id FoldID) uint64 {
 	f := &s.folds[id]
 	return foldDown(s.accs[f.accIdx].acc, f.width)
@@ -116,6 +118,8 @@ func (s *FoldedSet) Fold(lo, hi, width int) uint64 { return s.g.Fold(lo, hi, wid
 
 // Shift inserts one outcome bit as the new most-recent history bit and
 // updates every registered interval accumulator in O(1).
+//
+//blbp:hot
 func (s *FoldedSet) Shift(b bool) {
 	g := s.g
 	var in0 uint64

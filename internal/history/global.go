@@ -27,6 +27,8 @@ func NewGlobal(capacity int) *Global {
 func (g *Global) Capacity() int { return g.capBits }
 
 // Shift inserts one outcome bit as the new most-recent history bit.
+//
+//blbp:hot
 func (g *Global) Shift(b bool) {
 	g.head--
 	if g.head < 0 {
@@ -60,6 +62,8 @@ func (g *Global) Bit(i int) uint64 {
 
 // bit is Bit without the range check, for hot paths that index within
 // registered bounds (FoldedSet's per-shift fold updates).
+//
+//blbp:hot
 func (g *Global) bit(i int) uint64 {
 	pos := g.head + i
 	if pos >= g.capBits {
@@ -70,6 +74,8 @@ func (g *Global) bit(i int) uint64 {
 
 // word64 returns 64 consecutive history bits starting at logical index i
 // (bit j of the result is history bit i+j).
+//
+//blbp:hot
 func (g *Global) word64(i int) uint64 {
 	pos := g.head + i
 	if pos >= g.capBits {
@@ -80,7 +86,11 @@ func (g *Global) word64(i int) uint64 {
 	if bi == 0 {
 		return lo
 	}
-	next := g.words[(wi+1)%len(g.words)]
+	ni := wi + 1
+	if ni == len(g.words) {
+		ni = 0
+	}
+	next := g.words[ni]
 	return lo | next<<(64-bi)
 }
 

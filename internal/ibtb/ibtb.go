@@ -83,6 +83,7 @@ func New(cfg Config) *IBTB {
 // Config returns the geometry the buffer was built with.
 func (b *IBTB) Config() Config { return b.cfg }
 
+//blbp:hot
 func (b *IBTB) setAndTag(pc uint64) (int, uint32) {
 	h := hashing.Mix64(pc)
 	return hashing.Index(h, b.cfg.Sets), uint32(hashing.Tag(h, b.cfg.TagBits))
@@ -96,6 +97,8 @@ func (b *IBTB) invalidate(set, w int) {
 // deterministic way order, and returns the extended slice. Entries whose
 // region was evicted are invalidated as they are discovered (modeling the
 // invalidation hardware performs at region eviction).
+//
+//blbp:hot
 func (b *IBTB) Candidates(pc uint64, buf []uint64) []uint64 {
 	set, tag := b.setAndTag(pc)
 	base := set * b.cfg.Assoc
@@ -120,6 +123,8 @@ func (b *IBTB) Candidates(pc uint64, buf []uint64) []uint64 {
 // Insert records an observed target for the branch at pc. If the target is
 // already present its RRIP state is promoted; otherwise a victim way is
 // replaced and the new entry inserted with a long re-reference interval.
+//
+//blbp:hot
 func (b *IBTB) Insert(pc, target uint64) {
 	set, tag := b.setAndTag(pc)
 	base := set * b.cfg.Assoc
@@ -155,6 +160,8 @@ func (b *IBTB) Insert(pc, target uint64) {
 
 // firstInvalidWay returns the lowest-numbered empty way of the set, or -1
 // when the set is full.
+//
+//blbp:hot
 func (b *IBTB) firstInvalidWay(set int) int {
 	for wi := 0; wi < b.maskWords; wi++ {
 		inv := ^b.valid[set*b.maskWords+wi]

@@ -13,6 +13,7 @@ import (
 	"blbp/internal/hashing"
 	"blbp/internal/history"
 	"blbp/internal/region"
+	"blbp/internal/threshold"
 	"blbp/internal/trace"
 )
 
@@ -314,10 +315,11 @@ func (p *ITTAGE) Update(pc, actual uint64) {
 	if p.provider >= 0 {
 		e := &p.tables[p.provider][p.providerIdx]
 		if e.ctr == 0 && p.lastAltOK && p.lastPredOK && p.lastAltPred != p.lastPred {
-			if p.lastAltPred == actual && p.useAltOnNA < 7 {
-				p.useAltOnNA++
-			} else if p.lastPred == actual && p.useAltOnNA > -8 {
-				p.useAltOnNA--
+			switch {
+			case p.lastAltPred == actual:
+				p.useAltOnNA = threshold.SatInc8(p.useAltOnNA, 7)
+			case p.lastPred == actual:
+				p.useAltOnNA = threshold.SatDec8(p.useAltOnNA, -8)
 			}
 		}
 	}
@@ -327,12 +329,10 @@ func (p *ITTAGE) Update(pc, actual uint64) {
 	case p.provider >= 0:
 		e := &p.tables[p.provider][p.providerIdx]
 		if p.lastPredOK && p.lastPred == actual {
-			if e.ctr < 3 {
-				e.ctr++
-			}
+			e.ctr = threshold.SatIncU8(e.ctr, 3)
 		} else {
 			if e.ctr > 0 {
-				e.ctr--
+				e.ctr = threshold.SatDecU8(e.ctr, 0)
 			} else {
 				ref, off := p.regions.Acquire(actual)
 				e.ref, e.offset = ref, off
@@ -341,11 +341,9 @@ func (p *ITTAGE) Update(pc, actual uint64) {
 		// Usefulness: provider differed from alt and was right/wrong.
 		if p.lastPredOK && (!p.lastAltOK || p.lastAltPred != p.lastPred) {
 			if p.lastPred == actual {
-				if e.u < 3 {
-					e.u++
-				}
-			} else if e.u > 0 {
-				e.u--
+				e.u = threshold.SatIncU8(e.u, 3)
+			} else {
+				e.u = threshold.SatDecU8(e.u, 0)
 			}
 		}
 	case p.provider == -1:
@@ -440,8 +438,8 @@ func (p *ITTAGE) allocate(pc, actual uint64) {
 	// Nothing allocatable: decay usefulness on the candidate entries.
 	for i := start; i < p.cfg.Tables; i++ {
 		idx := p.tableIndex(i, pc)
-		if e := &p.tables[i][idx]; e.valid && e.u > 0 {
-			e.u--
+		if e := &p.tables[i][idx]; e.valid {
+			e.u = threshold.SatDecU8(e.u, 0)
 		}
 	}
 }

@@ -1,5 +1,7 @@
 package replacement
 
+import "blbp/internal/threshold"
+
 // RRIP implements static re-reference interval prediction (SRRIP) with
 // M-bit re-reference prediction values (RRPVs). New entries are inserted
 // with a "long" re-reference interval (max-1), hits promote to "near-
@@ -49,7 +51,7 @@ func (r *RRIP) Victim(set int) int {
 			}
 		}
 		for w := 0; w < r.assoc; w++ {
-			r.rrpv[base+w]++
+			r.rrpv[base+w] = threshold.SatIncU8(r.rrpv[base+w], r.max)
 		}
 	}
 }

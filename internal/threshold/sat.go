@@ -1,0 +1,47 @@
+package threshold
+
+// Saturating update helpers for the narrow counters and weights that model
+// hardware state. The satweights analyzer (internal/analysis) forbids raw
+// +=/-=/++/-- on such fields; these are the blessed clamp primitives it
+// accepts, marked //blbp:clamp. Each compiles to a compare and an add — no
+// branch mispredict cost beyond the guarded increment it replaces.
+
+// SatInc8 increments v, saturating at max.
+//
+//blbp:clamp
+func SatInc8(v, max int8) int8 {
+	if v < max {
+		v++
+	}
+	return v
+}
+
+// SatDec8 decrements v, saturating at min.
+//
+//blbp:clamp
+func SatDec8(v, min int8) int8 {
+	if v > min {
+		v--
+	}
+	return v
+}
+
+// SatIncU8 increments v, saturating at max.
+//
+//blbp:clamp
+func SatIncU8(v, max uint8) uint8 {
+	if v < max {
+		v++
+	}
+	return v
+}
+
+// SatDecU8 decrements v, saturating at min.
+//
+//blbp:clamp
+func SatDecU8(v, min uint8) uint8 {
+	if v > min {
+		v--
+	}
+	return v
+}

@@ -97,3 +97,65 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTraceRoundTrip drives the encoder and decoder together: fuzz bytes
+// are shaped into an arbitrary-but-valid trace, and Write -> Read ->
+// Write must reproduce both the records and the exact encoded bytes.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("w", []byte{})
+	f.Add("loop", []byte{
+		0x00, 0x40, 0x00, 0x00, 0x20, 0x40, 0x00, 0x00, 0x03, 0x00, 0x09,
+		0x00, 0x40, 0x01, 0x00, 0x00, 0x00, 0x7f, 0x00, 0x0c, 0x00, 0x03,
+	})
+	f.Fuzz(func(t *testing.T, name string, data []byte) {
+		if len(name) > 1<<12 {
+			name = name[:1<<12]
+		}
+		tr := &Trace{Name: name}
+		for len(data) >= 11 {
+			chunk := data[:11]
+			data = data[11:]
+			var pc, target uint64
+			for i := 0; i < 4; i++ {
+				pc |= uint64(chunk[i]) << (8 * i)
+				target |= uint64(chunk[4+i]) << (8 * i)
+			}
+			typ := BranchType(chunk[10] % numBranchTypes)
+			taken := chunk[10]&0x40 != 0
+			if !typ.IsConditional() {
+				taken = true // Validate requires unconditional types taken
+			}
+			tr.Append(Record{
+				PC:          pc,
+				Target:      target,
+				InstrBefore: uint32(chunk[8]) | uint32(chunk[9])<<8,
+				Type:        typ,
+				Taken:       taken,
+			})
+		}
+		var enc bytes.Buffer
+		if err := Write(&enc, tr); err != nil {
+			t.Fatalf("encoding a valid trace failed: %v", err)
+		}
+		got, err := Read(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own encoding failed: %v", err)
+		}
+		if got.Name != tr.Name || len(got.Records) != len(tr.Records) {
+			t.Fatalf("round trip changed shape: name %q->%q, records %d->%d",
+				tr.Name, got.Name, len(tr.Records), len(got.Records))
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, tr.Records[i], got.Records[i])
+			}
+		}
+		var re bytes.Buffer
+		if err := Write(&re, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc.Bytes(), re.Bytes()) {
+			t.Fatal("re-encoded bytes differ from the original encoding")
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package tracecache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blbp/internal/trace"
+)
+
+// FuzzSpillDecode feeds arbitrary bytes to the spill loader: loadSpill
+// must either fail cleanly or produce a fully valid trace that survives a
+// re-spill round trip. This is the path a truncated or corrupted spill
+// file from a crashed run takes on the next cache warm-up.
+func FuzzSpillDecode(f *testing.F) {
+	var valid bytes.Buffer
+	tr := &trace.Trace{Name: "seed"}
+	tr.Append(trace.Record{PC: 0x400000, Target: 0x400020, InstrBefore: 3, Type: trace.CondDirect, Taken: true})
+	tr.Append(trace.Record{PC: 0x400100, Target: 0x7f0000, InstrBefore: 12, Type: trace.IndirectCall, Taken: true})
+	if err := trace.Write(&valid, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:len(valid.Bytes())-1]) // truncated spill
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.blbptrc")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := loadSpill(path)
+		if err != nil {
+			return // corrupt spills must fail cleanly, and did
+		}
+		if vErr := got.Validate(); vErr != nil {
+			t.Fatalf("loadSpill accepted an invalid trace: %v", vErr)
+		}
+		// A loaded spill must be re-spillable and reload identically.
+		again := filepath.Join(dir, "again.blbptrc")
+		if err := writeSpill(again, got); err != nil {
+			t.Fatalf("re-spill of a loaded trace failed: %v", err)
+		}
+		back, err := loadSpill(again)
+		if err != nil {
+			t.Fatalf("reloading a re-spilled trace failed: %v", err)
+		}
+		if back.Name != got.Name || len(back.Records) != len(got.Records) {
+			t.Fatalf("spill round trip changed shape: %q/%d -> %q/%d",
+				got.Name, len(got.Records), back.Name, len(back.Records))
+		}
+	})
+}

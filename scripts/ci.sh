@@ -1,12 +1,22 @@
 #!/bin/sh
-# CI gate: vet, build, and run the full test suite with the race detector.
-# Run from the repository root (or via `make ci`).
+# CI gate: lint (vet + blbplint), build, race-enabled tests, fuzz smoke,
+# and a strict gofmt -s check. Run from the repository root (or `make ci`).
 set -eux
 
-go vet ./...
+make lint
 go build ./...
 go test -race ./...
 # Bench smoke: every benchmark must run once without failing (catches rot in
 # the macro drivers and the shared bench runner without timing anything).
 go test -run xxx -bench . -benchtime 1x ./...
-gofmt -l . | { ! grep .; } || { echo "gofmt: files above need formatting" >&2; exit 1; }
+# Fuzz smoke: each native fuzz target gets a few seconds of coverage-guided
+# input on top of its seed corpus.
+go test -fuzz FuzzTraceRoundTrip -fuzztime 5s -run xxx ./internal/trace/
+go test -fuzz FuzzSpillDecode -fuzztime 5s -run xxx ./internal/tracecache/
+# gofmt -s: fail with the offending diff so the fix is visible in the log.
+fmtdiff=$(gofmt -s -d .)
+if [ -n "$fmtdiff" ]; then
+	echo "$fmtdiff"
+	echo "gofmt -s: files above need formatting" >&2
+	exit 1
+fi
