@@ -20,10 +20,10 @@ lint:
 ci:
 	sh scripts/ci.sh
 
-# Throughput report: writes BENCH_2.json (see ROADMAP.md for the BENCH_*
+# Throughput report: writes BENCH_3.json (see ROADMAP.md for the BENCH_*
 # convention) and prints the headline numbers.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_2.json
+	$(GO) run ./cmd/bench -out BENCH_3.json
 
 # CPU + allocation profiles of the suite-scale benchmark run, for pprof.
 profile:
@@ -37,6 +37,10 @@ micro:
 	$(GO) test -run xxx -bench 'BenchmarkFolded|BenchmarkFoldFromScratch' -benchmem ./internal/history/
 	$(GO) test -run xxx -bench 'Throughput|EndToEnd' -benchmem .
 
-# Regenerate the committed results (full-scale instruction base).
+# Regenerate the committed results (full-scale instruction base). The
+# kept spill directory makes repeated regenerations warm-start: every run
+# after the first decodes the suite's traces from .blbpspill/ instead of
+# re-running the generators (the CSVs are byte-identical either way).
 results:
-	$(GO) run ./cmd/experiments -base 600000 -csv results all
+	$(GO) run ./cmd/experiments -base 600000 -csv results \
+		-cachespill .blbpspill -cachekeep all

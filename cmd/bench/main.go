@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_2.json] [-base 60000] [-reps 3] [-parallel N]
+//	bench [-out BENCH_3.json] [-base 60000] [-reps 3] [-parallel N]
 //	      [-cpuprofile F] [-memprofile F]
 //
 // -base sets the per-workload instruction budget for the suite wall-clock
@@ -22,6 +22,13 @@
 // conditional/RAS side of the simulation is replayed from the shared tape
 // after the first repetition — the same warm path cmd/experiments hits when
 // several drivers share a workload.
+//
+// The cold/warm pair (suite_pass_cold, suite_pass_warm) additionally times
+// the suite pass from a fresh cache each repetition, trace acquisition
+// included: cold builds every trace from its generator; warm preloads a
+// spill directory the shared cache flushed at Close (the persistent tier a
+// kept `cmd/experiments -cachekeep` run leaves behind), so the pair
+// quantifies what a warm start saves end to end.
 package main
 
 import (
@@ -56,15 +63,34 @@ type Report struct {
 	// measurements: builds counts distinct trace constructions (one per
 	// workload regardless of how many measurements replayed it).
 	TraceCache CacheCounters `json:"trace_cache"`
+	// TraceCacheWarm snapshots the counters of the last suite_pass_warm
+	// repetition's cache: zero builds and one preload hit per workload is
+	// the warm-start contract.
+	TraceCacheWarm CacheCounters `json:"trace_cache_warm"`
 }
 
 // CacheCounters is the serialized trace-cache counter snapshot.
 type CacheCounters struct {
-	Builds     int64 `json:"builds"`
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	SpillLoads int64 `json:"spill_loads"`
-	Evictions  int64 `json:"evictions"`
+	Builds      int64 `json:"builds"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	SpillLoads  int64 `json:"spill_loads"`
+	PreloadHits int64 `json:"preload_hits"`
+	SpillErrors int64 `json:"spill_errors"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// counters converts a tracecache.Stats snapshot.
+func counters(s tracecache.Stats) CacheCounters {
+	return CacheCounters{
+		Builds:      s.Builds,
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		SpillLoads:  s.SpillLoads,
+		PreloadHits: s.PreloadHits,
+		SpillErrors: s.SpillErrors,
+		Evictions:   s.Evictions,
+	}
 }
 
 // Entry is one measured configuration.
@@ -188,13 +214,41 @@ func measureSuite(name string, specs []blbp.WorkloadSpec, cache *tracecache.Cach
 	}, nil
 }
 
+// measureSuiteStart times the suite pass from a fresh cache each
+// repetition, trace acquisition included — mkCache decides whether that
+// acquisition runs the generators (cold) or decodes a preloaded spill
+// directory (warm). Returns the last repetition's cache counters alongside
+// the timing.
+func measureSuiteStart(name string, specs []blbp.WorkloadSpec, instr int64, reps int, mkCache func() *tracecache.Cache) (Entry, tracecache.Stats, error) {
+	passes := []experiments.Pass{suitePass()}
+	var simErr error
+	var last tracecache.Stats
+	d := fastest(reps, func() {
+		cache := mkCache()
+		defer cache.Close()
+		r := experiments.NewRunnerCache(1, cache)
+		defer r.Close()
+		if _, err := r.RunSuite(specs, passes); err != nil {
+			simErr = err
+		}
+		last = cache.Stats()
+	})
+	if simErr != nil {
+		return Entry{}, last, simErr
+	}
+	return Entry{
+		Name: name, Events: instr, Unit: "instructions",
+		Seconds: d.Seconds(), PerSecond: float64(instr) / d.Seconds(),
+	}, last, nil
+}
+
 // run executes every measurement and assembles the report.
 func run(base int64, reps, parallel int) (*Report, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	rep := &Report{
-		Schema:     "blbp-bench-2",
+		Schema:     "blbp-bench-3",
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
@@ -219,32 +273,54 @@ func run(base int64, reps, parallel int) (*Report, error) {
 	rep.Results = append(rep.Results, engine)
 
 	specs := workload.Suite(base)
-	cache := tracecache.New(tracecache.Config{})
-	defer cache.Close()
+	// The shared cache doubles as the spill-tier seeder: KeepSpill makes
+	// its Close flush every built trace into spillDir for the warm
+	// measurement below.
+	spillDir, err := os.MkdirTemp("", "blbp-bench-spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+	cache := tracecache.New(tracecache.Config{SpillDir: spillDir, KeepSpill: true})
 	suite, err := measureSuite("suite_pass", specs, cache, 1, reps)
 	if err != nil {
+		cache.Close()
 		return nil, err
 	}
 	rep.Results = append(rep.Results, suite)
 	suitePar, err := measureSuite("suite_pass_parallel", specs, cache, parallel, reps)
 	if err != nil {
+		cache.Close()
 		return nil, err
 	}
 	rep.Results = append(rep.Results, suitePar)
+	cache.Close()
+	rep.TraceCache = counters(cache.Stats())
 
-	cs := cache.Stats()
-	rep.TraceCache = CacheCounters{
-		Builds:     cs.Builds,
-		Hits:       cs.Hits,
-		Misses:     cs.Misses,
-		SpillLoads: cs.SpillLoads,
-		Evictions:  cs.Evictions,
+	cold, _, err := measureSuiteStart("suite_pass_cold", specs, suite.Events, reps, func() *tracecache.Cache {
+		return tracecache.New(tracecache.Config{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, cold)
+	warm, warmStats, err := measureSuiteStart("suite_pass_warm", specs, suite.Events, reps, func() *tracecache.Cache {
+		return tracecache.New(tracecache.Config{SpillDir: spillDir, KeepSpill: true})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, warm)
+	rep.TraceCacheWarm = counters(warmStats)
+	if warmStats.Builds != 0 {
+		return nil, fmt.Errorf("bench: warm suite pass ran %d generator builds, want 0 (spill errors: %d)",
+			warmStats.Builds, warmStats.SpillErrors)
 	}
 	return rep, nil
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	base := flag.Int64("base", 60_000, "per-workload instruction base for the suite pass")
 	reps := flag.Int("reps", 3, "repetitions per measurement (fastest wins)")
 	parallel := flag.Int("parallel", 0, "workers for suite_pass_parallel (0 = GOMAXPROCS)")
@@ -302,5 +378,8 @@ func main() {
 	tc := rep.TraceCache
 	fmt.Printf("trace cache: %d builds, %d hits, %d misses (%d spill loads, %d evictions)\n",
 		tc.Builds, tc.Hits, tc.Misses, tc.SpillLoads, tc.Evictions)
+	tw := rep.TraceCacheWarm
+	fmt.Printf("warm start:  %d builds, %d preload hits, %d spill errors\n",
+		tw.Builds, tw.PreloadHits, tw.SpillErrors)
 	fmt.Println("wrote", *out)
 }

@@ -9,7 +9,7 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "blbp-bench-2" {
+	if rep.Schema != "blbp-bench-3" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if rep.Parallel != 2 {
@@ -22,6 +22,8 @@ func TestRunProducesCompleteReport(t *testing.T) {
 		"blbp_micro": false, "ittage_micro": false,
 		"engine_end_to_end": false, "suite_pass": false,
 		"suite_pass_parallel": false,
+		"suite_pass_cold":     false,
+		"suite_pass_warm":     false,
 	}
 	for _, e := range rep.Results {
 		if _, ok := want[e.Name]; !ok {
@@ -52,5 +54,17 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	}
 	if tc.Hits < tc.Builds {
 		t.Errorf("hits = %d, want >= %d (second suite measurement must hit)", tc.Hits, tc.Builds)
+	}
+	// The warm measurement must have served every workload from the spill
+	// tier the shared cache flushed: no generator builds, no spill errors.
+	tw := rep.TraceCacheWarm
+	if tw.Builds != 0 {
+		t.Errorf("warm builds = %d, want 0", tw.Builds)
+	}
+	if tw.PreloadHits != tc.Builds {
+		t.Errorf("warm preload hits = %d, want %d (one per workload)", tw.PreloadHits, tc.Builds)
+	}
+	if tw.SpillErrors != 0 {
+		t.Errorf("warm spill errors = %d", tw.SpillErrors)
 	}
 }

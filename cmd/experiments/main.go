@@ -18,7 +18,14 @@
 //	-chart          render fig10/fig11 as ASCII bar charts too
 //	-cachemb N      bound the trace cache to ~N MiB, spilling evicted
 //	                traces to disk (0 = unbounded, the default)
-//	-cachespill DIR spill directory for evicted traces (default: temp dir)
+//	-cachespill DIR spill directory for the trace cache's persistent tier.
+//	                Existing spill files in it warm-start the run: traces
+//	                decode from disk instead of re-running the generators.
+//	                Default: a per-process temp dir (created when -cachemb
+//	                or -cachekeep asks for one), removed on exit unless
+//	                -cachekeep
+//	-cachekeep      keep the spill directory at exit, flushing every built
+//	                trace to it, so the next run warm-starts from it
 //	-cachestats     print trace-cache counters to stderr at the end
 //	-cpuprofile F   write a CPU profile to F
 //	-memprofile F   write an allocation profile to F at exit
@@ -56,7 +63,8 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory for CSV copies of each table")
 	chart := fs.Bool("chart", false, "render fig10/fig11 results as ASCII bar charts too")
 	cacheMB := fs.Int64("cachemb", 0, "trace-cache budget in MiB (0 = unbounded)")
-	cacheSpill := fs.String("cachespill", "", "spill directory for evicted traces")
+	cacheSpill := fs.String("cachespill", "", "spill directory for the trace cache's persistent tier (default: per-process temp dir)")
+	cacheKeep := fs.Bool("cachekeep", false, "keep the spill directory at exit for a later warm start")
 	cacheStats := fs.Bool("cachestats", false, "print trace-cache counters to stderr at the end")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -94,13 +102,44 @@ func run(args []string) error {
 		}()
 	}
 
-	cacheCfg := tracecache.Config{SpillDir: *cacheSpill}
+	// The documented -cachespill default: a per-process temp dir, created
+	// whenever something needs a spill tier (-cachemb evictions, -cachekeep
+	// persistence) and removed on exit unless -cachekeep.
+	spillDir := *cacheSpill
+	spillIsTemp := false
+	if spillDir == "" && (*cacheMB > 0 || *cacheKeep) {
+		dir, err := os.MkdirTemp("", "blbp-spill-")
+		if err != nil {
+			return fmt.Errorf("creating default spill dir: %w", err)
+		}
+		spillDir = dir
+		spillIsTemp = true
+	}
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return fmt.Errorf("spill directory %s: %w", spillDir, err)
+		}
+	}
+	cacheCfg := tracecache.Config{SpillDir: spillDir, KeepSpill: *cacheKeep}
 	if *cacheMB > 0 {
 		cacheCfg.MaxBytes = *cacheMB << 20
 	}
-	cache := tracecache.New(cacheCfg)
-	defer cache.Close()
-	runner := experiments.NewRunnerCache(*parallel, cache)
+	runner := experiments.NewRunnerConfig(*parallel, cacheCfg)
+	cache := runner.Cache()
+	// Registered before runner.Close so it runs after it: the KeepSpill
+	// flush happens inside Close, and its errors must still be reported.
+	defer func() {
+		if n := cache.Stats().SpillErrors; n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: WARNING: %d trace-cache spill error(s); some traces were rebuilt or not persisted (details on first occurrence above)\n", n)
+		}
+		if spillIsTemp {
+			if *cacheKeep {
+				fmt.Fprintf(os.Stderr, "experiments: spill directory kept at %s (reuse with -cachespill)\n", spillDir)
+			} else {
+				os.RemoveAll(spillDir)
+			}
+		}
+	}()
 	defer runner.Close()
 	if *cacheStats {
 		defer func() { fmt.Fprintf(os.Stderr, "trace cache: %s\n", cache.Stats()) }()

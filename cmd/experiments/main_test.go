@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -37,6 +38,44 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty csv")
+	}
+}
+
+// TestWarmStartCSVIdentical runs the same experiment twice against one
+// kept spill directory: the second (warm) run decodes every trace from
+// disk and must emit byte-identical CSV output.
+func TestWarmStartCSVIdentical(t *testing.T) {
+	spill := t.TempDir()
+	coldDir, warmDir := t.TempDir(), t.TempDir()
+	args := []string{"-base", "4000", "-cachespill", spill, "-cachekeep", "-csv"}
+	if err := run(append(args, coldDir, "overall")); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if entries, err := os.ReadDir(spill); err != nil || len(entries) == 0 {
+		t.Fatalf("no spill files kept after cold run (err=%v)", err)
+	}
+	if err := run(append(args, warmDir, "overall")); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	cold, err := os.ReadFile(filepath.Join(coldDir, "overall.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := os.ReadFile(filepath.Join(warmDir, "overall.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("overall.csv differs cold vs warm:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+}
+
+// TestCacheMBDefaultSpillDir covers the fixed flag default: -cachemb with
+// no -cachespill must spill evictions into a temp dir (not drop them) and
+// remove it on exit when -cachekeep is absent.
+func TestCacheMBDefaultSpillDir(t *testing.T) {
+	if err := run([]string{"-base", "4000", "-cachemb", "1", "-cachestats", "fig1"}); err != nil {
+		t.Fatalf("run with -cachemb and default spill dir: %v", err)
 	}
 }
 

@@ -5,14 +5,23 @@ import (
 	"testing"
 
 	"blbp/internal/report"
+	"blbp/internal/tracecache"
 )
 
 // renderDriverCSV runs a small driver subset on a private Runner with the
 // given worker count and renders every produced table to CSV in order —
 // the same bytes cmd/experiments would write for these drivers.
 func renderDriverCSV(t *testing.T, workers int) []byte {
+	csv, _ := renderDriverCSVConfig(t, workers, tracecache.Config{})
+	return csv
+}
+
+// renderDriverCSVConfig is renderDriverCSV over a Runner whose private
+// trace cache is built from cfg; it also returns the cache counters so
+// the warm-start gate below can assert where traces came from.
+func renderDriverCSVConfig(t *testing.T, workers int, cfg tracecache.Config) ([]byte, tracecache.Stats) {
 	t.Helper()
-	r := NewRunner(workers)
+	r := NewRunnerConfig(workers, cfg)
 	defer r.Close()
 	specs := miniSuite(60_000)
 
@@ -34,7 +43,7 @@ func renderDriverCSV(t *testing.T, workers int) []byte {
 			t.Fatal(err)
 		}
 	}
-	return buf.Bytes()
+	return buf.Bytes(), r.Cache().Stats()
 }
 
 // TestDriverCSVDeterministicAcrossParallelism is the golden determinism
@@ -47,5 +56,28 @@ func TestDriverCSVDeterministicAcrossParallelism(t *testing.T) {
 	par := renderDriverCSV(t, 8)
 	if !bytes.Equal(seq, par) {
 		t.Fatalf("driver CSV differs between 1 and 8 workers:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", seq, par)
+	}
+}
+
+// TestDriverCSVDeterministicWarmStart is the persistence gate: a cold run
+// that keeps its spill directory, then a warm run over the same directory,
+// must produce byte-identical CSVs — and the warm run must build nothing,
+// serving every trace from the preloaded spill tier.
+func TestDriverCSVDeterministicWarmStart(t *testing.T) {
+	cfg := tracecache.Config{SpillDir: t.TempDir(), KeepSpill: true}
+	cold, coldStats := renderDriverCSVConfig(t, 0, cfg)
+	if coldStats.Builds == 0 {
+		t.Fatal("cold run built nothing; spill directory was not empty")
+	}
+	warm, warmStats := renderDriverCSVConfig(t, 0, cfg)
+	if warmStats.Builds != 0 {
+		t.Errorf("warm run builds = %d, want 0 (preload hits = %d, spill errors = %d)",
+			warmStats.Builds, warmStats.PreloadHits, warmStats.SpillErrors)
+	}
+	if warmStats.SpillErrors != 0 {
+		t.Errorf("warm run spill errors = %d, want 0", warmStats.SpillErrors)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("driver CSV differs between cold and warm start:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
 	}
 }

@@ -81,7 +81,17 @@ type Runner struct {
 // NewRunner returns a Runner with workers worker goroutines (0 = GOMAXPROCS)
 // and an unbounded private trace cache.
 func NewRunner(workers int) *Runner {
-	r := NewRunnerCache(workers, tracecache.New(tracecache.Config{}))
+	return NewRunnerConfig(workers, tracecache.Config{})
+}
+
+// NewRunnerConfig returns a Runner with workers worker goroutines over a
+// private trace cache built from cfg, so callers can thread the cache's
+// persistence options (byte budget, spill directory, KeepSpill) through
+// the execution layer without managing the cache themselves. The cache is
+// closed with the Runner; with cfg.KeepSpill that flushes the working set
+// to cfg.SpillDir for a later process to warm-start from.
+func NewRunnerConfig(workers int, cfg tracecache.Config) *Runner {
+	r := NewRunnerCache(workers, tracecache.New(cfg))
 	r.ownsCache = true
 	return r
 }

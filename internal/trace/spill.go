@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// A spill file is the persistent form the trace cache writes: a
+// self-describing header followed by the standard binary trace payload.
+// The header carries the full workload identity (name, seed, instruction
+// budget) plus the payload's record count and checksum, so a reader can
+// decide whether a file on disk really is the trace it wants — a bare
+// payload carries only the workload name, which is not enough once files
+// outlive the process that wrote them (stale seeds, renamed files, hash
+// collisions in the file name).
+//
+// Layout:
+//
+//	magic    "BLBPSPL1"                     (8 bytes)
+//	name     uvarint length + bytes         (workload name)
+//	seed     uvarint                        (two's-complement bits of the int64 seed)
+//	instr    uvarint                        (instruction budget)
+//	records  uvarint                        (payload record count)
+//	checksum 8 bytes little-endian          (FNV-64a of the payload bytes)
+//	payload  BLBPTRC1 encoding of the trace (Write/Read)
+
+var spillMagic = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '1'}
+
+// ErrBadSpillMagic is returned when decoding data that is not a BLBP spill
+// file (including bare BLBPTRC1 payloads from the pre-header format).
+var ErrBadSpillMagic = errors.New("trace: bad magic (not a BLBP spill file)")
+
+// ErrSpillMismatch is returned when a spill file's payload does not match
+// its own header (checksum or record count), i.e. the file is corrupt or
+// was truncated by a crash.
+var ErrSpillMismatch = errors.New("trace: spill payload does not match header")
+
+// SpillHeader is the self-describing preamble of a spill file.
+type SpillHeader struct {
+	// Name, Seed and Instructions are the workload identity of the payload
+	// (workload.Identity, spelled out so this package need not import it).
+	Name         string
+	Seed         int64
+	Instructions int64
+	// Records is the payload's record count.
+	Records int64
+	// Checksum is the FNV-64a hash of the payload bytes.
+	Checksum uint64
+}
+
+// WriteSpill encodes t as a spill file: header then payload. Name, Seed
+// and Instructions are taken from h; Records and Checksum are computed
+// from the encoded payload and h's values for them are ignored.
+func WriteSpill(w io.Writer, h SpillHeader, t *Trace) error {
+	var payload bytes.Buffer
+	if err := Write(&payload, t); err != nil {
+		return err
+	}
+	sum := fnv.New64a()
+	sum.Write(payload.Bytes())
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(spillMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(h.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(h.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(h.Seed)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(h.Instructions)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[:8], sum.Sum64())
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readSpillHeader decodes the header from br.
+func readSpillHeader(br *bufio.Reader) (SpillHeader, error) {
+	var h SpillHeader
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return h, fmt.Errorf("trace: reading spill magic: %w", err)
+	}
+	if m != spillMagic {
+		return h, ErrBadSpillMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("trace: reading spill name length: %w", err)
+	}
+	const maxNameLen = 1 << 16
+	if nameLen > maxNameLen {
+		return h, fmt.Errorf("trace: spill name length %d exceeds limit", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return h, fmt.Errorf("trace: reading spill name: %w", err)
+	}
+	h.Name = string(name)
+	seed, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("trace: reading spill seed: %w", err)
+	}
+	h.Seed = int64(seed)
+	instr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("trace: reading spill instruction budget: %w", err)
+	}
+	h.Instructions = int64(instr)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("trace: reading spill record count: %w", err)
+	}
+	const maxRecords = 1 << 32
+	if count > maxRecords {
+		return h, fmt.Errorf("trace: spill record count %d exceeds limit", count)
+	}
+	h.Records = int64(count)
+	var sum [8]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return h, fmt.Errorf("trace: reading spill checksum: %w", err)
+	}
+	h.Checksum = binary.LittleEndian.Uint64(sum[:])
+	return h, nil
+}
+
+// ReadSpillHeader decodes only the header of a spill file, leaving the
+// payload unread — the cheap probe a cache uses to index a directory of
+// spill files by identity without decoding any records.
+func ReadSpillHeader(r io.Reader) (SpillHeader, error) {
+	return readSpillHeader(bufio.NewReader(r))
+}
+
+// ReadSpill decodes a complete spill file: the header, then the payload,
+// verified against the header's checksum and record count and the usual
+// per-record validation. The decoded trace's name must match the header's.
+func ReadSpill(r io.Reader) (SpillHeader, *Trace, error) {
+	br := bufio.NewReader(r)
+	h, err := readSpillHeader(br)
+	if err != nil {
+		return h, nil, err
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return h, nil, fmt.Errorf("trace: reading spill payload: %w", err)
+	}
+	sum := fnv.New64a()
+	sum.Write(payload)
+	if sum.Sum64() != h.Checksum {
+		return h, nil, fmt.Errorf("%w: checksum %016x, header says %016x", ErrSpillMismatch, sum.Sum64(), h.Checksum)
+	}
+	t, err := Read(bytes.NewReader(payload))
+	if err != nil {
+		return h, nil, err
+	}
+	if int64(len(t.Records)) != h.Records {
+		return h, nil, fmt.Errorf("%w: %d records, header says %d", ErrSpillMismatch, len(t.Records), h.Records)
+	}
+	if t.Name != h.Name {
+		return h, nil, fmt.Errorf("%w: payload name %q, header says %q", ErrSpillMismatch, t.Name, h.Name)
+	}
+	return h, t, nil
+}

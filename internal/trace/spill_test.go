@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func spillTestTrace() *Trace {
+	t := &Trace{Name: "spill-wl"}
+	t.Append(Record{PC: 0x400000, Target: 0x400020, InstrBefore: 3, Type: CondDirect, Taken: true})
+	t.Append(Record{PC: 0x400100, Target: 0x7f0000, InstrBefore: 12, Type: IndirectCall, Taken: true})
+	t.Append(Record{PC: 0x7f0040, Target: 0x400104, InstrBefore: 7, Type: Return, Taken: true})
+	return t
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	tr := spillTestTrace()
+	want := SpillHeader{Name: tr.Name, Seed: -42, Instructions: 9001}
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, want, tr); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := ReadSpill(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != want.Name || h.Seed != want.Seed || h.Instructions != want.Instructions {
+		t.Errorf("identity = %q/%d/%d, want %q/%d/%d",
+			h.Name, h.Seed, h.Instructions, want.Name, want.Seed, want.Instructions)
+	}
+	if h.Records != int64(len(tr.Records)) {
+		t.Errorf("header records = %d, want %d", h.Records, len(tr.Records))
+	}
+	if got.Name != tr.Name || len(got.Records) != len(tr.Records) {
+		t.Fatalf("payload shape %q/%d, want %q/%d", got.Name, len(got.Records), tr.Name, len(tr.Records))
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadSpillHeaderOnly(t *testing.T) {
+	tr := spillTestTrace()
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, SpillHeader{Name: tr.Name, Seed: 7, Instructions: 500}, tr); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadSpillHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != tr.Name || h.Seed != 7 || h.Instructions != 500 || h.Records != int64(len(tr.Records)) {
+		t.Errorf("header = %+v", h)
+	}
+}
+
+func TestReadSpillRejectsBarePayload(t *testing.T) {
+	// The pre-header spill format was a bare BLBPTRC1 payload; it must be
+	// recognizable as not-a-spill so caches can prune stale files.
+	var buf bytes.Buffer
+	if err := Write(&buf, spillTestTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSpill(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadSpillMagic) {
+		t.Errorf("bare payload error = %v, want ErrBadSpillMagic", err)
+	}
+	if _, err := ReadSpillHeader(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadSpillMagic) {
+		t.Errorf("header probe error = %v, want ErrBadSpillMagic", err)
+	}
+}
+
+func TestReadSpillDetectsCorruptPayload(t *testing.T) {
+	tr := spillTestTrace()
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, SpillHeader{Name: tr.Name, Seed: 1, Instructions: 100}, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one bit in the last payload byte; the checksum must catch it
+	// even if the payload still happens to decode.
+	data[len(data)-1] ^= 0x40
+	if _, _, err := ReadSpill(bytes.NewReader(data)); !errors.Is(err, ErrSpillMismatch) {
+		t.Errorf("corrupt payload error = %v, want ErrSpillMismatch", err)
+	}
+}
+
+func TestReadSpillDetectsTruncation(t *testing.T) {
+	tr := spillTestTrace()
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, SpillHeader{Name: tr.Name, Seed: 1, Instructions: 100}, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := len(data) - 1; cut > len(data)-6; cut-- {
+		if _, _, err := ReadSpill(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(data))
+		}
+	}
+	// Truncation inside the header must fail the cheap probe too.
+	if _, err := ReadSpillHeader(bytes.NewReader(data[:5])); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestReadSpillHugeNameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(spillMagic[:])
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // name length ~4G
+	if _, err := ReadSpillHeader(&buf); err == nil {
+		t.Error("absurd spill name length accepted")
+	}
+}
+
+func TestReadSpillEmpty(t *testing.T) {
+	if _, err := ReadSpillHeader(bytes.NewReader(nil)); !errors.Is(err, io.ErrUnexpectedEOF) && err == nil {
+		t.Error("empty input accepted")
+	}
+}

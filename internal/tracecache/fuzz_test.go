@@ -7,42 +7,67 @@ import (
 	"testing"
 
 	"blbp/internal/trace"
+	"blbp/internal/workload"
 )
 
-// FuzzSpillDecode feeds arbitrary bytes to the spill loader: loadSpill
-// must either fail cleanly or produce a fully valid trace that survives a
-// re-spill round trip. This is the path a truncated or corrupted spill
-// file from a crashed run takes on the next cache warm-up.
-func FuzzSpillDecode(f *testing.F) {
-	var valid bytes.Buffer
+// fuzzSeedFile encodes a small valid spill file (header + payload).
+func fuzzSeedFile(f *testing.F) []byte {
+	f.Helper()
 	tr := &trace.Trace{Name: "seed"}
 	tr.Append(trace.Record{PC: 0x400000, Target: 0x400020, InstrBefore: 3, Type: trace.CondDirect, Taken: true})
 	tr.Append(trace.Record{PC: 0x400100, Target: 0x7f0000, InstrBefore: 12, Type: trace.IndirectCall, Taken: true})
-	if err := trace.Write(&valid, tr); err != nil {
+	var buf bytes.Buffer
+	if err := trace.WriteSpill(&buf, trace.SpillHeader{Name: "seed", Seed: 11, Instructions: 4_000}, tr); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(valid.Bytes())
+	return buf.Bytes()
+}
+
+// FuzzSpillDecode feeds arbitrary bytes to the spill reader: readSpillFile
+// must either fail cleanly or produce a header-consistent, fully valid
+// trace that survives a re-spill round trip under the identity the header
+// claims. This is the path a truncated, corrupted, or stale spill file
+// from a previous process takes on the next cache warm-start.
+func FuzzSpillDecode(f *testing.F) {
+	valid := fuzzSeedFile(f)
+	f.Add(valid)
 	f.Add([]byte{})
-	f.Add(valid.Bytes()[:len(valid.Bytes())-1]) // truncated spill
+	f.Add(valid[:len(valid)-1]) // truncated payload
+	f.Add(valid[:12])           // truncated header
+	// The pre-header format: a bare trace payload. Must be rejected as
+	// not-a-spill, never decoded as one.
+	var bare bytes.Buffer
+	bareTr := &trace.Trace{Name: "bare"}
+	bareTr.Append(trace.Record{PC: 0x400000, Target: 0x400020, InstrBefore: 1, Type: trace.CondDirect, Taken: true})
+	if err := trace.Write(&bare, bareTr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bare.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
-		path := filepath.Join(dir, "fuzz.blbptrc")
+		path := filepath.Join(dir, "fuzz"+spillExt)
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got, err := loadSpill(path)
+		h, got, err := readSpillFile(path)
 		if err != nil {
 			return // corrupt spills must fail cleanly, and did
 		}
 		if vErr := got.Validate(); vErr != nil {
-			t.Fatalf("loadSpill accepted an invalid trace: %v", vErr)
+			t.Fatalf("readSpillFile accepted an invalid trace: %v", vErr)
 		}
-		// A loaded spill must be re-spillable and reload identically.
-		again := filepath.Join(dir, "again.blbptrc")
-		if err := writeSpill(again, got); err != nil {
+		if got.Name != h.Name || int64(len(got.Records)) != h.Records {
+			t.Fatalf("accepted payload disagrees with header: %q/%d vs %q/%d",
+				got.Name, len(got.Records), h.Name, h.Records)
+		}
+		// A loaded spill must be re-spillable under its header identity and
+		// reload identically through the full identity-validated path.
+		id := workload.Identity{Name: h.Name, Seed: h.Seed, Instructions: h.Instructions}
+		again := filepath.Join(dir, "again"+spillExt)
+		if err := writeSpill(again, id, got); err != nil {
 			t.Fatalf("re-spill of a loaded trace failed: %v", err)
 		}
-		back, err := loadSpill(again)
+		back, err := loadSpill(again, id)
 		if err != nil {
 			t.Fatalf("reloading a re-spilled trace failed: %v", err)
 		}

@@ -6,8 +6,19 @@
 // identity (name, seed, instruction budget — see workload.Spec.Identity),
 // deduplicates concurrent builds with single-flight entries, counts hits,
 // misses and bytes, and can bound its memory footprint with an LRU spill
-// that evicts traces to disk in the internal/trace binary format and
-// decodes them back on the next touch instead of rebuilding.
+// that evicts traces to disk and decodes them back on the next touch
+// instead of rebuilding.
+//
+// Spill files are a persistent cache tier, not just eviction overflow.
+// Each file is self-describing — a trace.SpillHeader carrying the full
+// workload identity, record count, and payload checksum — and is written
+// via temp file + rename so a crash never leaves a decodable-but-truncated
+// file at a canonical name. A cache whose Config names a SpillDir indexes
+// the directory's existing files at construction (Preload), so Get serves
+// identities spilled by an earlier process from disk without running the
+// generator; with Config.KeepSpill, Close flushes every live entry to the
+// directory and retains the files, making repeated full-suite runs warm
+// after the first.
 //
 // Each entry also memoizes the two derived artifacts every driver needs:
 // the trace's statistics (trace.Analyze, shared by the characterization
@@ -21,6 +32,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -37,16 +49,31 @@ const (
 	entryOverheadBytes = 256
 )
 
+// spillExt names finished spill files; tempPattern names in-flight writes
+// (never indexed by Preload, renamed onto spillExt names when complete).
+const (
+	spillExt    = ".blbptrc"
+	tempPattern = "spill-*.tmp"
+)
+
 // Config parameterizes a Cache.
 type Config struct {
 	// MaxBytes bounds the approximate in-memory footprint of live traces;
 	// 0 means unbounded. When the bound is exceeded the least-recently-used
 	// entries are evicted.
 	MaxBytes int64
-	// SpillDir, when non-empty, receives evicted traces in the binary trace
-	// format so a later Get decodes them from disk instead of re-running
-	// the generator. Empty means evicted traces are simply dropped.
+	// SpillDir, when non-empty, receives evicted traces as self-describing
+	// spill files so a later Get decodes them from disk instead of
+	// re-running the generator. New creates the directory if needed and
+	// indexes any spill files already in it (see Preload), so a directory
+	// kept by a previous process warm-starts this one. Empty means evicted
+	// traces are simply dropped.
 	SpillDir string
+	// KeepSpill retains SpillDir's files at Close for a later process:
+	// Close flushes every live entry to disk, keeps all valid spill files,
+	// and prunes stale-format files and orphaned temp files. When false,
+	// Close removes the cache's spill files (both written and preloaded).
+	KeepSpill bool
 }
 
 // Stats is a snapshot of the cache counters.
@@ -58,8 +85,16 @@ type Stats struct {
 	Hits int64
 	// Misses counts Gets that had to create the entry.
 	Misses int64
-	// SpillLoads counts entries restored by decoding a spilled trace file.
+	// SpillLoads counts entries restored by decoding a spill file.
 	SpillLoads int64
+	// PreloadHits counts the subset of SpillLoads served by files indexed
+	// from a pre-existing spill directory (written by an earlier process)
+	// rather than spilled by this one.
+	PreloadHits int64
+	// SpillErrors counts spill-tier failures: writes that were dropped and
+	// loads that failed validation or I/O and fell back to the generator.
+	// The first failure is logged to stderr; the rest only count here.
+	SpillErrors int64
 	// Evictions counts entries evicted from memory by the byte budget.
 	Evictions int64
 	// LiveBytes approximates the bytes held by live entries.
@@ -67,8 +102,8 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d builds, %d hits, %d misses, %d spill loads, %d evictions, %.1f MB live",
-		s.Builds, s.Hits, s.Misses, s.SpillLoads, s.Evictions, float64(s.LiveBytes)/(1<<20))
+	return fmt.Sprintf("%d builds, %d hits, %d misses, %d spill loads (%d preload), %d spill errors, %d evictions, %.1f MB live",
+		s.Builds, s.Hits, s.Misses, s.SpillLoads, s.PreloadHits, s.SpillErrors, s.Evictions, float64(s.LiveBytes)/(1<<20))
 }
 
 // Cache is a process-wide trace cache. The zero value is not usable; use
@@ -76,27 +111,46 @@ func (s Stats) String() string {
 type Cache struct {
 	cfg Config
 
-	mu      sync.Mutex
-	entries map[workload.Identity]*Entry
-	lru     *list.List // of *Entry, front = most recently used
-	spilled map[workload.Identity]string
-	live    int64 // bytes, under mu
+	mu        sync.Mutex
+	entries   map[workload.Identity]*Entry
+	lru       *list.List // of *Entry, front = most recently used
+	spilled   map[workload.Identity]string
+	preloaded map[workload.Identity]bool // spilled paths adopted by Preload
+	stale     []string                   // unreadable *.blbptrc files; pruned at Close with KeepSpill
+	live      int64                      // bytes, under mu
 
-	builds     atomic.Int64
-	hits       atomic.Int64
-	misses     atomic.Int64
-	spillLoads atomic.Int64
-	evictions  atomic.Int64
+	builds      atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	spillLoads  atomic.Int64
+	preloadHits atomic.Int64
+	spillErrs   atomic.Int64
+	evictions   atomic.Int64
+
+	logSpillErr sync.Once
 }
 
-// New constructs a cache.
+// New constructs a cache. A non-empty Config.SpillDir is created if absent
+// and its existing spill files are indexed so Get can warm-start from them;
+// directory errors disable the spill tier and count in Stats.SpillErrors
+// rather than failing construction.
 func New(cfg Config) *Cache {
-	return &Cache{
-		cfg:     cfg,
-		entries: make(map[workload.Identity]*Entry),
-		lru:     list.New(),
-		spilled: make(map[workload.Identity]string),
+	c := &Cache{
+		cfg:       cfg,
+		entries:   make(map[workload.Identity]*Entry),
+		lru:       list.New(),
+		spilled:   make(map[workload.Identity]string),
+		preloaded: make(map[workload.Identity]bool),
 	}
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			c.spillFailure(fmt.Errorf("creating spill dir: %w", err))
+			c.cfg.SpillDir = ""
+		} else {
+			c.Preload(cfg.SpillDir)
+		}
+	}
+	return c
 }
 
 // Entry is one cached workload: the built trace plus memoized derived
@@ -133,9 +187,56 @@ func (e *Entry) Tape() (*sim.Tape, error) {
 	return e.tape, e.tapeErr
 }
 
+// Preload indexes every spill file in dir by the identity in its header,
+// so subsequent Gets of those identities decode from disk instead of
+// running the generator — even identities never evicted (or built) in this
+// process. New calls it on Config.SpillDir; call it directly to adopt
+// files from an additional directory. Files with the spill extension that
+// do not parse as spill files (the pre-header format, truncated crash
+// leftovers) are remembered as stale and pruned by Close when KeepSpill is
+// set. Identities already live or already indexed are skipped. Returns the
+// number of identities indexed.
+func (c *Cache) Preload(dir string) int {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.spillFailure(fmt.Errorf("reading spill dir: %w", err))
+		}
+		return 0
+	}
+	n := 0
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), spillExt) {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		h, err := readSpillHeaderFile(path)
+		if err != nil {
+			c.mu.Lock()
+			c.stale = append(c.stale, path)
+			c.mu.Unlock()
+			continue
+		}
+		id := workload.Identity{Name: h.Name, Seed: h.Seed, Instructions: h.Instructions}
+		c.mu.Lock()
+		_, live := c.entries[id]
+		_, indexed := c.spilled[id]
+		if !live && !indexed {
+			c.spilled[id] = path
+			c.preloaded[id] = true
+			n++
+		}
+		c.mu.Unlock()
+	}
+	return n
+}
+
 // Get returns the cache entry for the spec, building the trace on first
 // touch. Concurrent Gets of the same spec coalesce onto one build; every
-// other caller blocks until it completes and shares the entry.
+// other caller blocks until it completes and shares the entry. When the
+// identity has a spill file on disk (evicted earlier, or preloaded from a
+// previous process), the build decodes it — falling back to the generator
+// if the file fails identity, checksum, or record-count validation.
 func (c *Cache) Get(spec workload.Spec) *Entry {
 	id := spec.Identity()
 	c.mu.Lock()
@@ -149,11 +250,26 @@ func (c *Cache) Get(spec workload.Spec) *Entry {
 	}
 	e = &Entry{id: id}
 	spillPath := c.spilled[id]
+	fromPreload := c.preloaded[id]
 	e.build = func() {
 		if spillPath != "" {
-			if tr, err := loadSpill(spillPath); err == nil && tr.Name == spec.Name {
+			if tr, err := loadSpill(spillPath, id); err == nil {
 				c.spillLoads.Add(1)
+				if fromPreload {
+					c.preloadHits.Add(1)
+				}
 				e.tr = tr
+			} else {
+				// Wrong-identity, corrupt, or unreadable file: drop it from
+				// the index (and disk) and rebuild from the generator.
+				c.spillFailure(fmt.Errorf("loading spill for %s: %w", id.Name, err))
+				os.Remove(spillPath)
+				c.mu.Lock()
+				if c.spilled[id] == spillPath {
+					delete(c.spilled, id)
+					delete(c.preloaded, id)
+				}
+				c.mu.Unlock()
 			}
 		}
 		if e.tr == nil {
@@ -210,21 +326,23 @@ func (c *Cache) collectVictims(keep *Entry) []*Entry {
 	return victims
 }
 
-// spill writes evicted traces to the spill directory (outside the lock; a
-// failed write just means the next Get rebuilds from the generator).
+// spill writes evicted traces to the spill directory (outside the lock).
+// A failed write counts in SpillErrors — the next Get of that identity
+// rebuilds from the generator.
 func (c *Cache) spill(victims []*Entry) {
 	if c.cfg.SpillDir == "" {
 		return
 	}
 	for _, v := range victims {
 		c.mu.Lock()
-		path, done := c.spilled[v.id]
+		_, done := c.spilled[v.id]
 		c.mu.Unlock()
-		if done && path != "" {
+		if done {
 			continue
 		}
-		path = filepath.Join(c.cfg.SpillDir, spillName(v.id))
-		if err := writeSpill(path, v.tr); err != nil {
+		path := filepath.Join(c.cfg.SpillDir, spillName(v.id))
+		if err := writeSpill(path, v.id, v.tr); err != nil {
+			c.spillFailure(fmt.Errorf("spilling %s: %w", v.id.Name, err))
 			continue
 		}
 		c.mu.Lock()
@@ -233,36 +351,85 @@ func (c *Cache) spill(victims []*Entry) {
 	}
 }
 
+// spillFailure counts a spill-tier error and logs the first one; later
+// failures stay visible through Stats.SpillErrors without flooding stderr.
+func (c *Cache) spillFailure(err error) {
+	c.spillErrs.Add(1)
+	c.logSpillErr.Do(func() {
+		fmt.Fprintf(os.Stderr, "tracecache: %v (first failure; the rest only count in Stats.SpillErrors)\n", err)
+	})
+}
+
+// spillName derives the canonical file name for an identity. The name is a
+// bare hash and therefore not trusted on load: loadSpill validates the
+// file's own header against the requested identity, so a colliding or
+// stale file falls back to a rebuild instead of serving the wrong trace.
 func spillName(id workload.Identity) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%d", id.Name, id.Seed, id.Instructions)
-	return fmt.Sprintf("%016x.blbptrc", h.Sum64())
+	return fmt.Sprintf("%016x%s", h.Sum64(), spillExt)
 }
 
-func writeSpill(path string, tr *trace.Trace) error {
-	f, err := os.Create(path)
+// writeSpill atomically writes a self-describing spill file: the payload
+// lands under a temp name and is renamed onto path only once fully
+// written, so a crash never leaves a partial file at a canonical name.
+func writeSpill(path string, id workload.Identity, tr *trace.Trace) error {
+	f, err := os.CreateTemp(filepath.Dir(path), tempPattern)
 	if err != nil {
 		return err
 	}
-	if err := trace.Write(f, tr); err != nil {
+	tmp := f.Name()
+	h := trace.SpillHeader{Name: id.Name, Seed: id.Seed, Instructions: id.Instructions}
+	if err := trace.WriteSpill(f, h, tr); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	return nil
 }
 
-func loadSpill(path string) (*trace.Trace, error) {
+// readSpillHeaderFile reads just the header of a spill file.
+func readSpillHeaderFile(path string) (trace.SpillHeader, error) {
 	f, err := os.Open(path)
+	if err != nil {
+		return trace.SpillHeader{}, err
+	}
+	defer f.Close()
+	return trace.ReadSpillHeader(f)
+}
+
+// readSpillFile reads and fully validates a spill file.
+func readSpillFile(path string) (trace.SpillHeader, *trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.SpillHeader{}, nil, err
+	}
+	defer f.Close()
+	return trace.ReadSpill(f)
+}
+
+// loadSpill decodes the spill file at path and verifies it really is the
+// requested identity — name, seed, and instruction budget from the header,
+// with the checksum and record count checked against the payload by
+// trace.ReadSpill. A bare file-name match is never sufficient.
+func loadSpill(path string, id workload.Identity) (*trace.Trace, error) {
+	h, tr, err := readSpillFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return trace.Read(f)
+	if h.Name != id.Name || h.Seed != id.Seed || h.Instructions != id.Instructions {
+		return nil, fmt.Errorf("tracecache: spill %s holds %s/%d/%d, want %s/%d/%d (stale or colliding file)",
+			filepath.Base(path), h.Name, h.Seed, h.Instructions, id.Name, id.Seed, id.Instructions)
+	}
+	return tr, nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -271,22 +438,55 @@ func (c *Cache) Stats() Stats {
 	live := c.live
 	c.mu.Unlock()
 	return Stats{
-		Builds:     c.builds.Load(),
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		SpillLoads: c.spillLoads.Load(),
-		Evictions:  c.evictions.Load(),
-		LiveBytes:  live,
+		Builds:      c.builds.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		SpillLoads:  c.spillLoads.Load(),
+		PreloadHits: c.preloadHits.Load(),
+		SpillErrors: c.spillErrs.Load(),
+		Evictions:   c.evictions.Load(),
+		LiveBytes:   live,
 	}
 }
 
-// Close drops every entry and removes the cache's spill files.
+// Close drops every entry. Without KeepSpill it removes the cache's spill
+// files, written and preloaded alike (the pre-persistence behavior). With
+// KeepSpill it instead flushes every live built entry to the spill
+// directory so a later process can Preload the complete working set,
+// retains all valid spill files, and prunes stale-format files and
+// orphaned temp files. Close must not race concurrent Gets.
 func (c *Cache) Close() {
+	if c.cfg.KeepSpill && c.cfg.SpillDir != "" {
+		c.mu.Lock()
+		var flush []*Entry
+		for id, e := range c.entries {
+			if e.tr == nil {
+				continue
+			}
+			if _, done := c.spilled[id]; !done {
+				flush = append(flush, e)
+			}
+		}
+		stale := c.stale
+		c.stale = nil
+		c.mu.Unlock()
+		c.spill(flush)
+		for _, path := range stale {
+			os.Remove(path)
+		}
+		if tmps, err := filepath.Glob(filepath.Join(c.cfg.SpillDir, tempPattern)); err == nil {
+			for _, tmp := range tmps {
+				os.Remove(tmp)
+			}
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for id, path := range c.spilled {
-		os.Remove(path)
-		delete(c.spilled, id)
+	if !c.cfg.KeepSpill {
+		for id, path := range c.spilled {
+			os.Remove(path)
+			delete(c.spilled, id)
+		}
 	}
 	c.entries = make(map[workload.Identity]*Entry)
 	c.lru.Init()

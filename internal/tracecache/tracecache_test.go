@@ -3,6 +3,7 @@ package tracecache
 import (
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -139,6 +140,237 @@ func TestCloseRemovesSpillFiles(t *testing.T) {
 	names, _ := os.ReadDir(dir)
 	if len(names) != 0 {
 		t.Errorf("%d spill files left after Close", len(names))
+	}
+}
+
+// TestWarmStartAcrossCaches is the cross-process round trip: a first cache
+// with KeepSpill flushes its whole working set at Close, and a second cache
+// over the same directory serves every Get from disk — zero generator runs.
+func TestWarmStartAcrossCaches(t *testing.T) {
+	dir := t.TempDir()
+	specs := []workload.Spec{testSpec("warm-a", 5_000), testSpec("warm-b", 4_000)}
+	reference := specs[0].Build()
+
+	c1 := New(Config{SpillDir: dir, KeepSpill: true})
+	for _, s := range specs {
+		c1.Get(s)
+	}
+	c1.Close()
+	names, _ := os.ReadDir(dir)
+	if len(names) != len(specs) {
+		t.Fatalf("%d spill files after KeepSpill Close, want %d", len(names), len(specs))
+	}
+
+	c2 := New(Config{SpillDir: dir, KeepSpill: true})
+	defer c2.Close()
+	tr := c2.Get(specs[0]).Trace()
+	c2.Get(specs[1])
+	st := c2.Stats()
+	if st.Builds != 0 {
+		t.Errorf("warm cache builds = %d, want 0", st.Builds)
+	}
+	if st.SpillLoads != 2 || st.PreloadHits != 2 {
+		t.Errorf("spill loads/preload hits = %d/%d, want 2/2", st.SpillLoads, st.PreloadHits)
+	}
+	if st.SpillErrors != 0 {
+		t.Errorf("spill errors = %d, want 0", st.SpillErrors)
+	}
+	if tr.Name != reference.Name || len(tr.Records) != len(reference.Records) {
+		t.Fatalf("warm trace shape %s/%d, want %s/%d", tr.Name, len(tr.Records), reference.Name, len(reference.Records))
+	}
+	for i := range tr.Records {
+		if tr.Records[i] != reference.Records[i] {
+			t.Fatalf("record %d differs after cross-process warm start", i)
+		}
+	}
+}
+
+// TestSpillCollisionWrongIdentityRejected is the regression test for the
+// bare-FNV-name hazard: a file whose name matches the requested identity's
+// spill name but whose contents belong to a different identity (hash
+// collision, or a stale file from another seed/budget run) must be
+// rejected by header validation and rebuilt, never served as-is.
+func TestSpillCollisionWrongIdentityRejected(t *testing.T) {
+	dir := t.TempDir()
+	specA := testSpec("coll-a", 4_000)
+	specB := testSpec("coll-b", 4_000)
+	idB := specB.Identity()
+	// Plant A's trace at B's canonical spill name — what a colliding or
+	// stale file looks like on disk.
+	path := filepath.Join(dir, spillName(idB))
+	if err := writeSpill(path, specA.Identity(), specA.Build()); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{SpillDir: dir})
+	defer c.Close()
+	// Point B's spill index at the planted file, as a pre-header cache
+	// keyed on file name alone effectively did.
+	c.mu.Lock()
+	c.spilled[idB] = path
+	c.mu.Unlock()
+	e := c.Get(specB)
+	if e.Trace().Name != specB.Name {
+		t.Fatalf("served trace %q for identity %q", e.Trace().Name, specB.Name)
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.SpillLoads != 0 {
+		t.Errorf("builds/spill loads = %d/%d, want 1/0 (mismatch must rebuild)", st.Builds, st.SpillLoads)
+	}
+	if st.SpillErrors != 1 {
+		t.Errorf("spill errors = %d, want 1", st.SpillErrors)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("mismatched spill file not removed")
+	}
+}
+
+// TestPreloadIndexesByHeaderNotFilename renames a valid spill file to
+// another identity's canonical name: Preload must index it under the
+// identity its header declares, so the right Get loads it and the
+// file-name identity builds fresh.
+func TestPreloadIndexesByHeaderNotFilename(t *testing.T) {
+	dir := t.TempDir()
+	specA := testSpec("hdr-a", 4_000)
+	specB := testSpec("hdr-b", 4_000)
+	c1 := New(Config{SpillDir: dir, KeepSpill: true})
+	c1.Get(specA)
+	c1.Close()
+	old := filepath.Join(dir, spillName(specA.Identity()))
+	renamed := filepath.Join(dir, spillName(specB.Identity()))
+	if err := os.Rename(old, renamed); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(Config{SpillDir: dir, KeepSpill: true})
+	defer c2.Close()
+	if tr := c2.Get(specA).Trace(); tr.Name != specA.Name {
+		t.Errorf("Get(A) returned %q", tr.Name)
+	}
+	if tr := c2.Get(specB).Trace(); tr.Name != specB.Name {
+		t.Errorf("Get(B) returned %q", tr.Name)
+	}
+	st := c2.Stats()
+	if st.PreloadHits != 1 || st.Builds != 1 {
+		t.Errorf("preload hits/builds = %d/%d, want 1/1", st.PreloadHits, st.Builds)
+	}
+}
+
+// TestCorruptSpillFallsBackToBuild flips payload bytes in a kept spill
+// file; the next cache must reject it on checksum and rebuild.
+func TestCorruptSpillFallsBackToBuild(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec("corrupt", 4_000)
+	c1 := New(Config{SpillDir: dir, KeepSpill: true})
+	c1.Get(spec)
+	c1.Close()
+	path := filepath.Join(dir, spillName(spec.Identity()))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(Config{SpillDir: dir})
+	defer c2.Close()
+	e := c2.Get(spec)
+	st := c2.Stats()
+	if st.Builds != 1 || st.SpillLoads != 0 || st.SpillErrors != 1 {
+		t.Errorf("builds/loads/errors = %d/%d/%d, want 1/0/1", st.Builds, st.SpillLoads, st.SpillErrors)
+	}
+	if e.Trace().Name != spec.Name || len(e.Trace().Records) == 0 {
+		t.Error("fallback build produced a wrong or empty trace")
+	}
+}
+
+// TestTruncatedSpillRejectedAtPreload truncates a file inside the header:
+// Preload must skip it as stale and Close with KeepSpill must prune it
+// while retaining valid files.
+func TestTruncatedSpillRejectedAtPreload(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec("trunc", 4_000)
+	c1 := New(Config{SpillDir: dir, KeepSpill: true})
+	c1.Get(spec)
+	c1.Close()
+	valid := filepath.Join(dir, spillName(spec.Identity()))
+	// A stale-format file (bare payload, no header) and a near-empty stub.
+	stale := filepath.Join(dir, "stale"+spillExt)
+	data, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stale, data[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(Config{SpillDir: dir, KeepSpill: true})
+	if n := len(c2.spilled); n != 1 {
+		t.Errorf("preloaded %d identities, want 1", n)
+	}
+	c2.Get(spec)
+	if st := c2.Stats(); st.Builds != 0 {
+		t.Errorf("builds = %d, want 0 (valid file must still load)", st.Builds)
+	}
+	c2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale-format file not pruned by KeepSpill Close")
+	}
+	if _, err := os.Stat(valid); err != nil {
+		t.Errorf("valid spill file not retained: %v", err)
+	}
+}
+
+// TestSpillDirCreated covers the silent-drop bug: a nested, nonexistent
+// SpillDir must be created up front so evictions actually spill.
+func TestSpillDirCreated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "spill")
+	c := New(Config{MaxBytes: 1, SpillDir: dir})
+	defer c.Close()
+	c.Get(testSpec("mkdir-a", 4_000))
+	c.Get(testSpec("mkdir-b", 4_000)) // evicts and spills A
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("spill dir not created: %v", err)
+	}
+	if len(names) == 0 {
+		t.Error("eviction wrote no spill file into the created dir")
+	}
+	if st := c.Stats(); st.SpillErrors != 0 {
+		t.Errorf("spill errors = %d, want 0", st.SpillErrors)
+	}
+}
+
+// TestSpillLeavesNoTempFiles checks the atomic write path: after spilling,
+// only finished .blbptrc files remain in the directory.
+func TestSpillLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{MaxBytes: 1, SpillDir: dir})
+	defer c.Close()
+	c.Get(testSpec("tmp-a", 4_000))
+	c.Get(testSpec("tmp-b", 4_000))
+	names, _ := os.ReadDir(dir)
+	for _, de := range names {
+		if filepath.Ext(de.Name()) != spillExt {
+			t.Errorf("stray non-spill file %q after spill", de.Name())
+		}
+	}
+}
+
+// TestCloseKeepSpillPrunesOrphanTemps simulates a crash mid-write: a
+// leftover temp file must be removed by a KeepSpill Close.
+func TestCloseKeepSpillPrunesOrphanTemps(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, "spill-12345678.tmp")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{SpillDir: dir, KeepSpill: true})
+	c.Get(testSpec("orphan", 4_000))
+	c.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphan temp file not pruned by KeepSpill Close")
 	}
 }
 

@@ -13,6 +13,18 @@ go test -run xxx -bench . -benchtime 1x ./...
 # input on top of its seed corpus.
 go test -fuzz FuzzTraceRoundTrip -fuzztime 5s -run xxx ./internal/trace/
 go test -fuzz FuzzSpillDecode -fuzztime 5s -run xxx ./internal/tracecache/
+# Warm-start smoke: a second experiments run against a kept spill directory
+# must serve every trace from disk (0 generator builds) and emit
+# byte-identical CSVs.
+spill=$(mktemp -d); cold=$(mktemp -d); warm=$(mktemp -d)
+go run ./cmd/experiments -base 4000 -csv "$cold" \
+	-cachespill "$spill" -cachekeep overall >/dev/null
+go run ./cmd/experiments -base 4000 -csv "$warm" \
+	-cachespill "$spill" -cachekeep -cachestats overall \
+	>/dev/null 2>"$warm/stats.txt"
+grep -q "trace cache: 0 builds" "$warm/stats.txt"
+diff "$cold/overall.csv" "$warm/overall.csv"
+rm -rf "$spill" "$cold" "$warm"
 # gofmt -s: fail with the offending diff so the fix is visible in the log.
 fmtdiff=$(gofmt -s -d .)
 if [ -n "$fmtdiff" ]; then
