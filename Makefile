@@ -20,10 +20,10 @@ lint:
 ci:
 	sh scripts/ci.sh
 
-# Throughput report: writes BENCH_3.json (see ROADMAP.md for the BENCH_*
+# Throughput report: writes BENCH_4.json (see ROADMAP.md for the BENCH_*
 # convention) and prints the headline numbers.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_3.json
+	$(GO) run ./cmd/bench -out BENCH_4.json
 
 # CPU + allocation profiles of the suite-scale benchmark run, for pprof.
 profile:

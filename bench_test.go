@@ -1,7 +1,7 @@
 // Benchmark harness: one testing.B per table and figure of the paper's
-// evaluation (DESIGN.md §4 maps each to its driver), plus microbenchmarks
-// of the predictors themselves. The macro benchmarks run the real
-// experiment drivers on a reduced instruction base so `go test -bench=.`
+// evaluation (DESIGN.md §4 maps each to its built-in run plan), plus
+// microbenchmarks of the predictors themselves. The macro benchmarks run
+// the real run plans on a reduced instruction base so `go test -bench=.`
 // stays tractable; cmd/experiments regenerates the full-scale numbers.
 //
 // Custom metrics (reported via b.ReportMetric):
@@ -15,6 +15,7 @@ import (
 
 	"blbp"
 	"blbp/internal/experiments"
+	"blbp/internal/runspec"
 	"blbp/internal/workload"
 )
 
@@ -28,8 +29,36 @@ func benchSuite() []workload.Spec { return workload.Suite(benchBase) }
 // this file: its trace cache means each workload is synthesized once for
 // the whole `go test -bench` run, and the shared tape keeps repeated
 // conditional-side simulation off the measured path after the first
-// driver touches a workload.
+// plan touches a workload.
 var benchRunner = experiments.NewRunner(0)
+
+func mustBuiltin(b *testing.B, name string) *runspec.Plan {
+	b.Helper()
+	plan, ok := runspec.Builtin(name)
+	if !ok {
+		b.Fatalf("no built-in plan %q", name)
+	}
+	return plan
+}
+
+// runBenchPlan executes the plan b.N times and returns the last run's
+// single rendered output. Each iteration gets a fresh Exec: the executor
+// memoizes (suite, passes) results, so reusing one across iterations would
+// make every iteration after the first free and corrupt the timing. The
+// shared benchRunner underneath still amortizes trace building and the
+// conditional tape across iterations, as the old drivers did.
+func runBenchPlan(b *testing.B, plan *runspec.Plan) runspec.RenderedOutput {
+	b.Helper()
+	var out runspec.RenderedOutput
+	for i := 0; i < b.N; i++ {
+		outs, err := runspec.NewExec(benchRunner, benchBase).Run(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = outs[0]
+	}
+	return out
+}
 
 // BenchmarkTable1Suite regenerates Table 1: building every workload in the
 // suite and tabulating it by category.
@@ -92,14 +121,8 @@ func BenchmarkFig7TargetDistribution(b *testing.B) {
 // BenchmarkOverallMPKI regenerates the §5.1 headline numbers: suite-mean
 // MPKI of BTB, VPC, ITTAGE, and BLBP (paper: 3.40 / 0.29 / 0.193 / 0.183).
 func BenchmarkOverallMPKI(b *testing.B) {
-	var data experiments.OverallData
-	for i := 0; i < b.N; i++ {
-		_, d, err := benchRunner.Overall(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		data = d
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "overall"))
+	data := out.Data.(experiments.OverallData)
 	for _, p := range data.Predictors {
 		b.ReportMetric(data.Mean(p), "MPKI-"+p)
 	}
@@ -112,42 +135,26 @@ func BenchmarkOverallMPKI(b *testing.B) {
 // BenchmarkFig8MPKI regenerates Figure 8: the per-benchmark MPKI table of
 // VPC, ITTAGE, and BLBP sorted by BLBP MPKI.
 func BenchmarkFig8MPKI(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_, data, err := benchRunner.Overall(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if experiments.Fig8(data).Rows() != 88 {
-			b.Fatal("fig8 row count")
-		}
+	out := runBenchPlan(b, mustBuiltin(b, "fig8"))
+	if out.Table.Rows() != 88 {
+		b.Fatal("fig8 row count")
 	}
 }
 
 // BenchmarkFig9Relative regenerates Figure 9: the four predictors' relative
 // MPKI shares per benchmark.
 func BenchmarkFig9Relative(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_, data, err := benchRunner.Overall(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if experiments.Fig9(data).Rows() != 88 {
-			b.Fatal("fig9 row count")
-		}
+	out := runBenchPlan(b, mustBuiltin(b, "fig9"))
+	if out.Table.Rows() != 88 {
+		b.Fatal("fig9 row count")
 	}
 }
 
 // BenchmarkHoldoutSuite regenerates the §5.1 cross-validation experiment
 // (the CBP-4 analog): the standard predictors on the 12 held-out workloads.
 func BenchmarkHoldoutSuite(b *testing.B) {
-	var data experiments.OverallData
-	for i := 0; i < b.N; i++ {
-		_, d, err := benchRunner.Overall(workload.SuiteHoldout(benchBase))
-		if err != nil {
-			b.Fatal(err)
-		}
-		data = d
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "holdout"))
+	data := out.Data.(experiments.OverallData)
 	b.ReportMetric(data.Mean(experiments.NameITTAGE), "MPKI-ittage")
 	b.ReportMetric(data.Mean(experiments.NameBLBP), "MPKI-blbp")
 }
@@ -155,15 +162,8 @@ func BenchmarkHoldoutSuite(b *testing.B) {
 // BenchmarkFig10Ablation regenerates Figure 10: the twelve optimization
 // arms versus the ITTAGE reference.
 func BenchmarkFig10Ablation(b *testing.B) {
-	var rows []experiments.Fig10Row
-	for i := 0; i < b.N; i++ {
-		_, r, err := benchRunner.Fig10(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows = r
-	}
-	for _, r := range rows {
+	out := runBenchPlan(b, mustBuiltin(b, "fig10"))
+	for _, r := range out.Data.([]runspec.Fig10Row) {
 		if r.Variant == "all-on" || r.Variant == "all-off" {
 			b.ReportMetric(r.PctVsITTAGE, "pct-"+r.Variant)
 		}
@@ -173,19 +173,12 @@ func BenchmarkFig10Ablation(b *testing.B) {
 // BenchmarkFig11Associativity regenerates Figure 11: the IBTB
 // associativity sweep at 4096 entries.
 func BenchmarkFig11Associativity(b *testing.B) {
-	var rows []experiments.Fig11Row
-	for i := 0; i < b.N; i++ {
-		_, r, err := benchRunner.Fig11(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows = r
-	}
-	for _, r := range rows {
-		switch r.Assoc {
-		case 4:
+	out := runBenchPlan(b, mustBuiltin(b, "fig11"))
+	for _, r := range out.Data.([]runspec.Fig11Row) {
+		switch r.Label {
+		case "assoc-4":
 			b.ReportMetric(r.MeanMPKI, "MPKI-assoc4")
-		case 64:
+		case "assoc-64":
 			b.ReportMetric(r.MeanMPKI, "MPKI-assoc64")
 		}
 	}
@@ -195,14 +188,8 @@ func BenchmarkFig11Associativity(b *testing.B) {
 // BTB, 2-bit BTB, Target Cache, cascaded, ITTAGE, BLBP) — the quantitative
 // version of the paper's §2.2.
 func BenchmarkExtrasBaselines(b *testing.B) {
-	var means map[string]float64
-	for i := 0; i < b.N; i++ {
-		_, m, err := benchRunner.Extras(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		means = m
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "extras"))
+	means := out.Data.(map[string]float64)
 	for _, p := range []string{"btb2bit", "targetcache", "cascaded"} {
 		b.ReportMetric(means[p], "MPKI-"+p)
 	}
@@ -211,14 +198,8 @@ func BenchmarkExtrasBaselines(b *testing.B) {
 // BenchmarkAblationArrays sweeps the number of weight SRAM arrays (the
 // SNIP-44 to BLBP-8 reduction of §3) at roughly constant storage.
 func BenchmarkAblationArrays(b *testing.B) {
-	var means map[string]float64
-	for i := 0; i < b.N; i++ {
-		_, m, err := benchRunner.Arrays(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		means = m
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "arrays"))
+	means := out.Data.(map[string]float64)
 	b.ReportMetric(means["arrays-8"], "MPKI-arrays8")
 	b.ReportMetric(means["arrays-44"], "MPKI-arrays44")
 }
@@ -226,14 +207,8 @@ func BenchmarkAblationArrays(b *testing.B) {
 // BenchmarkAblationTargetBits sweeps GlobalTargetBits (DESIGN.md §2's
 // documented deviation from the paper-literal conditional-only GHIST).
 func BenchmarkAblationTargetBits(b *testing.B) {
-	var means map[string]float64
-	for i := 0; i < b.N; i++ {
-		_, m, err := benchRunner.TargetBits(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		means = m
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "targetbits"))
+	means := out.Data.(map[string]float64)
 	b.ReportMetric(means["targetbits-0"], "MPKI-bits0")
 	b.ReportMetric(means["targetbits-2"], "MPKI-bits2")
 }
@@ -242,14 +217,8 @@ func BenchmarkAblationTargetBits(b *testing.B) {
 // BLBP structure predicting both conditional directions and indirect
 // targets.
 func BenchmarkExtensionCombined(b *testing.B) {
-	var res experiments.CombinedResult
-	for i := 0; i < b.N; i++ {
-		_, r, err := benchRunner.Combined(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		res = r
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "combined"))
+	res := out.Data.(runspec.CombinedResult)
 	b.ReportMetric(res.ConsolidatedCondAcc, "cond-acc-consolidated")
 	b.ReportMetric(res.ConsolidatedIndirectMPKI, "MPKI-consolidated")
 	b.ReportMetric(res.DedicatedIndirectMPKI, "MPKI-dedicated")
@@ -337,14 +306,8 @@ func BenchmarkTraceGeneration(b *testing.B) {
 // BenchmarkExtensionHierarchy runs the §6 future-work IBTB-hierarchy study
 // (8-way L1 + 16-way L2 vs the monolithic 64-way and 8-way buffers).
 func BenchmarkExtensionHierarchy(b *testing.B) {
-	var res experiments.HierarchyResult
-	for i := 0; i < b.N; i++ {
-		_, r, err := benchRunner.Hierarchy(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		res = r
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "hierarchy"))
+	res := out.Data.(runspec.HierarchyResult)
 	b.ReportMetric(res.Mono64MPKI, "MPKI-mono64")
 	b.ReportMetric(res.HierMPKI, "MPKI-hierarchy")
 	b.ReportMetric(res.HierL2ProbeRate, "L2-probe-rate")
@@ -353,14 +316,8 @@ func BenchmarkExtensionHierarchy(b *testing.B) {
 // BenchmarkExtensionCottage runs the §2.2 COTTAGE pairing (TAGE + ITTAGE)
 // against hashed perceptron + BLBP.
 func BenchmarkExtensionCottage(b *testing.B) {
-	var res experiments.CottageResult
-	for i := 0; i < b.N; i++ {
-		_, r, err := benchRunner.Cottage(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		res = r
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "cottage"))
+	res := out.Data.(runspec.CottageResult)
 	b.ReportMetric(res.TAGECondAcc, "cond-acc-tage")
 	b.ReportMetric(res.ITTAGEMPKI, "MPKI-cottage")
 	b.ReportMetric(res.BLBPMPKI, "MPKI-blbp")
@@ -369,14 +326,8 @@ func BenchmarkExtensionCottage(b *testing.B) {
 // BenchmarkExtensionLatency regenerates the §3.7 selection-latency
 // analysis from BLBP's candidate-set-size histogram.
 func BenchmarkExtensionLatency(b *testing.B) {
-	var res experiments.LatencyResult
-	for i := 0; i < b.N; i++ {
-		_, r, err := benchRunner.Latency(benchSuite())
-		if err != nil {
-			b.Fatal(err)
-		}
-		res = r
-	}
+	out := runBenchPlan(b, mustBuiltin(b, "latency"))
+	res := out.Data.(runspec.LatencyResult)
 	b.ReportMetric(res.PctOneCycle, "pct-one-cycle")
 	b.ReportMetric(res.PctWithin4, "pct-within-4")
 }
@@ -384,15 +335,10 @@ func BenchmarkExtensionLatency(b *testing.B) {
 // BenchmarkExtensionSeeds re-runs the headline on independently seeded
 // suite draws to bound its seed sensitivity.
 func BenchmarkExtensionSeeds(b *testing.B) {
-	var rows []experiments.SeedsRow
-	for i := 0; i < b.N; i++ {
-		_, r, err := benchRunner.Seeds(benchBase, []string{"", "a"})
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows = r
-	}
-	for _, r := range rows {
+	plan := mustBuiltin(b, "seeds")
+	plan.Suite.Salts = []string{"", "a"} // two draws keep the benchmark tractable
+	out := runBenchPlan(b, plan)
+	for _, r := range out.Data.([]runspec.SeedsRow) {
 		label := r.Salt
 		if label == "" {
 			label = "default"

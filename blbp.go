@@ -18,14 +18,12 @@ package blbp
 
 import (
 	"blbp/internal/btb"
-	"blbp/internal/cascaded"
 	"blbp/internal/combined"
 	"blbp/internal/cond"
 	"blbp/internal/core"
 	"blbp/internal/ittage"
 	"blbp/internal/predictor"
 	"blbp/internal/sim"
-	"blbp/internal/targetcache"
 	"blbp/internal/trace"
 	"blbp/internal/vpc"
 	"blbp/internal/workload"
@@ -211,28 +209,11 @@ var (
 	ReadTrace  = trace.Read
 )
 
-func init() {
-	// Register the standard predictors so they can be constructed by name
-	// (predictor-agnostic tooling). VPC is absent: it cannot be built in
-	// isolation from the engine's conditional predictor.
-	predictor.Register("blbp", func() predictor.Indirect { return core.New(core.DefaultConfig()) })
-	predictor.Register("ittage", func() predictor.Indirect { return ittage.New(ittage.DefaultConfig()) })
-	predictor.Register("btb", func() predictor.Indirect { return btb.NewIndirect(btb.Default32K()) })
-	predictor.Register("btb2bit", func() predictor.Indirect {
-		cfg := btb.Default32K()
-		cfg.Hysteresis = true
-		return btb.NewIndirect(cfg)
-	})
-	predictor.Register("targetcache", func() predictor.Indirect {
-		return targetcache.New(targetcache.DefaultConfig())
-	})
-	predictor.Register("cascaded", func() predictor.Indirect {
-		return cascaded.New(cascaded.DefaultConfig())
-	})
-}
-
-// NewPredictor constructs a registered indirect predictor by name
-// ("blbp", "ittage", "btb", "btb2bit", "targetcache", "cascaded").
+// NewPredictor constructs a registered standalone indirect predictor by
+// name with its default configuration ("blbp", "ittage", "btb", "btb2bit",
+// "targetcache", "cascaded"). Predictors that must share or provide the
+// engine's conditional predictor ("vpc", "combined") are registered too but
+// cannot be built in isolation; see NewVPC and NewCombined.
 func NewPredictor(name string) (IndirectPredictor, error) { return predictor.New(name) }
 
 // PredictorNames lists the names accepted by NewPredictor.

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_3.json] [-base 60000] [-reps 3] [-parallel N]
+//	bench [-out BENCH_4.json] [-base 60000] [-reps 3] [-parallel N]
 //	      [-cpuprofile F] [-memprofile F]
 //
 // -base sets the per-workload instruction budget for the suite wall-clock
@@ -32,9 +32,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -42,6 +44,7 @@ import (
 
 	"blbp"
 	"blbp/internal/experiments"
+	"blbp/internal/trace"
 	"blbp/internal/tracecache"
 	"blbp/internal/workload"
 )
@@ -173,6 +176,36 @@ func measureEngine(tr *blbp.Trace, reps int) (Entry, error) {
 	}, nil
 }
 
+// measureSpillDecode times decoding the spill-file encoding of tr — the
+// per-trace cost of a warm start from the trace cache's persistent tier.
+// The v1 entry re-encodes with the legacy whole-payload codec so the report
+// carries the before/after of the blocked (SPL2) decoder side by side.
+func measureSpillDecode(name string, tr *blbp.Trace, reps int, write func(io.Writer, trace.SpillHeader, *trace.Trace) error) (Entry, error) {
+	var buf bytes.Buffer
+	h := trace.SpillHeader{Name: tr.Name, Seed: 1, Instructions: tr.Instructions()}
+	if err := write(&buf, h, tr); err != nil {
+		return Entry{}, err
+	}
+	data := buf.Bytes()
+	var decErr error
+	d := fastest(reps, func() {
+		_, got, err := trace.ReadSpill(bytes.NewReader(data))
+		if err != nil {
+			decErr = err
+		} else if len(got.Records) != len(tr.Records) {
+			decErr = fmt.Errorf("decoded %d records, want %d", len(got.Records), len(tr.Records))
+		}
+	})
+	if decErr != nil {
+		return Entry{}, decErr
+	}
+	n := int64(len(tr.Records))
+	return Entry{
+		Name: name, Events: n, Unit: "records",
+		Seconds: d.Seconds(), PerSecond: float64(n) / d.Seconds(),
+	}, nil
+}
+
 // suitePass is the measured configuration of the suite measurements: the
 // shape of one cmd/experiments pass (ITTAGE + BLBP over a shared hashed
 // perceptron).
@@ -248,7 +281,7 @@ func run(base int64, reps, parallel int) (*Report, error) {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	rep := &Report{
-		Schema:     "blbp-bench-3",
+		Schema:     "blbp-bench-4",
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
@@ -271,6 +304,16 @@ func run(base int64, reps, parallel int) (*Report, error) {
 		return nil, err
 	}
 	rep.Results = append(rep.Results, engine)
+
+	spillV1, err := measureSpillDecode("spill_decode_v1", tr, reps, trace.WriteSpillV1)
+	if err != nil {
+		return nil, err
+	}
+	spillV2, err := measureSpillDecode("spill_decode", tr, reps, trace.WriteSpill)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, spillV1, spillV2)
 
 	specs := workload.Suite(base)
 	// The shared cache doubles as the spill-tier seeder: KeepSpill makes
@@ -320,7 +363,7 @@ func run(base int64, reps, parallel int) (*Report, error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
 	base := flag.Int64("base", 60_000, "per-workload instruction base for the suite pass")
 	reps := flag.Int("reps", 3, "repetitions per measurement (fastest wins)")
 	parallel := flag.Int("parallel", 0, "workers for suite_pass_parallel (0 = GOMAXPROCS)")

@@ -9,7 +9,7 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "blbp-bench-3" {
+	if rep.Schema != "blbp-bench-4" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if rep.Parallel != 2 {
@@ -24,6 +24,8 @@ func TestRunProducesCompleteReport(t *testing.T) {
 		"suite_pass_parallel": false,
 		"suite_pass_cold":     false,
 		"suite_pass_warm":     false,
+		"spill_decode_v1":     false,
+		"spill_decode":        false,
 	}
 	for _, e := range rep.Results {
 		if _, ok := want[e.Name]; !ok {
@@ -34,7 +36,7 @@ func TestRunProducesCompleteReport(t *testing.T) {
 		if e.Events <= 0 || e.Seconds <= 0 || e.PerSecond <= 0 {
 			t.Errorf("%s: non-positive measurement %+v", e.Name, e)
 		}
-		if e.Unit != "branches" && e.Unit != "instructions" {
+		if e.Unit != "branches" && e.Unit != "instructions" && e.Unit != "records" {
 			t.Errorf("%s: unknown unit %q", e.Name, e.Unit)
 		}
 	}

@@ -6,7 +6,14 @@
 //
 //	blbpsim -workload 400.perlbench-1 [-base N] [-predictors blbp,ittage,btb,vpc]
 //	blbpsim -trace file.trc [-predictors ...]
+//	blbpsim -workload 403.gcc-1 -config 'blbp={"GlobalTargetBits":0}'
 //	blbpsim -list
+//
+// -config name=JSON (repeatable) overrides fields of the named predictor's
+// default configuration; the JSON object merges field-for-field onto the
+// default, exactly as a run plan's "config" would (see cmd/experiments).
+// -list prints the available workloads and every registered predictor with
+// its default-config JSON, the baseline the overrides apply to.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"strings"
 
 	"blbp"
+	"blbp/internal/predictor"
 	"blbp/internal/report"
 )
 
@@ -26,25 +34,72 @@ func main() {
 	}
 }
 
+// configFlags collects repeated -config name=JSON overrides.
+type configFlags map[string]string
+
+func (c configFlags) String() string {
+	parts := make([]string, 0, len(c))
+	for name, js := range c {
+		parts = append(parts, name+"="+js)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (c configFlags) Set(s string) error {
+	name, js, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=JSON, got %q", s)
+	}
+	if _, dup := c[name]; dup {
+		return fmt.Errorf("duplicate -config for %q", name)
+	}
+	c[name] = js
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("blbpsim", flag.ContinueOnError)
 	workloadName := fs.String("workload", "", "workload name from the built-in suite")
 	traceFile := fs.String("trace", "", "trace file (from tracegen) instead of a workload")
 	base := fs.Int64("base", 400_000, "instruction base for suite workloads")
 	preds := fs.String("predictors", "blbp,ittage,btb,vpc", "comma-separated predictors to run")
-	list := fs.Bool("list", false, "list available workloads and exit")
+	configs := configFlags{}
+	fs.Var(configs, "config", "name=JSON config overrides for one predictor (repeatable)")
+	list := fs.Bool("list", false, "list available workloads and predictors, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	suites := [][]blbp.WorkloadSpec{blbp.Workloads(*base), blbp.HoldoutWorkloads(*base)}
 	if *list {
+		fmt.Println("Workloads:")
 		for _, suite := range suites {
 			for _, s := range suite {
-				fmt.Printf("%-20s %s (%d instructions)\n", s.Name, s.Category, s.Instructions)
+				fmt.Printf("  %-20s %s (%d instructions)\n", s.Name, s.Category, s.Instructions)
 			}
 		}
+		fmt.Println("\nPredictors (-config overrides merge onto the default JSON):")
+		for _, e := range predictor.Entries() {
+			fmt.Printf("  %-12s %-12s %s\n", e.Name, "("+e.Kind()+")", e.Doc)
+			fmt.Printf("  %-12s default: %s\n", "", e.DefaultJSON())
+		}
 		return nil
+	}
+
+	names := make([]string, 0, 4)
+	for _, name := range strings.Split(*preds, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	for name := range configs {
+		found := false
+		for _, n := range names {
+			found = found || n == name
+		}
+		if !found {
+			return fmt.Errorf("-config for %q, but it is not in -predictors %q", name, *preds)
+		}
 	}
 
 	tr, err := loadTrace(*workloadName, *traceFile, suites)
@@ -57,12 +112,8 @@ func run(args []string) error {
 		"predictor", "indirect MPKI", "indirect mis/total", "no-prediction",
 		"cond accuracy", "return accuracy", "budget (KB)",
 	)
-	for _, name := range strings.Split(*preds, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		res, bits, err := simulateOne(tr, name)
+	for _, name := range names {
+		res, bits, err := simulateOne(tr, name, []byte(configs[name]))
 		if err != nil {
 			return err
 		}
@@ -103,25 +154,45 @@ func loadTrace(workloadName, traceFile string, suites [][]blbp.WorkloadSpec) (*b
 	}
 }
 
-// simulateOne runs a single named predictor over the trace; VPC gets its
-// shared-conditional-predictor pass, everything else a standard pass.
-func simulateOne(tr *blbp.Trace, name string) (blbp.Result, int, error) {
-	if name == "vpc" {
+// simulateOne runs a single named predictor, built from its registered
+// default configuration plus the given JSON overrides, over the trace.
+// Cond-bound predictors (VPC) share a fresh hashed perceptron; consolidated
+// predictors (combined) serve as their own conditional predictor.
+func simulateOne(tr *blbp.Trace, name string, overrides []byte) (blbp.Result, int, error) {
+	e, ok := predictor.Lookup(name)
+	if !ok {
+		_, err := predictor.New(name) // canonical unknown-name error with -list hint
+		return blbp.Result{}, 0, err
+	}
+	cfg, err := e.Config(overrides)
+	if err != nil {
+		return blbp.Result{}, 0, err
+	}
+	var (
+		cp blbp.ConditionalPredictor
+		p  blbp.IndirectPredictor
+	)
+	switch {
+	case e.NewBound != nil:
 		hp := blbp.NewHashedPerceptron()
-		v := blbp.NewVPC(blbp.DefaultVPCConfig(), hp)
-		res, err := blbp.SimulateWith(tr, hp, []blbp.IndirectPredictor{v}, blbp.SimOptions{})
-		if err != nil {
-			return blbp.Result{}, 0, err
-		}
-		return res[0], v.StorageBits(), nil
+		p, err = e.NewBound(cfg, hp)
+		cp = hp
+	case e.NewProvider != nil:
+		cp, p, err = e.NewProvider(cfg)
+	default:
+		p, err = e.New(cfg)
+		cp = blbp.NewHashedPerceptron()
 	}
-	p, err := blbp.NewPredictor(name)
 	if err != nil {
 		return blbp.Result{}, 0, err
 	}
-	res, err := blbp.Simulate(tr, p)
+	res, err := blbp.SimulateWith(tr, cp, []blbp.IndirectPredictor{p}, blbp.SimOptions{})
 	if err != nil {
 		return blbp.Result{}, 0, err
 	}
-	return res[0], p.StorageBits(), nil
+	bits := p.StorageBits()
+	if e.NewProvider != nil {
+		bits = cp.StorageBits() // the consolidated structure is the budget
+	}
+	return res[0], bits, nil
 }

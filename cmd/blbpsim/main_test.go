@@ -48,13 +48,36 @@ func TestTraceFileRoundTrip(t *testing.T) {
 	}
 }
 
+func TestConfigOverride(t *testing.T) {
+	err := run([]string{"-workload", "252.eon", "-base", "30000",
+		"-predictors", "blbp,ittage",
+		"-config", `blbp={"GlobalTargetBits":0}`,
+		"-config", `ittage={"Tables":6}`})
+	if err != nil {
+		t.Fatalf("run with -config: %v", err)
+	}
+}
+
+func TestConsolidatedPredictor(t *testing.T) {
+	err := run([]string{"-workload", "252.eon", "-base", "30000", "-predictors", "combined"})
+	if err != nil {
+		t.Fatalf("run with combined: %v", err)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                      // neither -workload nor -trace
 		{"-workload", "nope"},                   // unknown workload
 		{"-workload", "252.eon", "-trace", "x"}, // both sources
 		{"-trace", "/nonexistent/file.trc"},     // unreadable trace
-		{"-workload", "252.eon", "-base", "20000", "-predictors", "bogus"}, // unknown predictor
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "bogus"},                               // unknown predictor
+		{"-workload", "252.eon", "-base", "20000", "-config", `blbp={"NoSuchField":1}`},                  // unknown config field
+		{"-workload", "252.eon", "-base", "20000", "-config", `blbp={"HistBits":-4}`},                    // invalid config
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "btb", "-config", `blbp={}`},           // override for absent predictor
+		{"-workload", "252.eon", "-base", "20000", "-config", `blbp={}`, "-config", `blbp={}`},           // duplicate override
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "blbp", "-config", "no-equals-sign"},   // malformed override
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "blbp", "-config", `blbp={"x":}` + ``}, // malformed JSON
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {

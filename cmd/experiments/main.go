@@ -5,17 +5,24 @@
 //
 //	experiments [flags] <experiment>...
 //
-// Experiments: table1 table2 fig1 fig6 fig7 fig8 fig9 fig10 fig11 overall
-// holdout (the paper's tables and figures), plus the extensions extras,
-// arrays, targetbits, combined, hierarchy, cottage, latency, seeds; "all" runs everything.
+// Experiments name built-in run plans: table1 table2 fig1 fig6 fig7 fig8
+// fig9 fig10 fig11 overall holdout (the paper's tables and figures), plus
+// the extensions extras, arrays, targetbits, combined, hierarchy, cottage,
+// latency, seeds; "all" runs everything. Every built-in is an ordinary
+// declarative plan — `-dumpplan <name>` prints its JSON, `-plan <file>`
+// runs a (possibly edited) plan file through the identical execution path.
 //
 // Flags:
 //
 //	-base N         instruction base per SHORT trace (default 400000;
 //	                SPEC traces run 1.5x, LONG traces 2x)
 //	-parallel N     worker goroutines (default: GOMAXPROCS)
-//	-csv DIR        also write each table as DIR/<experiment>.csv
+//	-csv DIR        also write each table as DIR/<output>.csv
 //	-chart          render fig10/fig11 as ASCII bar charts too
+//	-plan FILE      run the JSON run plan in FILE instead of built-ins
+//	-dumpplan NAME  print the named built-in plan as JSON and exit
+//	-list           list predictors, conditional substrates, outputs, and
+//	                built-in plans, then exit
 //	-cachemb N      bound the trace cache to ~N MiB, spilling evicted
 //	                traces to disk (0 = unbounded, the default)
 //	-cachespill DIR spill directory for the trace cache's persistent tier.
@@ -30,9 +37,10 @@
 //	-cpuprofile F   write a CPU profile to F
 //	-memprofile F   write an allocation profile to F at exit
 //
-// All experiments of one invocation share a single trace cache and worker
-// pool, so each workload's trace is built exactly once no matter how many
-// experiments touch it.
+// All experiments of one invocation share a single trace cache, worker
+// pool, and plan executor, so each workload's trace is built exactly once
+// and identical (suite, passes) combinations — e.g. overall/fig8/fig9 —
+// are simulated once no matter how many plans reuse them.
 package main
 
 import (
@@ -44,9 +52,9 @@ import (
 	"runtime/pprof"
 
 	"blbp/internal/experiments"
-	"blbp/internal/report"
+	"blbp/internal/predictor"
+	"blbp/internal/runspec"
 	"blbp/internal/tracecache"
-	"blbp/internal/workload"
 )
 
 func main() {
@@ -62,6 +70,9 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "directory for CSV copies of each table")
 	chart := fs.Bool("chart", false, "render fig10/fig11 results as ASCII bar charts too")
+	planFile := fs.String("plan", "", "run the JSON run plan in this file")
+	dumpPlan := fs.String("dumpplan", "", "print the named built-in plan as JSON and exit")
+	list := fs.Bool("list", false, "list predictors, substrates, outputs, and built-in plans")
 	cacheMB := fs.Int64("cachemb", 0, "trace-cache budget in MiB (0 = unbounded)")
 	cacheSpill := fs.String("cachespill", "", "spill directory for the trace cache's persistent tier (default: per-process temp dir)")
 	cacheKeep := fs.Bool("cachekeep", false, "keep the spill directory at exit for a later warm start")
@@ -71,12 +82,48 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *list {
+		return printList(os.Stdout)
+	}
+	if *dumpPlan != "" {
+		plan, ok := runspec.Builtin(*dumpPlan)
+		if !ok {
+			return fmt.Errorf("unknown plan %q (built-ins: %v)", *dumpPlan, runspec.BuiltinNames())
+		}
+		out, err := plan.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+
+	var plans []*runspec.Plan
+	if *planFile != "" {
+		data, err := os.ReadFile(*planFile)
+		if err != nil {
+			return err
+		}
+		plan, err := runspec.Decode(data)
+		if err != nil {
+			return fmt.Errorf("plan %s: %v", *planFile, err)
+		}
+		plans = append(plans, plan)
+	}
 	names := fs.Args()
-	if len(names) == 0 {
+	if len(names) == 0 && len(plans) == 0 {
 		names = []string{"all"}
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "table2", "fig1", "fig6", "fig7", "overall", "fig8", "fig9", "holdout", "fig10", "fig11", "extras", "arrays", "targetbits", "combined", "hierarchy", "cottage", "latency", "seeds"}
+		names = runspec.BuiltinNames()
+	}
+	for _, name := range names {
+		plan, ok := runspec.Builtin(name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (see -list)", name)
+		}
+		plans = append(plans, plan)
 	}
 
 	if *cpuProfile != "" {
@@ -145,230 +192,65 @@ func run(args []string) error {
 		defer func() { fmt.Fprintf(os.Stderr, "trace cache: %s\n", cache.Stats()) }()
 	}
 
-	suite := workload.Suite(*base)
-
-	// Overall data is shared by overall/fig8/fig9; compute lazily once.
-	var overallData *experiments.OverallData
-	getOverall := func() (experiments.OverallData, error) {
-		if overallData != nil {
-			return *overallData, nil
-		}
-		_, data, err := runner.Overall(suite)
+	exec := runspec.NewExec(runner, *base)
+	for _, plan := range plans {
+		outs, err := exec.Run(plan)
 		if err != nil {
-			return experiments.OverallData{}, err
-		}
-		overallData = &data
-		return data, nil
-	}
-
-	emit := func(name string, tb *report.Table) error {
-		if err := tb.WriteText(os.Stdout); err != nil {
 			return err
 		}
-		fmt.Println()
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		for _, out := range outs {
+			if err := out.Table.WriteText(os.Stdout); err != nil {
 				return err
 			}
-			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := tb.WriteCSV(f); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	for _, name := range names {
-		switch name {
-		case "table1":
-			if err := emit(name, experiments.Table1(suite)); err != nil {
-				return err
-			}
-		case "table2":
-			if err := emit(name, experiments.Table2()); err != nil {
-				return err
-			}
-		case "fig1":
-			tb, _ := runner.Fig1(suite)
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "fig6":
-			tb, _ := runner.Fig6(suite)
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "fig7":
-			tb, _ := runner.Fig7(suite, 64)
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "overall":
-			data, err := getOverall()
-			if err != nil {
-				return err
-			}
-			tb, _, err := overallTable(data)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "fig8":
-			data, err := getOverall()
-			if err != nil {
-				return err
-			}
-			if err := emit(name, experiments.Fig8(data)); err != nil {
-				return err
-			}
-		case "fig9":
-			data, err := getOverall()
-			if err != nil {
-				return err
-			}
-			if err := emit(name, experiments.Fig9(data)); err != nil {
-				return err
-			}
-		case "holdout":
-			tb, _, err := runner.Overall(workload.SuiteHoldout(*base))
-			if err != nil {
-				return err
-			}
-			tb.Title = "Holdout suite (CBP-4 analog): " + tb.Title
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "fig10":
-			tb, rows, err := runner.Fig10(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-			if *chart {
-				ch := report.NewChart("Figure 10 (bars = mean MPKI; lower is better)")
-				for _, r := range rows {
-					ch.Add(r.Variant, r.MeanMPKI)
-				}
-				if err := ch.WriteText(os.Stdout); err != nil {
+			fmt.Println()
+			if *chart && out.Chart != nil {
+				if err := out.Chart.WriteText(os.Stdout); err != nil {
 					return err
 				}
 				fmt.Println()
 			}
-		case "fig11":
-			tb, rows, err := runner.Fig11(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-			if *chart {
-				ch := report.NewChart("Figure 11 (bars = mean MPKI; lower is better)")
-				for _, r := range rows {
-					label := fmt.Sprintf("assoc-%d", r.Assoc)
-					if r.Assoc == 0 {
-						label = "ittage"
-					}
-					ch.Add(label, r.MeanMPKI)
-				}
-				if err := ch.WriteText(os.Stdout); err != nil {
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, out); err != nil {
 					return err
 				}
-				fmt.Println()
 			}
-		case "extras":
-			tb, _, err := runner.Extras(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "arrays":
-			tb, _, err := runner.Arrays(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "targetbits":
-			tb, _, err := runner.TargetBits(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "combined":
-			tb, _, err := runner.Combined(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "hierarchy":
-			tb, _, err := runner.Hierarchy(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "cottage":
-			tb, _, err := runner.Cottage(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "latency":
-			tb, _, err := runner.Latency(suite)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		case "seeds":
-			tb, _, err := runner.Seeds(*base, nil)
-			if err != nil {
-				return err
-			}
-			if err := emit(name, tb); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	return nil
 }
 
-// overallTable re-renders the overall table from cached data (Overall
-// would otherwise re-run the suite).
-func overallTable(data experiments.OverallData) (*report.Table, experiments.OverallData, error) {
-	tb := report.NewTable(
-		"Overall (§5.1): suite-mean indirect-branch MPKI per predictor",
-		"predictor", "mean MPKI", "vs ITTAGE %", "cond accuracy",
-	)
-	ittageMean := data.Mean(experiments.NameITTAGE)
-	for _, p := range data.Predictors {
-		pct := 0.0
-		if ittageMean != 0 {
-			pct = 100 * (ittageMean - data.Mean(p)) / ittageMean
-		}
-		tb.AddRowf(p, data.Mean(p), pct, data.CondAccuracyMean(p))
+func writeCSV(dir string, out runspec.RenderedOutput) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
-	return tb, data, nil
+	f, err := os.Create(filepath.Join(dir, out.File+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return out.Table.WriteCSV(f)
+}
+
+// printList enumerates everything a plan can reference.
+func printList(w *os.File) error {
+	fmt.Fprintln(w, "Predictors (plan \"type\" values):")
+	for _, e := range predictor.Entries() {
+		fmt.Fprintf(w, "  %-12s %-12s %s\n", e.Name, "("+e.Kind()+")", e.Doc)
+		fmt.Fprintf(w, "  %-12s default: %s\n", "", e.DefaultJSON())
+	}
+	fmt.Fprintln(w, "\nConditional substrates (plan \"cond\" values):")
+	for _, c := range runspec.CondEntries() {
+		fmt.Fprintf(w, "  %-18s %s\n", c.Name, c.Doc)
+		fmt.Fprintf(w, "  %-18s default: %s\n", "", c.DefaultJSON)
+	}
+	fmt.Fprintln(w, "\nOutputs (plan \"table\" values):")
+	for _, o := range runspec.OutputInfos() {
+		fmt.Fprintf(w, "  %-12s %s\n", o.Name, o.Doc)
+	}
+	fmt.Fprintln(w, "\nBuilt-in plans (dump one with -dumpplan <name>):")
+	for _, name := range runspec.BuiltinNames() {
+		plan, _ := runspec.Builtin(name)
+		fmt.Fprintf(w, "  %-12s %s\n", name, plan.Doc)
+	}
+	return nil
 }

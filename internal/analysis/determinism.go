@@ -8,11 +8,12 @@ import (
 
 // determinismScope lists the packages whose output feeds results/*.csv and
 // must therefore be byte-reproducible at any -parallel: the simulation
-// engine, the experiment drivers, the table renderer, and the drivers'
-// command front end.
+// engine, the experiment execution layer, the declarative plan layer that
+// assembles every output, the table renderer, and the command front end.
 var determinismScope = []string{
 	"internal/sim",
 	"internal/experiments",
+	"internal/runspec",
 	"internal/report",
 	"cmd/experiments",
 }

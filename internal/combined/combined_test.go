@@ -1,15 +1,16 @@
-package combined
+package combined_test
 
 import (
 	"testing"
 
+	"blbp/internal/combined"
 	"blbp/internal/core"
 	"blbp/internal/predictor"
 	"blbp/internal/sim"
 	"blbp/internal/trace"
 )
 
-func newCombined() *Predictor { return New(core.DefaultConfig()) }
+func newCombined() *combined.Predictor { return combined.New(core.DefaultConfig()) }
 
 func TestConditionalBiasLearned(t *testing.T) {
 	p := newCombined()

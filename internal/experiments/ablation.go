@@ -2,9 +2,6 @@ package experiments
 
 import (
 	"blbp/internal/core"
-	"blbp/internal/report"
-	"blbp/internal/stats"
-	"blbp/internal/workload"
 )
 
 // AblationVariants returns the twelve configurations of the paper's
@@ -31,48 +28,4 @@ func AblationVariants() []BLBPVariant {
 		mk("no-selective", true, true, true, true, false),
 		mk("all-on", true, true, true, true, true),
 	}
-}
-
-// Fig10Row is one ablation arm's result.
-type Fig10Row struct {
-	Variant string
-	// MeanMPKI is the suite-mean MPKI of the variant.
-	MeanMPKI float64
-	// PctVsITTAGE is the percent MPKI reduction relative to ITTAGE
-	// (positive = better than ITTAGE), the paper's Figure 10 y-axis.
-	PctVsITTAGE float64
-}
-
-// Fig10 reproduces the optimization ablation: every variant plus the ITTAGE
-// reference run over the suite.
-func (r *Runner) Fig10(specs []workload.Spec) (*report.Table, []Fig10Row, error) {
-	variants := AblationVariants()
-	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
-	rows, err := r.RunSuite(specs, passes)
-	if err != nil {
-		return nil, nil, err
-	}
-	ittageXs := make([]float64, len(rows))
-	for i, r := range rows {
-		ittageXs[i] = r.MPKI(NameITTAGE)
-	}
-	ittageMean := stats.Mean(ittageXs)
-
-	out := make([]Fig10Row, 0, len(variants))
-	tb := report.NewTable(
-		"Figure 10: effect of optimizations (percent MPKI reduction vs ITTAGE)",
-		"variant", "mean MPKI", "% vs ITTAGE",
-	)
-	for _, v := range variants {
-		xs := make([]float64, len(rows))
-		for i, r := range rows {
-			xs[i] = r.MPKI(v.Name)
-		}
-		mean := stats.Mean(xs)
-		pct := stats.PercentChange(ittageMean, mean)
-		out = append(out, Fig10Row{Variant: v.Name, MeanMPKI: mean, PctVsITTAGE: pct})
-		tb.AddRowf(v.Name, mean, pct)
-	}
-	tb.AddRowf("ittage (reference)", ittageMean, 0.0)
-	return tb, out, nil
 }

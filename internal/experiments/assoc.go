@@ -4,9 +4,6 @@ import (
 	"fmt"
 
 	"blbp/internal/core"
-	"blbp/internal/report"
-	"blbp/internal/stats"
-	"blbp/internal/workload"
 )
 
 // AssocVariants returns BLBP configurations sweeping IBTB associativity
@@ -26,44 +23,4 @@ func AssocVariants(assocs []int) []BLBPVariant {
 		})
 	}
 	return variants
-}
-
-// Fig11Row is one associativity point.
-type Fig11Row struct {
-	Assoc    int
-	MeanMPKI float64
-}
-
-// Fig11 reproduces the associativity sweep, with ITTAGE as the reference
-// final row (Assoc = 0 marks the reference in the returned data).
-func (r *Runner) Fig11(specs []workload.Spec) (*report.Table, []Fig11Row, error) {
-	assocs := []int{4, 8, 16, 32, 64}
-	variants := AssocVariants(assocs)
-	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
-	rows, err := r.RunSuite(specs, passes)
-	if err != nil {
-		return nil, nil, err
-	}
-	tb := report.NewTable(
-		"Figure 11: effect of IBTB associativity (4096 entries)",
-		"configuration", "mean MPKI",
-	)
-	out := make([]Fig11Row, 0, len(assocs)+1)
-	for i, v := range variants {
-		xs := make([]float64, len(rows))
-		for j, r := range rows {
-			xs[j] = r.MPKI(v.Name)
-		}
-		mean := stats.Mean(xs)
-		out = append(out, Fig11Row{Assoc: assocs[i], MeanMPKI: mean})
-		tb.AddRowf(v.Name, mean)
-	}
-	ittageXs := make([]float64, len(rows))
-	for j, r := range rows {
-		ittageXs[j] = r.MPKI(NameITTAGE)
-	}
-	ittageMean := stats.Mean(ittageXs)
-	out = append(out, Fig11Row{Assoc: 0, MeanMPKI: ittageMean})
-	tb.AddRowf("ittage", ittageMean)
-	return tb, out, nil
 }

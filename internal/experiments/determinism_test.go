@@ -6,6 +6,7 @@ import (
 
 	"blbp/internal/report"
 	"blbp/internal/tracecache"
+	"blbp/internal/workload"
 )
 
 // renderDriverCSV runs a small driver subset on a private Runner with the
@@ -26,16 +27,22 @@ func renderDriverCSVConfig(t *testing.T, workers int, cfg tracecache.Config) ([]
 	specs := miniSuite(60_000)
 
 	var tables []*report.Table
-	overallTb, data, err := r.Overall(specs)
+	rows, err := r.RunSuite(specs, StandardPasses())
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables = append(tables, overallTb, Fig8(data), Fig9(data))
-	seedsTb, _, err := r.Seeds(30_000, []string{"", "x"})
+	data := OverallData{Rows: rows, Predictors: []string{NameBTB, NameVPC, NameITTAGE, NameBLBP}}
+	tables = append(tables, OverallTable(data), Fig8(data), Fig9(data))
+	// Two independently seeded draws in one wave, the seeds plan's shape.
+	suites := [][]workload.Spec{workload.SuiteSeeded(30_000, ""), workload.SuiteSeeded(30_000, "x")}
+	draws, err := r.RunSuites(suites, StandardPasses())
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables = append(tables, seedsTb)
+	for _, rows := range draws {
+		d := OverallData{Rows: rows, Predictors: []string{NameBTB, NameVPC, NameITTAGE, NameBLBP}}
+		tables = append(tables, OverallTable(d))
+	}
 
 	var buf bytes.Buffer
 	for _, tb := range tables {

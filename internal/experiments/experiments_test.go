@@ -7,8 +7,8 @@ import (
 
 	"blbp/internal/cond"
 	"blbp/internal/core"
+	"blbp/internal/ittage"
 	"blbp/internal/predictor"
-	"blbp/internal/report"
 	"blbp/internal/sim"
 	"blbp/internal/trace"
 	"blbp/internal/workload"
@@ -165,10 +165,12 @@ func TestFig7CCDFMonotone(t *testing.T) {
 }
 
 func TestOverallAndDerivedFigures(t *testing.T) {
-	tb, data, err := testRunner(t).Overall(miniSuite(120_000))
+	rows, err := testRunner(t).RunSuite(miniSuite(120_000), StandardPasses())
 	if err != nil {
 		t.Fatal(err)
 	}
+	data := OverallData{Rows: rows, Predictors: []string{NameBTB, NameVPC, NameITTAGE, NameBLBP}}
+	tb := OverallTable(data)
 	if tb.Rows() != 4 {
 		t.Errorf("overall table rows = %d, want 4", tb.Rows())
 	}
@@ -225,24 +227,27 @@ func TestAblationVariantsCoverPaperArms(t *testing.T) {
 	}
 }
 
-func TestFig10OnMiniSuite(t *testing.T) {
+// meanOf is the suite-mean MPKI of one predictor over the rows.
+func meanOf(rows []WorkloadResult, name string) float64 {
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.MPKI(name)
+	}
+	return sum / float64(len(rows))
+}
+
+func TestFig10PassesOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	tb, rows, err := testRunner(t).Fig10(miniSuite(80_000))
+	passes := append(BLBPVariantsPasses(AblationVariants()), ITTAGEPass())
+	rows, err := testRunner(t).RunSuite(miniSuite(80_000), passes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 || tb.Rows() != 13 { // 12 variants + ittage reference
-		t.Fatalf("rows = %d/%d", len(rows), tb.Rows())
-	}
-	byName := map[string]Fig10Row{}
-	for _, r := range rows {
-		byName[r.Variant] = r
-	}
-	if byName["all-on"].MeanMPKI >= byName["all-off"].MeanMPKI {
+	if meanOf(rows, "all-on") >= meanOf(rows, "all-off") {
 		t.Errorf("all-on (%.3f) not better than all-off (%.3f)",
-			byName["all-on"].MeanMPKI, byName["all-off"].MeanMPKI)
+			meanOf(rows, "all-on"), meanOf(rows, "all-off"))
 	}
 }
 
@@ -258,7 +263,7 @@ func TestAssocVariantsGeometry(t *testing.T) {
 	}
 }
 
-func TestFig11OnMiniSuite(t *testing.T) {
+func TestFig11PassesOnMiniSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
@@ -269,16 +274,15 @@ func TestFig11OnMiniSuite(t *testing.T) {
 			Classes: 12, Sites: 24, Objects: 96, MethodWork: 20, MethodConds: 1,
 		}),
 	}
-	_, rows, err := testRunner(t).Fig11(specs)
+	passes := append(BLBPVariantsPasses(AssocVariants(nil)), ITTAGEPass())
+	rows, err := testRunner(t).RunSuite(specs, passes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 { // 5 assoc points + ittage
-		t.Fatalf("got %d rows, want 6", len(rows))
-	}
 	// Higher associativity must not be dramatically worse than lower.
-	if rows[4].MeanMPKI > rows[0].MeanMPKI*1.5 {
-		t.Errorf("assoc-64 (%.3f) much worse than assoc-4 (%.3f)", rows[4].MeanMPKI, rows[0].MeanMPKI)
+	if meanOf(rows, "assoc-64") > meanOf(rows, "assoc-4")*1.5 {
+		t.Errorf("assoc-64 (%.3f) much worse than assoc-4 (%.3f)",
+			meanOf(rows, "assoc-64"), meanOf(rows, "assoc-4"))
 	}
 }
 
@@ -331,73 +335,25 @@ func TestAnalyzeSuiteOrder(t *testing.T) {
 	}
 }
 
-// renderTable renders a driver's table to bytes for exact comparison.
-func renderTable(t *testing.T, tb *report.Table) []byte {
-	t.Helper()
-	var buf bytes.Buffer
-	if err := tb.WriteText(&buf); err != nil {
-		t.Fatal(err)
-	}
-	return buf.Bytes()
-}
-
-// TestDriverTablesIdenticalAcrossParallelism renders every driver's table
-// under a single-worker Runner and an 8-worker Runner and requires the
-// outputs to be byte-identical: the scheduler and the shared tape must not
-// leak execution order into any result.
-func TestDriverTablesIdenticalAcrossParallelism(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow integration")
-	}
-	specs := miniSuite(60_000)
-	drivers := []struct {
-		name string
-		run  func(r *Runner) (*report.Table, error)
-	}{
-		{"fig1", func(r *Runner) (*report.Table, error) { tb, _ := r.Fig1(specs); return tb, nil }},
-		{"fig6", func(r *Runner) (*report.Table, error) { tb, _ := r.Fig6(specs); return tb, nil }},
-		{"fig7", func(r *Runner) (*report.Table, error) { tb, _ := r.Fig7(specs, 16); return tb, nil }},
-		{"overall", func(r *Runner) (*report.Table, error) { tb, _, err := r.Overall(specs); return tb, err }},
-		{"fig10", func(r *Runner) (*report.Table, error) { tb, _, err := r.Fig10(specs); return tb, err }},
-		{"fig11", func(r *Runner) (*report.Table, error) { tb, _, err := r.Fig11(specs); return tb, err }},
-		{"extras", func(r *Runner) (*report.Table, error) { tb, _, err := r.Extras(specs); return tb, err }},
-		{"arrays", func(r *Runner) (*report.Table, error) { tb, _, err := r.Arrays(specs); return tb, err }},
-		{"targetbits", func(r *Runner) (*report.Table, error) { tb, _, err := r.TargetBits(specs); return tb, err }},
-		{"combined", func(r *Runner) (*report.Table, error) { tb, _, err := r.Combined(specs); return tb, err }},
-		{"hierarchy", func(r *Runner) (*report.Table, error) { tb, _, err := r.Hierarchy(specs); return tb, err }},
-		{"cottage", func(r *Runner) (*report.Table, error) { tb, _, err := r.Cottage(specs); return tb, err }},
-		{"latency", func(r *Runner) (*report.Table, error) { tb, _, err := r.Latency(specs); return tb, err }},
-	}
-	seq := NewRunner(1)
-	defer seq.Close()
-	par := NewRunner(8)
-	defer par.Close()
-	for _, d := range drivers {
-		tbSeq, err := d.run(seq)
-		if err != nil {
-			t.Fatalf("%s (parallel=1): %v", d.name, err)
-		}
-		tbPar, err := d.run(par)
-		if err != nil {
-			t.Fatalf("%s (parallel=8): %v", d.name, err)
-		}
-		if !bytes.Equal(renderTable(t, tbSeq), renderTable(t, tbPar)) {
-			t.Errorf("%s: table differs between parallel=1 and parallel=8", d.name)
-		}
-	}
-}
-
-// TestRunnerBuildsEachTraceOnce runs several drivers over one suite on one
-// Runner and asserts via the cache counters that each workload's trace was
-// constructed exactly once.
+// TestRunnerBuildsEachTraceOnce runs an analysis pass and two simulation
+// pass sets over one suite on one Runner and asserts via the cache counters
+// that each workload's trace was constructed exactly once.
 func TestRunnerBuildsEachTraceOnce(t *testing.T) {
 	specs := miniSuite(30_000)
 	r := testRunner(t)
 	r.Fig1(specs)
-	if _, _, err := r.Overall(specs); err != nil {
+	if _, err := r.RunSuite(specs, StandardPasses()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Cottage(specs); err != nil {
+	cottage := []Pass{
+		Shared(CondKeyHP, func() (cond.Predictor, []predictor.Indirect) {
+			return newHP(), []predictor.Indirect{core.New(core.DefaultConfig())}
+		}),
+		Shared(CondKeyTAGE, func() (cond.Predictor, []predictor.Indirect) {
+			return cond.NewTAGE(cond.DefaultTAGEConfig()), []predictor.Indirect{ittage.New(ittage.DefaultConfig())}
+		}),
+	}
+	if _, err := r.RunSuite(specs, cottage); err != nil {
 		t.Fatal(err)
 	}
 	st := r.Cache().Stats()

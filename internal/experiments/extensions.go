@@ -3,57 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"blbp/internal/btb"
-	"blbp/internal/cascaded"
-	"blbp/internal/cond"
 	"blbp/internal/core"
-	"blbp/internal/ittage"
-	"blbp/internal/predictor"
-	"blbp/internal/report"
-	"blbp/internal/stats"
-	"blbp/internal/targetcache"
-	"blbp/internal/workload"
 )
-
-// Extras runs the extended baseline set beyond the paper's four predictors:
-// Calder & Grunwald's 2-bit BTB, Chang et al.'s Target Cache, and Driesen &
-// Hölzle's cascaded predictor, alongside the BTB/ITTAGE/BLBP anchors. It
-// reproduces the related-work lineage (§2.2) quantitatively.
-func (r *Runner) Extras(specs []workload.Spec) (*report.Table, map[string]float64, error) {
-	pass := Shared(CondKeyHP, func() (cond.Predictor, []predictor.Indirect) {
-		twoBit := btb.Default32K()
-		twoBit.Hysteresis = true
-		return newHP(), []predictor.Indirect{
-			btb.NewIndirect(btb.Default32K()),
-			btb.NewIndirect(twoBit),
-			targetcache.New(targetcache.DefaultConfig()),
-			cascaded.New(cascaded.DefaultConfig()),
-			ittage.New(ittage.DefaultConfig()),
-			core.New(core.DefaultConfig()),
-		}
-	})
-	rows, err := r.RunSuite(specs, []Pass{pass})
-	if err != nil {
-		return nil, nil, err
-	}
-	order := []string{"btb", "btb2bit", "targetcache", "cascaded", "ittage", "blbp"}
-	means := make(map[string]float64, len(order))
-	for _, name := range order {
-		xs := make([]float64, len(rows))
-		for i, r := range rows {
-			xs[i] = r.MPKI(name)
-		}
-		means[name] = stats.Mean(xs)
-	}
-	tb := report.NewTable(
-		"Extended baselines (§2.2 lineage): suite-mean indirect MPKI",
-		"predictor", "mean MPKI", "vs ITTAGE %",
-	)
-	for _, name := range order {
-		tb.AddRowf(name, means[name], stats.PercentChange(means["ittage"], means[name]))
-	}
-	return tb, means, nil
-}
 
 // geometricIntervals splits the usable history depth into n geometric
 // intervals (each starting slightly before the previous one ends, as the
@@ -133,37 +84,6 @@ func ArraysVariants(arrayCounts []int) []BLBPVariant {
 	return variants
 }
 
-// Arrays runs the SRAM-array-count sweep at (approximately) constant weight
-// storage.
-func (r *Runner) Arrays(specs []workload.Spec) (*report.Table, map[string]float64, error) {
-	variants := ArraysVariants(nil)
-	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
-	rows, err := r.RunSuite(specs, passes)
-	if err != nil {
-		return nil, nil, err
-	}
-	tb := report.NewTable(
-		"Extension: number of weight SRAM arrays (SNIP used 44, BLBP 8) at ~constant storage",
-		"configuration", "mean MPKI", "storage (KB)",
-	)
-	means := map[string]float64{}
-	for _, v := range variants {
-		xs := make([]float64, len(rows))
-		for i, r := range rows {
-			xs[i] = r.MPKI(v.Name)
-		}
-		means[v.Name] = stats.Mean(xs)
-		tb.AddRowf(v.Name, means[v.Name], stats.FormatKB(core.New(v.Config).StorageBits()))
-	}
-	ittageXs := make([]float64, len(rows))
-	for i, r := range rows {
-		ittageXs[i] = r.MPKI(NameITTAGE)
-	}
-	means[NameITTAGE] = stats.Mean(ittageXs)
-	tb.AddRowf("ittage", means[NameITTAGE], "")
-	return tb, means, nil
-}
-
 // TargetBitsVariants sweeps GlobalTargetBits, the implementation choice
 // documented in DESIGN.md §2 (how many hashed target bits each resolved
 // indirect branch contributes to BLBP's global history; 0 is the
@@ -176,34 +96,4 @@ func TargetBitsVariants() []BLBPVariant {
 		out = append(out, BLBPVariant{Name: fmt.Sprintf("targetbits-%d", n), Config: cfg})
 	}
 	return out
-}
-
-// TargetBits runs the GlobalTargetBits ablation.
-func (r *Runner) TargetBits(specs []workload.Spec) (*report.Table, map[string]float64, error) {
-	variants := TargetBitsVariants()
-	passes := append(BLBPVariantsPasses(variants), ITTAGEPass())
-	rows, err := r.RunSuite(specs, passes)
-	if err != nil {
-		return nil, nil, err
-	}
-	tb := report.NewTable(
-		"Extension: target bits folded into BLBP's global history (0 = paper-literal conditional-only GHIST)",
-		"configuration", "mean MPKI",
-	)
-	means := map[string]float64{}
-	for _, v := range variants {
-		xs := make([]float64, len(rows))
-		for i, r := range rows {
-			xs[i] = r.MPKI(v.Name)
-		}
-		means[v.Name] = stats.Mean(xs)
-		tb.AddRowf(v.Name, means[v.Name])
-	}
-	ittageXs := make([]float64, len(rows))
-	for i, r := range rows {
-		ittageXs[i] = r.MPKI(NameITTAGE)
-	}
-	means[NameITTAGE] = stats.Mean(ittageXs)
-	tb.AddRowf("ittage", means[NameITTAGE])
-	return tb, means, nil
 }

@@ -5,7 +5,6 @@ import (
 
 	"blbp/internal/report"
 	"blbp/internal/stats"
-	"blbp/internal/workload"
 )
 
 // OverallData holds the per-workload and aggregate MPKI of the four
@@ -38,15 +37,10 @@ func (d OverallData) CondAccuracyMean(name string) float64 {
 	return stats.Mean(xs)
 }
 
-// Overall runs the four standard predictors over the suite — the §5.1
-// headline experiment. The returned table lists suite-mean MPKI per
-// predictor (paper: BTB 3.40, VPC 0.29, ITTAGE 0.193, BLBP 0.183).
-func (r *Runner) Overall(specs []workload.Spec) (*report.Table, OverallData, error) {
-	rows, err := r.RunSuite(specs, StandardPasses())
-	if err != nil {
-		return nil, OverallData{}, err
-	}
-	data := OverallData{Rows: rows, Predictors: []string{NameBTB, NameVPC, NameITTAGE, NameBLBP}}
+// OverallTable renders the §5.1 headline table from already-simulated data:
+// suite-mean MPKI per predictor (paper: BTB 3.40, VPC 0.29, ITTAGE 0.193,
+// BLBP 0.183).
+func OverallTable(data OverallData) *report.Table {
 	tb := report.NewTable(
 		"Overall (§5.1): suite-mean indirect-branch MPKI per predictor",
 		"predictor", "mean MPKI", "vs ITTAGE %", "cond accuracy",
@@ -55,7 +49,7 @@ func (r *Runner) Overall(specs []workload.Spec) (*report.Table, OverallData, err
 	for _, p := range data.Predictors {
 		tb.AddRowf(p, data.Mean(p), stats.PercentChange(ittageMean, data.Mean(p)), data.CondAccuracyMean(p))
 	}
-	return tb, data, nil
+	return tb
 }
 
 // Fig8 renders the per-benchmark MPKI of VPC, ITTAGE, and BLBP (the BTB is

@@ -2,10 +2,13 @@ package predictor_test
 
 import (
 	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 
 	"blbp/internal/btb"
 	"blbp/internal/cascaded"
+	"blbp/internal/cond"
 	"blbp/internal/core"
 	"blbp/internal/ittage"
 	"blbp/internal/predictor"
@@ -14,7 +17,8 @@ import (
 )
 
 // conformance exercises the predictor.Indirect contract uniformly across
-// every implementation in the repository.
+// every implementation in the repository, plus the registry contract that
+// every catalog entry's configuration round-trips through JSON.
 
 func implementations() map[string]func() predictor.Indirect {
 	return map[string]func() predictor.Indirect{
@@ -128,6 +132,81 @@ func TestConformanceMetadata(t *testing.T) {
 				t.Error("non-positive StorageBits")
 			}
 		})
+	}
+}
+
+// buildAny constructs an instance of e under cfg regardless of the entry's
+// kind, supplying a default hashed-perceptron conditional predictor where
+// one is required, and returns the instance plus its storage budget (the
+// provider's budget for consolidated predictors, matching how the plan
+// layer accounts for them).
+func buildAny(t *testing.T, e predictor.Entry, cfg any) (predictor.Indirect, int) {
+	t.Helper()
+	switch e.Kind() {
+	case "standalone":
+		p, err := e.New(cfg)
+		if err != nil {
+			t.Fatalf("%s: New: %v", e.Name, err)
+		}
+		return p, p.StorageBits()
+	case "cond-bound":
+		p, err := e.NewBound(cfg, cond.NewHashedPerceptron(cond.DefaultHPConfig()))
+		if err != nil {
+			t.Fatalf("%s: NewBound: %v", e.Name, err)
+		}
+		return p, p.StorageBits()
+	case "consolidated":
+		cp, p, err := e.NewProvider(cfg)
+		if err != nil {
+			t.Fatalf("%s: NewProvider: %v", e.Name, err)
+		}
+		return p, cp.StorageBits()
+	}
+	t.Fatalf("%s: unknown kind %q", e.Name, e.Kind())
+	return nil, 0
+}
+
+// TestCatalogDefaultConfigsRoundTrip is the registry conformance gate:
+// every catalog predictor's default configuration must survive a JSON
+// round trip (Config(DefaultJSON()) yielding an equal value), and an
+// instance built from the round-tripped config must model the same
+// hardware budget and report the expected result name. Entries registered
+// by other tests (prefix "test-") are not part of the catalog contract.
+func TestCatalogDefaultConfigsRoundTrip(t *testing.T) {
+	n := 0
+	for _, e := range predictor.Entries() {
+		if strings.HasPrefix(e.Name, "test-") {
+			continue
+		}
+		n++
+		def, err := e.Config(nil)
+		if err != nil {
+			t.Errorf("%s: default config invalid: %v", e.Name, err)
+			continue
+		}
+		rt, err := e.Config(e.DefaultJSON())
+		if err != nil {
+			t.Errorf("%s: default config does not re-decode: %v", e.Name, err)
+			continue
+		}
+		if !reflect.DeepEqual(def, rt) {
+			t.Errorf("%s: config changed across JSON round trip:\n  default: %+v\n  decoded: %+v", e.Name, def, rt)
+			continue
+		}
+		pd, bitsDef := buildAny(t, e, def)
+		prt, bitsRT := buildAny(t, e, rt)
+		if bitsDef != bitsRT {
+			t.Errorf("%s: StorageBits %d after round trip, want %d", e.Name, bitsRT, bitsDef)
+		}
+		if bitsDef <= 0 {
+			t.Errorf("%s: non-positive storage budget %d", e.Name, bitsDef)
+		}
+		if pd.Name() != e.ResultName || prt.Name() != e.ResultName {
+			t.Errorf("%s: instance names %q/%q, want ResultName %q", e.Name, pd.Name(), prt.Name(), e.ResultName)
+		}
+	}
+	if n < 8 {
+		t.Errorf("catalog has %d entries, want at least the 8 registered predictors", n)
 	}
 }
 

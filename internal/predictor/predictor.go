@@ -1,11 +1,19 @@
 // Package predictor defines the interface all indirect branch target
-// predictors implement, plus a registry used by the command-line tools.
+// predictors implement, plus a configurable registry used by the
+// command-line tools and the runspec plan layer: every predictor registers
+// a default configuration and a config-taking factory, and configurations
+// round-trip through JSON so experiments can be expressed as data.
 package predictor
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"sort"
+	"strings"
 
+	"blbp/internal/cond"
 	"blbp/internal/trace"
 )
 
@@ -34,27 +42,144 @@ type Indirect interface {
 	StorageBits() int
 }
 
-// Factory constructs a fresh predictor instance.
-type Factory func() Indirect
+// Entry describes one registered predictor: its default configuration and
+// how to build an instance from a configuration value. Exactly one of the
+// three constructors is set, depending on how the predictor relates to the
+// engine's conditional predictor:
+//
+//   - New: a standalone indirect predictor (the common case).
+//   - NewBound: a predictor that must share the engine's conditional
+//     predictor (VPC, whose defining property is stealing the conditional
+//     predictor's tables for virtual PCs).
+//   - NewProvider: a consolidated predictor that itself serves as the
+//     engine's conditional predictor and exposes an indirect view (the
+//     paper's §6 combined structure).
+type Entry struct {
+	// Name is the registry key referenced by CLIs and run plans.
+	Name string
+	// ResultName is the name the built predictor reports in results
+	// (Indirect.Name() of a default-config instance). It usually equals
+	// Name; run plans use it to locate a pass's rows in a suite result.
+	ResultName string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Default returns the default configuration value (a plain struct
+	// that round-trips through JSON).
+	Default func() any
 
-var registry = map[string]Factory{}
-
-// Register adds a named predictor factory. It panics on duplicates, which
-// indicates an init-time programming error.
-func Register(name string, f Factory) {
-	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("predictor: duplicate registration of %q", name))
-	}
-	registry[name] = f
+	New         func(cfg any) (Indirect, error)
+	NewBound    func(cfg any, cp cond.Predictor) (Indirect, error)
+	NewProvider func(cfg any) (cond.Predictor, Indirect, error)
 }
 
-// New instantiates a registered predictor by name.
-func New(name string) (Indirect, error) {
-	f, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("predictor: unknown predictor %q (have %v)", name, Names())
+// Kind reports how the predictor relates to the engine's conditional
+// predictor: "standalone", "cond-bound", or "consolidated".
+func (e Entry) Kind() string {
+	switch {
+	case e.NewBound != nil:
+		return "cond-bound"
+	case e.NewProvider != nil:
+		return "consolidated"
+	default:
+		return "standalone"
 	}
-	return f(), nil
+}
+
+// Config materializes a configuration for this predictor: the default
+// config with the JSON object overrides (if any) merged field-for-field on
+// top. Unknown fields are rejected, so typos in plan files fail loudly.
+func (e Entry) Config(overrides []byte) (any, error) {
+	cfg, err := MergeJSON(e.Default(), overrides)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: %s config: %v", e.Name, err)
+	}
+	return cfg, nil
+}
+
+// MergeJSON merges a JSON object of overrides field-for-field onto a copy
+// of the default config value def and returns the result (nested structs
+// merge per present field; slices replace wholesale — encoding/json's
+// unmarshal-into-populated-value semantics). Unknown fields and trailing
+// data are rejected. If the merged config has a Validate method, it runs.
+func MergeJSON(def any, overrides []byte) (any, error) {
+	pv := reflect.New(reflect.TypeOf(def))
+	pv.Elem().Set(reflect.ValueOf(def))
+	if len(bytes.TrimSpace(overrides)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(overrides))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(pv.Interface()); err != nil {
+			return nil, err
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("trailing data after JSON object")
+		}
+	}
+	cfg := pv.Elem().Interface()
+	if v, ok := cfg.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// DefaultJSON returns the default configuration as compact JSON.
+func (e Entry) DefaultJSON() []byte {
+	b, err := json.Marshal(e.Default())
+	if err != nil {
+		panic(fmt.Sprintf("predictor: %s default config does not marshal: %v", e.Name, err))
+	}
+	return b
+}
+
+var registry = map[string]Entry{}
+
+// Register adds a predictor entry. It panics on duplicates or malformed
+// entries, which indicate init-time programming errors.
+func Register(e Entry) {
+	if e.Name == "" || e.Default == nil {
+		panic("predictor: entry needs a name and a default config")
+	}
+	n := 0
+	for _, set := range []bool{e.New != nil, e.NewBound != nil, e.NewProvider != nil} {
+		if set {
+			n++
+		}
+	}
+	if n != 1 {
+		panic(fmt.Sprintf("predictor: entry %q must set exactly one constructor", e.Name))
+	}
+	if e.ResultName == "" {
+		e.ResultName = e.Name
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("predictor: duplicate registration of %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Lookup returns the entry registered under name.
+func Lookup(name string) (Entry, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// New instantiates a registered standalone predictor by name with its
+// default configuration.
+func New(name string) (Indirect, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("predictor: unknown predictor %q (have %s; `experiments -list` or `blbpsim -list` shows each with its default-config JSON)",
+			name, strings.Join(Names(), ", "))
+	}
+	if e.New == nil {
+		return nil, fmt.Errorf("predictor: %q is %s and cannot be built in isolation from the engine's conditional predictor", name, e.Kind())
+	}
+	cfg, err := e.Config(nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.New(cfg)
 }
 
 // Names lists the registered predictor names, sorted.
@@ -65,4 +190,14 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Entries returns all registry entries sorted by name.
+func Entries() []Entry {
+	names := Names()
+	es := make([]Entry, len(names))
+	for i, n := range names {
+		es[i] = registry[n]
+	}
+	return es
 }

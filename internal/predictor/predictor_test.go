@@ -1,8 +1,11 @@
 package predictor
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
+	"blbp/internal/cond"
 	"blbp/internal/trace"
 )
 
@@ -15,8 +18,21 @@ func (f fake) OnCond(pc uint64, taken bool)              {}
 func (f fake) OnOther(pc, t uint64, bt trace.BranchType) {}
 func (f fake) StorageBits() int                          { return 1 }
 
+type fakeConfig struct {
+	Entries int
+	Tag     int
+}
+
+func fakeEntry(name string) Entry {
+	return Entry{
+		Name:    name,
+		Default: func() any { return fakeConfig{Entries: 64, Tag: 8} },
+		New:     func(cfg any) (Indirect, error) { return fake{name: name}, nil },
+	}
+}
+
 func TestRegisterAndNew(t *testing.T) {
-	Register("test-fake", func() Indirect { return fake{name: "test-fake"} })
+	Register(fakeEntry("test-fake"))
 	p, err := New("test-fake")
 	if err != nil {
 		t.Fatal(err)
@@ -26,25 +42,40 @@ func TestRegisterAndNew(t *testing.T) {
 	}
 }
 
-func TestNewUnknown(t *testing.T) {
-	if _, err := New("definitely-not-registered"); err == nil {
-		t.Error("unknown name accepted")
+func TestNewUnknownHintsAtList(t *testing.T) {
+	_, err := New("definitely-not-registered")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "-list") {
+		t.Errorf("error does not point at -list discovery: %v", err)
 	}
 }
 
 func TestDuplicateRegistrationPanics(t *testing.T) {
-	Register("test-dup", func() Indirect { return fake{} })
+	Register(fakeEntry("test-dup"))
 	defer func() {
 		if recover() == nil {
 			t.Error("duplicate registration did not panic")
 		}
 	}()
-	Register("test-dup", func() Indirect { return fake{} })
+	Register(fakeEntry("test-dup"))
+}
+
+func TestEntryNeedsExactlyOneConstructor(t *testing.T) {
+	e := fakeEntry("test-two-ctors")
+	e.NewProvider = func(cfg any) (cond.Predictor, Indirect, error) { return nil, nil, nil }
+	defer func() {
+		if recover() == nil {
+			t.Error("entry with two constructors did not panic")
+		}
+	}()
+	Register(e)
 }
 
 func TestNamesSortedAndContainsRegistered(t *testing.T) {
-	Register("test-zz", func() Indirect { return fake{} })
-	Register("test-aa", func() Indirect { return fake{} })
+	Register(fakeEntry("test-zz"))
+	Register(fakeEntry("test-aa"))
 	names := Names()
 	found := map[string]bool{}
 	for i, n := range names {
@@ -55,5 +86,42 @@ func TestNamesSortedAndContainsRegistered(t *testing.T) {
 	}
 	if !found["test-zz"] || !found["test-aa"] {
 		t.Errorf("registered names missing from %v", names)
+	}
+}
+
+func TestConfigOverrideMerges(t *testing.T) {
+	e := fakeEntry("test-merge")
+	got, err := e.Config([]byte(`{"Tag": 12}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := got.(fakeConfig)
+	if cfg.Tag != 12 || cfg.Entries != 64 {
+		t.Errorf("merged config = %+v, want Tag overridden and Entries kept", cfg)
+	}
+}
+
+func TestConfigRejectsUnknownField(t *testing.T) {
+	e := fakeEntry("test-unknown-field")
+	if _, err := e.Config([]byte(`{"NotAField": 1}`)); err == nil {
+		t.Error("unknown config field accepted")
+	}
+	if _, err := e.Config([]byte(`{"Tag": 1} {"Tag": 2}`)); err == nil {
+		t.Error("trailing JSON accepted")
+	}
+}
+
+func TestDefaultJSONRoundTrips(t *testing.T) {
+	e := fakeEntry("test-roundtrip")
+	got, err := e.Config(e.DefaultJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(fakeConfig) != (fakeConfig{Entries: 64, Tag: 8}) {
+		t.Errorf("round-trip changed config: %+v", got)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(e.DefaultJSON(), &m); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,171 @@
+package runspec
+
+import (
+	"fmt"
+
+	"blbp/internal/core"
+	"blbp/internal/experiments"
+	"blbp/internal/predictor"
+)
+
+// builtinOrder is the canonical presentation order (the CLI's "all").
+var builtinOrder = []string{
+	"table1", "table2", "fig1", "fig6", "fig7",
+	"overall", "fig8", "fig9", "holdout", "fig10", "fig11",
+	"extras", "arrays", "targetbits", "combined", "hierarchy",
+	"cottage", "latency", "seeds",
+}
+
+// BuiltinNames lists the built-in plans in presentation order.
+func BuiltinNames() []string {
+	out := make([]string, len(builtinOrder))
+	copy(out, builtinOrder)
+	return out
+}
+
+// Builtin returns the named built-in plan: the declarative form of what the
+// bespoke experiment drivers used to hard-code. Every plan round-trips
+// through Encode/Decode, so `-dumpplan` output re-run via `-plan`
+// reproduces the compiled-in results byte for byte.
+func Builtin(name string) (*Plan, bool) {
+	switch name {
+	case "table1":
+		return analysisPlan(name, "workload suite by source category (paper Table 1)"), true
+	case "table2":
+		return analysisPlan(name, "predictor configurations and hardware budgets (paper Table 2)"), true
+	case "fig1":
+		return analysisPlan(name, "branch mix per kilo-instruction (paper Figure 1)"), true
+	case "fig6":
+		return analysisPlan(name, "polymorphism per workload (paper Figure 6)"), true
+	case "fig7":
+		return analysisPlan(name, "target-count distribution CCDF (paper Figure 7)"), true
+	case "overall", "fig8", "fig9":
+		p := standardPlan(name, "the §5.1 headline run rendered as "+name)
+		if name == "overall" {
+			p.Doc = "suite-mean MPKI of the four standard predictors (§5.1)"
+		}
+		return p, true
+	case "holdout":
+		p := standardPlan(name, "the §5.1 table over the holdout suite (CBP-4 analog)")
+		p.Suite.Kind = "holdout"
+		return p, true
+	case "fig10":
+		return variantsPlan(name, "optimization ablation vs ITTAGE (paper Figure 10)",
+			experiments.AblationVariants()), true
+	case "fig11":
+		return variantsPlan(name, "IBTB associativity sweep (paper Figure 11)",
+			experiments.AssocVariants(nil)), true
+	case "extras":
+		return &Plan{
+			Name: name,
+			Doc:  "extended related-work baselines (§2.2 lineage)",
+			Passes: []Pass{{Predictors: []PredictorSpec{
+				{Type: "btb"}, {Type: "btb2bit"}, {Type: "targetcache"},
+				{Type: "cascaded"}, {Type: "ittage"}, {Type: "blbp"},
+			}}},
+			Outputs: []Output{{Table: name}},
+		}, true
+	case "arrays":
+		return variantsPlan(name, "weight-SRAM array-count sweep at ~constant storage",
+			experiments.ArraysVariants(nil)), true
+	case "targetbits":
+		return variantsPlan(name, "target bits folded into BLBP's global history",
+			experiments.TargetBitsVariants()), true
+	case "combined":
+		return &Plan{
+			Name: name,
+			Doc:  "one BLBP structure for conditional + indirect prediction (§6)",
+			Passes: []Pass{
+				{Predictors: []PredictorSpec{{Type: "blbp"}}},
+				{Predictors: []PredictorSpec{{Type: "combined"}}},
+			},
+			Outputs: []Output{{Table: name}},
+		}, true
+	case "hierarchy":
+		mono8 := core.DefaultConfig()
+		mono8.IBTB.Assoc = 8
+		mono8.IBTB.Sets = 512
+		hier := core.DefaultConfig()
+		hier.UseHierarchicalIBTB = true
+		return &Plan{
+			Name: name,
+			Doc:  "two-level IBTB hierarchy vs 64-way monolith (§6)",
+			Passes: []Pass{
+				{Predictors: []PredictorSpec{{Type: "blbp", Name: "mono-64way"}}},
+				{Predictors: []PredictorSpec{{Type: "blbp", Name: "mono-8way", Config: mustDiffBLBP(mono8)}}},
+				{Predictors: []PredictorSpec{{Type: "blbp", Name: "hierarchy", Config: mustDiffBLBP(hier)}}},
+			},
+			Outputs: []Output{{Table: name}},
+		}, true
+	case "cottage":
+		return &Plan{
+			Name: name,
+			Doc:  "COTTAGE (TAGE + ITTAGE) vs hashed perceptron + BLBP (§2.2)",
+			Passes: []Pass{
+				{Predictors: []PredictorSpec{{Type: "blbp"}}},
+				{Cond: "tage", Predictors: []PredictorSpec{{Type: "ittage"}}},
+			},
+			Outputs: []Output{{Table: name}},
+		}, true
+	case "latency":
+		return &Plan{
+			Name:    name,
+			Doc:     "BLBP selection latency at 5 cosine similarities per cycle (§3.7)",
+			Passes:  []Pass{{Predictors: []PredictorSpec{{Type: "blbp"}}}},
+			Outputs: []Output{{Table: name}},
+		}, true
+	case "seeds":
+		p := standardPlan(name, "seed sensitivity of the §5.1 headline across suite draws")
+		p.Suite.Salts = []string{"", "a", "b", "c"}
+		return p, true
+	}
+	return nil, false
+}
+
+// analysisPlan is a pure workload characterization: no passes, one output.
+func analysisPlan(name, doc string) *Plan {
+	return &Plan{Name: name, Doc: doc, Outputs: []Output{{Table: name}}}
+}
+
+// standardPlan runs the paper's Table 2 line-up: the BTB baseline, ITTAGE,
+// and BLBP share a conditional substrate; VPC owns (and pollutes) its own.
+func standardPlan(name, doc string) *Plan {
+	return &Plan{
+		Name: name,
+		Doc:  doc,
+		Passes: []Pass{
+			{Predictors: []PredictorSpec{{Type: "btb"}, {Type: "ittage"}, {Type: "blbp"}}},
+			{Predictors: []PredictorSpec{{Type: "vpc"}}},
+		},
+		Outputs: []Output{{Table: name}},
+	}
+}
+
+// variantsPlan lowers a BLBP sweep to one single-predictor pass per variant
+// (so the scheduler fans the arms out as independent tasks, exactly like the
+// bespoke drivers did) plus the ITTAGE reference pass.
+func variantsPlan(name, doc string, variants []experiments.BLBPVariant) *Plan {
+	passes := make([]Pass, 0, len(variants)+1)
+	for _, v := range variants {
+		passes = append(passes, Pass{Predictors: []PredictorSpec{
+			{Type: "blbp", Name: v.Name, Config: mustDiffBLBP(v.Config)},
+		}})
+	}
+	passes = append(passes, Pass{Predictors: []PredictorSpec{{Type: "ittage"}}})
+	return &Plan{Name: name, Doc: doc, Passes: passes, Outputs: []Output{{Table: name}}}
+}
+
+// mustDiffBLBP renders a BLBP configuration as the minimal JSON override
+// against the registered default. The built-in sweeps only vary compiled-in
+// configurations, so a diff failure is a programming error.
+func mustDiffBLBP(cfg core.Config) []byte {
+	e, ok := predictor.Lookup(experiments.NameBLBP)
+	if !ok {
+		panic("runspec: blbp is not registered")
+	}
+	diff, err := diffConfig(e.Default(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("runspec: diffing blbp config: %v", err))
+	}
+	return diff
+}

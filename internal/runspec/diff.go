@@ -1,0 +1,74 @@
+package runspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+)
+
+// diffConfig returns the minimal JSON override object that, merged onto
+// def by predictor.MergeJSON, reproduces got: exactly the exported fields
+// whose values differ, with nested structs diffed recursively and slices
+// (which merge by replacement) emitted wholesale. It returns nil when the
+// two values are equal. Both values must share one struct type.
+//
+// The walk follows struct field order, so the emitted JSON is
+// deterministic and never ranges over a map.
+func diffConfig(def, got any) (json.RawMessage, error) {
+	dv, gv := reflect.ValueOf(def), reflect.ValueOf(got)
+	if dv.Type() != gv.Type() {
+		return nil, fmt.Errorf("runspec: diffing distinct types %T and %T", def, got)
+	}
+	if dv.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("runspec: can only diff structs, not %T", def)
+	}
+	return diffStruct(dv, gv)
+}
+
+func diffStruct(dv, gv reflect.Value) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	n := 0
+	t := dv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			return nil, fmt.Errorf("runspec: config %s has unexported field %s", t, f.Name)
+		}
+		if tag := f.Tag.Get("json"); tag != "" {
+			return nil, fmt.Errorf("runspec: config %s field %s has a json tag; diffConfig assumes field-name keys", t, f.Name)
+		}
+		df, gf := dv.Field(i), gv.Field(i)
+		var frag json.RawMessage
+		if f.Type.Kind() == reflect.Struct {
+			sub, err := diffStruct(df, gf)
+			if err != nil {
+				return nil, err
+			}
+			frag = sub
+		} else if !reflect.DeepEqual(df.Interface(), gf.Interface()) {
+			b, err := json.Marshal(gf.Interface())
+			if err != nil {
+				return nil, fmt.Errorf("runspec: field %s.%s: %v", t, f.Name, err)
+			}
+			frag = b
+		}
+		if frag == nil {
+			continue
+		}
+		if n > 0 {
+			buf.WriteByte(',')
+		}
+		key, _ := json.Marshal(f.Name)
+		buf.Write(key)
+		buf.WriteByte(':')
+		buf.Write(frag)
+		n++
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}

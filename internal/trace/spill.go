@@ -11,33 +11,62 @@ import (
 )
 
 // A spill file is the persistent form the trace cache writes: a
-// self-describing header followed by the standard binary trace payload.
-// The header carries the full workload identity (name, seed, instruction
-// budget) plus the payload's record count and checksum, so a reader can
-// decide whether a file on disk really is the trace it wants — a bare
-// payload carries only the workload name, which is not enough once files
-// outlive the process that wrote them (stale seeds, renamed files, hash
-// collisions in the file name).
+// self-describing header followed by the trace's records. The header
+// carries the full workload identity (name, seed, instruction budget) plus
+// the record count, so a reader can decide whether a file on disk really is
+// the trace it wants — a bare payload carries only the workload name, which
+// is not enough once files outlive the process that wrote them (stale
+// seeds, renamed files, hash collisions in the file name).
 //
-// Layout:
+// The current format (SPL2) stores records in checksummed blocks:
 //
-//	magic    "BLBPSPL1"                     (8 bytes)
-//	name     uvarint length + bytes         (workload name)
-//	seed     uvarint                        (two's-complement bits of the int64 seed)
-//	instr    uvarint                        (instruction budget)
-//	records  uvarint                        (payload record count)
-//	checksum 8 bytes little-endian          (FNV-64a of the payload bytes)
-//	payload  BLBPTRC1 encoding of the trace (Write/Read)
+//	magic    "BLBPSPL2"                 (8 bytes)
+//	name     uvarint length + bytes     (workload name)
+//	seed     uvarint                    (two's-complement bits of the int64 seed)
+//	instr    uvarint                    (instruction budget)
+//	records  uvarint                    (total record count)
+//	blocks   until records are consumed:
+//	  nrec     uvarint                  (records in this block, > 0)
+//	  nbytes   uvarint                  (encoded size of this block)
+//	  checksum 8 bytes little-endian    (FNV-64a of the block bytes)
+//	  payload  nbytes bytes             (nrec records, same per-record
+//	                                    encoding as BLBPTRC1; the PC delta
+//	                                    chain restarts at 0 in each block)
+//
+// Blocking serves the reader: each block is checksummed and then decoded
+// from one contiguous in-memory slice (binary.Uvarint over []byte instead
+// of a byte-at-a-time bufio stream), and a corrupt or truncated file fails
+// at the first bad block instead of after hashing the whole payload.
+// Restarting the delta chain per block keeps blocks independently
+// decodable.
+//
+// The previous format (SPL1) — the same header followed by one whole-file
+// FNV-64a checksum and a complete BLBPTRC1 payload — is still read, so
+// spill directories written by older runs keep warm-starting newer ones.
 
-var spillMagic = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '1'}
+var (
+	spillMagicV1 = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '1'}
+	spillMagic   = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '2'}
+)
+
+// spillBlockRecords is the encoder's records-per-block target. At the
+// format's worst-case record size (26 bytes) a block stays comfortably
+// inside CPU caches while amortizing the per-block checksum.
+const spillBlockRecords = 4096
+
+// maxSpillRecordLen bounds one encoded record: 1 header byte, a 5-byte
+// uvarint for the 32-bit instruction count, and two 10-byte uvarints for
+// the PC and target deltas. Used to reject absurd block sizes before
+// allocating.
+const maxSpillRecordLen = 1 + 5 + 10 + 10
 
 // ErrBadSpillMagic is returned when decoding data that is not a BLBP spill
 // file (including bare BLBPTRC1 payloads from the pre-header format).
 var ErrBadSpillMagic = errors.New("trace: bad magic (not a BLBP spill file)")
 
 // ErrSpillMismatch is returned when a spill file's payload does not match
-// its own header (checksum or record count), i.e. the file is corrupt or
-// was truncated by a crash.
+// its own header (checksum, record count, or block structure), i.e. the
+// file is corrupt or was truncated by a crash.
 var ErrSpillMismatch = errors.New("trace: spill payload does not match header")
 
 // SpillHeader is the self-describing preamble of a spill file.
@@ -49,23 +78,14 @@ type SpillHeader struct {
 	Instructions int64
 	// Records is the payload's record count.
 	Records int64
-	// Checksum is the FNV-64a hash of the payload bytes.
+	// Checksum is the FNV-64a hash of the payload bytes in SPL1 files; SPL2
+	// files checksum per block and leave it zero.
 	Checksum uint64
 }
 
-// WriteSpill encodes t as a spill file: header then payload. Name, Seed
-// and Instructions are taken from h; Records and Checksum are computed
-// from the encoded payload and h's values for them are ignored.
-func WriteSpill(w io.Writer, h SpillHeader, t *Trace) error {
-	var payload bytes.Buffer
-	if err := Write(&payload, t); err != nil {
-		return err
-	}
-	sum := fnv.New64a()
-	sum.Write(payload.Bytes())
-
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(spillMagic[:]); err != nil {
+// writeSpillHeader writes the identity fields shared by both formats.
+func writeSpillHeader(bw *bufio.Writer, magic [8]byte, h SpillHeader, records int) error {
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -86,11 +106,80 @@ func WriteSpill(w io.Writer, h SpillHeader, t *Trace) error {
 	if err := putUvarint(uint64(h.Instructions)); err != nil {
 		return err
 	}
-	if err := putUvarint(uint64(len(t.Records))); err != nil {
+	return putUvarint(uint64(records))
+}
+
+// WriteSpill encodes t as a spill file in the current (SPL2) format: header
+// then checksummed record blocks. Name, Seed and Instructions are taken
+// from h; Records is computed from t and h's values for it are ignored.
+func WriteSpill(w io.Writer, h SpillHeader, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeSpillHeader(bw, spillMagic, h, len(t.Records)); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint64(buf[:8], sum.Sum64())
-	if _, err := bw.Write(buf[:8]); err != nil {
+	var buf [binary.MaxVarintLen64]byte
+	scratch := make([]byte, 0, spillBlockRecords*8)
+	for start := 0; start < len(t.Records); start += spillBlockRecords {
+		end := start + spillBlockRecords
+		if end > len(t.Records) {
+			end = len(t.Records)
+		}
+		scratch = scratch[:0]
+		var prevPC uint64
+		for i := start; i < end; i++ {
+			r := t.Records[i]
+			if err := r.Validate(); err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+			header := byte(r.Type)
+			if r.Taken {
+				header |= 1 << 3
+			}
+			scratch = append(scratch, header)
+			scratch = binary.AppendUvarint(scratch, uint64(r.InstrBefore))
+			scratch = binary.AppendUvarint(scratch, r.PC^prevPC)
+			scratch = binary.AppendUvarint(scratch, r.Target^r.PC)
+			prevPC = r.PC
+		}
+		n := binary.PutUvarint(buf[:], uint64(end-start))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(len(scratch)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		sum := fnv.New64a()
+		sum.Write(scratch)
+		binary.LittleEndian.PutUint64(buf[:8], sum.Sum64())
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSpillV1 encodes t in the legacy SPL1 format (whole-file checksum,
+// BLBPTRC1 payload). Kept so tests and benchmarks can exercise the read
+// fallback; new spill files should use WriteSpill.
+func WriteSpillV1(w io.Writer, h SpillHeader, t *Trace) error {
+	var payload bytes.Buffer
+	if err := Write(&payload, t); err != nil {
+		return err
+	}
+	sum := fnv.New64a()
+	sum.Write(payload.Bytes())
+
+	bw := bufio.NewWriter(w)
+	if err := writeSpillHeader(bw, spillMagicV1, h, len(t.Records)); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], sum.Sum64())
+	if _, err := bw.Write(buf[:]); err != nil {
 		return err
 	}
 	if _, err := bw.Write(payload.Bytes()); err != nil {
@@ -99,90 +188,220 @@ func WriteSpill(w io.Writer, h SpillHeader, t *Trace) error {
 	return bw.Flush()
 }
 
-// readSpillHeader decodes the header from br.
-func readSpillHeader(br *bufio.Reader) (SpillHeader, error) {
+// readSpillHeader decodes the header from br and reports the format
+// version (1 or 2).
+func readSpillHeader(br *bufio.Reader) (SpillHeader, int, error) {
 	var h SpillHeader
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return h, fmt.Errorf("trace: reading spill magic: %w", err)
+		return h, 0, fmt.Errorf("trace: reading spill magic: %w", err)
 	}
-	if m != spillMagic {
-		return h, ErrBadSpillMagic
+	var version int
+	switch m {
+	case spillMagicV1:
+		version = 1
+	case spillMagic:
+		version = 2
+	default:
+		return h, 0, ErrBadSpillMagic
 	}
 	nameLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return h, fmt.Errorf("trace: reading spill name length: %w", err)
+		return h, 0, fmt.Errorf("trace: reading spill name length: %w", err)
 	}
 	const maxNameLen = 1 << 16
 	if nameLen > maxNameLen {
-		return h, fmt.Errorf("trace: spill name length %d exceeds limit", nameLen)
+		return h, 0, fmt.Errorf("trace: spill name length %d exceeds limit", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return h, fmt.Errorf("trace: reading spill name: %w", err)
+		return h, 0, fmt.Errorf("trace: reading spill name: %w", err)
 	}
 	h.Name = string(name)
 	seed, err := binary.ReadUvarint(br)
 	if err != nil {
-		return h, fmt.Errorf("trace: reading spill seed: %w", err)
+		return h, 0, fmt.Errorf("trace: reading spill seed: %w", err)
 	}
 	h.Seed = int64(seed)
 	instr, err := binary.ReadUvarint(br)
 	if err != nil {
-		return h, fmt.Errorf("trace: reading spill instruction budget: %w", err)
+		return h, 0, fmt.Errorf("trace: reading spill instruction budget: %w", err)
 	}
 	h.Instructions = int64(instr)
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return h, fmt.Errorf("trace: reading spill record count: %w", err)
+		return h, 0, fmt.Errorf("trace: reading spill record count: %w", err)
 	}
 	const maxRecords = 1 << 32
 	if count > maxRecords {
-		return h, fmt.Errorf("trace: spill record count %d exceeds limit", count)
+		return h, 0, fmt.Errorf("trace: spill record count %d exceeds limit", count)
 	}
 	h.Records = int64(count)
-	var sum [8]byte
-	if _, err := io.ReadFull(br, sum[:]); err != nil {
-		return h, fmt.Errorf("trace: reading spill checksum: %w", err)
+	if version == 1 {
+		var sum [8]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			return h, 0, fmt.Errorf("trace: reading spill checksum: %w", err)
+		}
+		h.Checksum = binary.LittleEndian.Uint64(sum[:])
 	}
-	h.Checksum = binary.LittleEndian.Uint64(sum[:])
-	return h, nil
+	return h, version, nil
 }
 
-// ReadSpillHeader decodes only the header of a spill file, leaving the
-// payload unread — the cheap probe a cache uses to index a directory of
-// spill files by identity without decoding any records.
+// ReadSpillHeader decodes only the header of a spill file (either format),
+// leaving the payload unread — the cheap probe a cache uses to index a
+// directory of spill files by identity without decoding any records.
 func ReadSpillHeader(r io.Reader) (SpillHeader, error) {
-	return readSpillHeader(bufio.NewReader(r))
+	h, _, err := readSpillHeader(bufio.NewReader(r))
+	return h, err
 }
 
-// ReadSpill decodes a complete spill file: the header, then the payload,
-// verified against the header's checksum and record count and the usual
-// per-record validation. The decoded trace's name must match the header's.
+// ReadSpill decodes a complete spill file of either format: the header,
+// then the payload, verified against the header's checksums and record
+// count and the usual per-record validation. The decoded trace's name must
+// match the header's.
 func ReadSpill(r io.Reader) (SpillHeader, *Trace, error) {
-	br := bufio.NewReader(r)
-	h, err := readSpillHeader(br)
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, version, err := readSpillHeader(br)
 	if err != nil {
 		return h, nil, err
 	}
-	payload, err := io.ReadAll(br)
-	if err != nil {
-		return h, nil, fmt.Errorf("trace: reading spill payload: %w", err)
+	var t *Trace
+	if version == 1 {
+		t, err = readSpillPayloadV1(br, h)
+	} else {
+		t, err = readSpillBlocks(br, h)
 	}
-	sum := fnv.New64a()
-	sum.Write(payload)
-	if sum.Sum64() != h.Checksum {
-		return h, nil, fmt.Errorf("%w: checksum %016x, header says %016x", ErrSpillMismatch, sum.Sum64(), h.Checksum)
-	}
-	t, err := Read(bytes.NewReader(payload))
 	if err != nil {
 		return h, nil, err
-	}
-	if int64(len(t.Records)) != h.Records {
-		return h, nil, fmt.Errorf("%w: %d records, header says %d", ErrSpillMismatch, len(t.Records), h.Records)
 	}
 	if t.Name != h.Name {
 		return h, nil, fmt.Errorf("%w: payload name %q, header says %q", ErrSpillMismatch, t.Name, h.Name)
 	}
 	return h, t, nil
+}
+
+// readSpillPayloadV1 decodes the legacy whole-payload form.
+func readSpillPayloadV1(br *bufio.Reader, h SpillHeader) (*Trace, error) {
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading spill payload: %w", err)
+	}
+	sum := fnv.New64a()
+	sum.Write(payload)
+	if sum.Sum64() != h.Checksum {
+		return nil, fmt.Errorf("%w: checksum %016x, header says %016x", ErrSpillMismatch, sum.Sum64(), h.Checksum)
+	}
+	t, err := Read(bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(t.Records)) != h.Records {
+		return nil, fmt.Errorf("%w: %d records, header says %d", ErrSpillMismatch, len(t.Records), h.Records)
+	}
+	return t, nil
+}
+
+// readSpillBlocks decodes the SPL2 block sequence: each block is length-
+// checked, checksummed, and then bulk-decoded from its in-memory bytes.
+func readSpillBlocks(br *bufio.Reader, h SpillHeader) (*Trace, error) {
+	t := &Trace{Name: h.Name}
+	if h.Records > 0 {
+		// Cap the preallocation: a corrupt count must not commit gigabytes
+		// up front. Decoding fails naturally at the first bad block.
+		capHint := h.Records
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		t.Records = make([]Record, 0, capHint)
+	}
+	var block []byte
+	var decoded int64
+	for decoded < h.Records {
+		nrec, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading spill block record count: %w", err)
+		}
+		if nrec == 0 || int64(nrec) > h.Records-decoded {
+			return nil, fmt.Errorf("%w: block of %d records with %d remaining", ErrSpillMismatch, nrec, h.Records-decoded)
+		}
+		nbytes, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading spill block size: %w", err)
+		}
+		if nbytes < nrec || nbytes > nrec*maxSpillRecordLen {
+			return nil, fmt.Errorf("%w: block of %d bytes for %d records", ErrSpillMismatch, nbytes, nrec)
+		}
+		var sumBuf [8]byte
+		if _, err := io.ReadFull(br, sumBuf[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading spill block checksum: %w", err)
+		}
+		want := binary.LittleEndian.Uint64(sumBuf[:])
+		if uint64(cap(block)) < nbytes {
+			block = make([]byte, nbytes)
+		}
+		block = block[:nbytes]
+		if _, err := io.ReadFull(br, block); err != nil {
+			return nil, fmt.Errorf("trace: reading spill block payload: %w", err)
+		}
+		sum := fnv.New64a()
+		sum.Write(block)
+		if sum.Sum64() != want {
+			return nil, fmt.Errorf("%w: block checksum %016x, header says %016x", ErrSpillMismatch, sum.Sum64(), want)
+		}
+		if t.Records, err = appendBlockRecords(t.Records, block, int(nrec)); err != nil {
+			return nil, err
+		}
+		decoded += int64(nrec)
+	}
+	// Every record was validated during decoding; mark the trace so
+	// simulation passes skip revalidation.
+	t.validated = true
+	return t, nil
+}
+
+// appendBlockRecords bulk-decodes one block's records from data (which must
+// be consumed exactly) onto dst. The PC delta chain starts at 0.
+func appendBlockRecords(dst []Record, data []byte, nrec int) ([]Record, error) {
+	var prevPC uint64
+	off := 0
+	for i := 0; i < nrec; i++ {
+		if off >= len(data) {
+			return nil, fmt.Errorf("%w: block truncated at record %d", ErrSpillMismatch, i)
+		}
+		header := data[off]
+		off++
+		var rec Record
+		rec.Type = BranchType(header & 0x7)
+		rec.Taken = header&(1<<3) != 0
+		ib, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad instr count at block record %d", ErrSpillMismatch, i)
+		}
+		off += n
+		if ib > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("%w: instr count %d overflows at block record %d", ErrSpillMismatch, ib, i)
+		}
+		rec.InstrBefore = uint32(ib)
+		pcDelta, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad pc at block record %d", ErrSpillMismatch, i)
+		}
+		off += n
+		rec.PC = pcDelta ^ prevPC
+		tgtDelta, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad target at block record %d", ErrSpillMismatch, i)
+		}
+		off += n
+		rec.Target = tgtDelta ^ rec.PC
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: block record %d: %w", i, err)
+		}
+		prevPC = rec.PC
+		dst = append(dst, rec)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in block", ErrSpillMismatch, len(data)-off)
+	}
+	return dst, nil
 }

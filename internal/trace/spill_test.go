@@ -58,6 +58,98 @@ func TestReadSpillHeaderOnly(t *testing.T) {
 	}
 }
 
+// bigSpillTrace spans several encoder blocks.
+func bigSpillTrace(records int) *Trace {
+	t := &Trace{Name: "spill-big"}
+	pc := uint64(0x400000)
+	for i := 0; i < records; i++ {
+		switch i % 3 {
+		case 0:
+			t.Append(Record{PC: pc, Target: pc + 0x20, InstrBefore: uint32(i % 17), Type: CondDirect, Taken: i%2 == 0})
+		case 1:
+			t.Append(Record{PC: pc + 4, Target: uint64(0x7f0000 + i%5*64), InstrBefore: 9, Type: IndirectCall, Taken: true})
+		default:
+			t.Append(Record{PC: pc + 8, Target: pc - 0x100, InstrBefore: 2, Type: Return, Taken: true})
+		}
+		pc += uint64(i%7) * 16
+	}
+	return t
+}
+
+func TestSpillRoundTripMultiBlock(t *testing.T) {
+	tr := bigSpillTrace(3*spillBlockRecords + 17)
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, SpillHeader{Name: tr.Name, Seed: 5, Instructions: 1e6}, tr); err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := ReadSpill(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Records != int64(len(tr.Records)) || len(got.Records) != len(tr.Records) {
+		t.Fatalf("record counts: header %d, decoded %d, want %d", h.Records, len(got.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d differs after multi-block round trip", i)
+		}
+	}
+}
+
+// TestSpillV1ReadFallback: files written in the legacy whole-payload format
+// must keep decoding, so old spill directories still warm-start new runs.
+func TestSpillV1ReadFallback(t *testing.T) {
+	tr := spillTestTrace()
+	want := SpillHeader{Name: tr.Name, Seed: -42, Instructions: 9001}
+	var buf bytes.Buffer
+	if err := WriteSpillV1(&buf, want, tr); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadSpillHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != want.Name || h.Seed != want.Seed || h.Instructions != want.Instructions {
+		t.Errorf("v1 header identity = %+v, want %+v", h, want)
+	}
+	if h.Checksum == 0 {
+		t.Error("v1 header checksum missing")
+	}
+	h2, got, err := ReadSpill(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Errorf("full read header %+v differs from probe %+v", h2, h)
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d differs after v1 round trip", i)
+		}
+	}
+	// Corruption in the v1 payload must still be caught by its checksum.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)-1] ^= 0x40
+	if _, _, err := ReadSpill(bytes.NewReader(data)); !errors.Is(err, ErrSpillMismatch) {
+		t.Errorf("corrupt v1 payload error = %v, want ErrSpillMismatch", err)
+	}
+}
+
+// TestSpillBlockCorruption flips a byte deep inside a middle block: the
+// per-block checksum must catch it without decoding past that block.
+func TestSpillBlockCorruption(t *testing.T) {
+	tr := bigSpillTrace(3 * spillBlockRecords)
+	var buf bytes.Buffer
+	if err := WriteSpill(&buf, SpillHeader{Name: tr.Name, Seed: 1, Instructions: 100}, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/2] ^= 0x01
+	if _, _, err := ReadSpill(bytes.NewReader(data)); !errors.Is(err, ErrSpillMismatch) {
+		t.Errorf("corrupt block error = %v, want ErrSpillMismatch", err)
+	}
+}
+
 func TestReadSpillRejectsBarePayload(t *testing.T) {
 	// The pre-header spill format was a bare BLBPTRC1 payload; it must be
 	// recognizable as not-a-spill so caches can prune stale files.
@@ -120,3 +212,23 @@ func TestReadSpillEmpty(t *testing.T) {
 		t.Error("empty input accepted")
 	}
 }
+
+func benchSpillDecode(b *testing.B, write func(io.Writer, SpillHeader, *Trace) error) {
+	tr := bigSpillTrace(200_000)
+	var buf bytes.Buffer
+	if err := write(&buf, SpillHeader{Name: tr.Name, Seed: 3, Instructions: 1e6}, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, got, err := ReadSpill(bytes.NewReader(data)); err != nil || len(got.Records) != len(tr.Records) {
+			b.Fatalf("decode: %v (%d records)", err, len(got.Records))
+		}
+	}
+}
+
+func BenchmarkReadSpill(b *testing.B)   { benchSpillDecode(b, WriteSpill) }
+func BenchmarkReadSpillV1(b *testing.B) { benchSpillDecode(b, WriteSpillV1) }

@@ -1,6 +1,7 @@
 #!/bin/sh
 # CI gate: lint (vet + blbplint), build, race-enabled tests, fuzz smoke,
-# and a strict gofmt -s check. Run from the repository root (or `make ci`).
+# warm-start and run-plan round-trip smokes, and a strict gofmt -s check.
+# Run from the repository root (or `make ci`).
 set -eux
 
 make lint
@@ -13,6 +14,7 @@ go test -run xxx -bench . -benchtime 1x ./...
 # input on top of its seed corpus.
 go test -fuzz FuzzTraceRoundTrip -fuzztime 5s -run xxx ./internal/trace/
 go test -fuzz FuzzSpillDecode -fuzztime 5s -run xxx ./internal/tracecache/
+go test -fuzz FuzzRunPlanDecode -fuzztime 5s -run xxx ./internal/runspec/
 # Warm-start smoke: a second experiments run against a kept spill directory
 # must serve every trace from disk (0 generator builds) and emit
 # byte-identical CSVs.
@@ -25,6 +27,38 @@ go run ./cmd/experiments -base 4000 -csv "$warm" \
 grep -q "trace cache: 0 builds" "$warm/stats.txt"
 diff "$cold/overall.csv" "$warm/overall.csv"
 rm -rf "$spill" "$cold" "$warm"
+# Run-plan round trip: every built-in must dump as valid JSON, and a dumped
+# plan re-run via -plan must regenerate the compiled-in CSV byte for byte.
+plans=$(mktemp -d)
+for p in table1 table2 fig1 fig6 fig7 overall fig8 fig9 holdout fig10 \
+	fig11 extras arrays targetbits combined hierarchy cottage latency seeds; do
+	go run ./cmd/experiments -dumpplan "$p" >"$plans/$p.json"
+done
+go run ./cmd/experiments -base 4000 -csv "$plans/builtin" overall >/dev/null
+go run ./cmd/experiments -base 4000 -csv "$plans/replay" \
+	-plan "$plans/overall.json" >/dev/null
+diff "$plans/builtin/overall.csv" "$plans/replay/overall.csv"
+# A user-authored plan (subset suite, config-override arm, generic mpki
+# table) must run end to end through the same executor.
+cat >"$plans/user.json" <<'EOF'
+{
+  "name": "ci-user-plan",
+  "suite": {"workloads": ["252.eon", "400.perlbench-1"]},
+  "passes": [
+    {"predictors": [
+      {"type": "blbp"},
+      {"type": "blbp", "name": "no-target-bits", "config": {"GlobalTargetBits": 0}},
+      {"type": "ittage"}
+    ]}
+  ],
+  "outputs": [{"table": "mpki", "file": "ci-user"}]
+}
+EOF
+go run ./cmd/experiments -base 4000 -csv "$plans/user" \
+	-plan "$plans/user.json" >/dev/null
+grep -q "no-target-bits" "$plans/user/ci-user.csv"
+grep -q "252.eon" "$plans/user/ci-user.csv"
+rm -rf "$plans"
 # gofmt -s: fail with the offending diff so the fix is visible in the log.
 fmtdiff=$(gofmt -s -d .)
 if [ -n "$fmtdiff" ]; then
