@@ -1,0 +1,265 @@
+// Batch-engine measurements: the blbp-bench-5 additions. The batch section
+// reports the single-stream serial contract next to the multi-stream
+// engine's prediction-serving rate at several batch widths, plus full-drain
+// streams/second at several shard counts, all over the same reproducible
+// heterogeneous workload family (batch.GenStreams) and the same predictor
+// configuration (batch.ServingConfig) on both sides. Alongside the timings
+// it re-runs the batched-vs-serial differential check and reports the
+// served prediction counts, so a report never carries a throughput claim
+// without the bit-identity that makes it meaningful.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blbp/internal/batch"
+	"blbp/internal/core"
+)
+
+// batchSeed fixes the workload family; the same seed drives the
+// internal/batch benchmarks, so ns/op there and predictions/second here
+// describe the same traffic.
+const batchSeed = 1234
+
+// batchTargetPreds sizes one timed repetition: enough predictions that
+// scheduler noise averages out, few enough that -reps repetitions stay
+// interactive.
+const batchTargetPreds = 1 << 17
+
+// batchOpts carries the -batch* flag values.
+type batchOpts struct {
+	sizes  []int // batch widths for the serving-rate entries
+	shards []int // shard counts for the full-drain entries
+	events int   // events per stream in the generated workload
+	dump   string
+}
+
+// parseIntList parses a comma-separated flag like "1,8,64".
+func parseIntList(flagName, s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bench: %s needs positive integers, got %q", flagName, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// replayStream drives one stream's events through p with the serial
+// contract and returns the indirect-prediction count.
+func replayStream(p *core.BLBP, evs []batch.Event) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Kind == batch.Cond {
+			p.OnCond(ev.PC, ev.Taken)
+		} else {
+			p.Predict(ev.PC)
+			p.Update(ev.PC, ev.Target)
+			n++
+		}
+	}
+	return n
+}
+
+// measureSingleStream times the serial single-stream contract — Predict,
+// Update, and conditional feeds per event — on a warmed predictor and
+// reports indirect predictions per second.
+func measureSingleStream(reps, events int) Entry {
+	streams := batch.GenStreams(batchSeed, 1, events)
+	p := core.New(batch.ServingConfig())
+	indirect := replayStream(p, streams[0]) // warm
+	replays := (batchTargetPreds + indirect - 1) / indirect
+	d := fastest(reps, func() {
+		for r := 0; r < replays; r++ {
+			replayStream(p, streams[0])
+		}
+	})
+	n := int64(replays) * int64(indirect)
+	return Entry{
+		Name: "single_stream", Events: n, Unit: "predictions",
+		Seconds: d.Seconds(), PerSecond: float64(n) / d.Seconds(),
+	}
+}
+
+// measureBatchPredict times the engine's prediction-serving rate at one
+// batch width: PredictBatch over size warmed streams, one in-flight site
+// per stream per round.
+func measureBatchPredict(size, reps, events int) Entry {
+	streams := batch.GenStreams(batchSeed, size, events)
+	eng := batch.NewEngine(batch.ServingConfig(), size)
+	slots := make([]int, size)
+	pcs := make([]uint64, size)
+	for s, evs := range streams {
+		slots[s], _ = eng.Admit()
+		p := eng.Stream(slots[s])
+		replayStream(p, evs) // warm
+		for _, ev := range evs {
+			if ev.Kind == batch.Indirect {
+				pcs[s] = ev.PC
+			}
+		}
+	}
+	targets := make([]uint64, size)
+	oks := make([]bool, size)
+	rounds := (batchTargetPreds + size - 1) / size
+	d := fastest(reps, func() {
+		for r := 0; r < rounds; r++ {
+			eng.PredictBatch(slots, pcs, targets, oks)
+		}
+	})
+	n := int64(rounds) * int64(size)
+	return Entry{
+		Name: fmt.Sprintf("batch_b%d", size), Events: n, Unit: "predictions",
+		Seconds: d.Seconds(), PerSecond: float64(n) / d.Seconds(),
+	}
+}
+
+// measureShardDrain times the full predict+train drain of nStreams streams
+// split round-robin across nShards independent pools, reporting completed
+// streams per second. On one processor the shards run back to back, so the
+// scaling is flat by construction — parallel_meaningful in the report says
+// whether the shard counts mean anything on this machine.
+func measureShardDrain(nShards, nStreams, reps, events int) Entry {
+	streams := batch.GenStreams(batchSeed, nStreams, events)
+	pools := make([]*batch.Pool, nShards)
+	ids := make([]int, nStreams)
+	for i := range pools {
+		pools[i] = batch.NewPool(batch.NewEngine(batch.ServingConfig(), (nStreams+nShards-1)/nShards))
+	}
+	for s := range streams {
+		ids[s], _ = pools[s%nShards].Admit()
+	}
+	width := (nStreams + nShards - 1) / nShards
+	d := fastest(reps, func() {
+		for s, evs := range streams {
+			pool := pools[s%nShards]
+			for _, ev := range evs {
+				pool.Feed(ids[s], ev)
+			}
+		}
+		for _, pool := range pools {
+			pool.Drain(width)
+			pool.TakeResults()
+		}
+	})
+	return Entry{
+		Name: fmt.Sprintf("batch_shards_%d", nShards), Events: int64(nStreams), Unit: "streams",
+		Seconds: d.Seconds(), PerSecond: float64(nStreams) / d.Seconds(),
+	}
+}
+
+// verifyBatch drains size streams through a pool and through the serial
+// per-stream reference, compares every prediction and each stream's final
+// state fingerprint, and returns the printable check line. With a non-empty
+// dump prefix it writes both runs as CSV (stream-major, identical files
+// when the engine is correct) for an external diff.
+func verifyBatch(size, events int, dump string) (string, error) {
+	cfg := batch.ServingConfig()
+	streams := batch.GenStreams(batchSeed, size, events)
+
+	type pred struct {
+		pc, target uint64
+		ok         bool
+	}
+	serial := make([][]pred, size)
+	serialFP := make([]uint64, size)
+	for s, evs := range streams {
+		p := core.New(cfg)
+		for _, ev := range evs {
+			if ev.Kind == batch.Cond {
+				p.OnCond(ev.PC, ev.Taken)
+				continue
+			}
+			t, ok := p.Predict(ev.PC)
+			serial[s] = append(serial[s], pred{pc: ev.PC, target: t, ok: ok})
+			p.Update(ev.PC, ev.Target)
+		}
+		serialFP[s] = p.Fingerprint()
+	}
+
+	pool := batch.NewPool(batch.NewEngine(cfg, size))
+	ids := make([]int, size)
+	for s := range streams {
+		ids[s], _ = pool.Admit()
+	}
+	for s, evs := range streams {
+		for _, ev := range evs {
+			pool.Feed(ids[s], ev)
+		}
+	}
+	pool.Drain(size)
+	batched := make([][]pred, size)
+	for _, r := range pool.Results() {
+		batched[r.Stream] = append(batched[r.Stream], pred{pc: r.PC, target: r.Predicted, ok: r.OK})
+	}
+
+	nSerial, nBatched := 0, 0
+	for s := range streams {
+		nSerial += len(serial[s])
+		nBatched += len(batched[s])
+	}
+	for s := range streams {
+		if len(batched[s]) != len(serial[s]) {
+			return "", fmt.Errorf("bench: batch_b%d stream %d served %d predictions, serial made %d",
+				size, s, len(batched[s]), len(serial[s]))
+		}
+		for i := range serial[s] {
+			if batched[s][i] != serial[s][i] {
+				return "", fmt.Errorf("bench: batch_b%d stream %d prediction %d diverged: batched %+v, serial %+v",
+					size, s, i, batched[s][i], serial[s][i])
+			}
+		}
+		if got, want := pool.Predictor(ids[s]).Fingerprint(), serialFP[s]; got != want {
+			return "", fmt.Errorf("bench: batch_b%d stream %d final state fingerprint: batched %#x, serial %#x",
+				size, s, got, want)
+		}
+	}
+
+	if dump != "" {
+		writeCSV := func(path string, runs [][]pred) error {
+			var sb strings.Builder
+			sb.WriteString("stream,seq,pc,predicted,ok\n")
+			for s, ps := range runs {
+				for i, p := range ps {
+					fmt.Fprintf(&sb, "%d,%d,%#x,%#x,%t\n", s, i, p.pc, p.target, p.ok)
+				}
+			}
+			return os.WriteFile(path, []byte(sb.String()), 0o644)
+		}
+		if err := writeCSV(fmt.Sprintf("%s.b%d.serial.csv", dump, size), serial); err != nil {
+			return "", err
+		}
+		if err := writeCSV(fmt.Sprintf("%s.b%d.batched.csv", dump, size), batched); err != nil {
+			return "", err
+		}
+	}
+	return fmt.Sprintf("batch_b%d check: batched=%d serial=%d predictions, outputs identical",
+		size, nBatched, nSerial), nil
+}
+
+// runBatchSection appends the batch-engine entries to the report and
+// returns the per-width verification lines.
+func runBatchSection(rep *Report, reps int, o batchOpts) ([]string, error) {
+	rep.Results = append(rep.Results, measureSingleStream(reps, o.events))
+	for _, size := range o.sizes {
+		rep.Results = append(rep.Results, measureBatchPredict(size, reps, o.events))
+	}
+	for _, shards := range o.shards {
+		rep.Results = append(rep.Results, measureShardDrain(shards, 64, reps, o.events))
+	}
+	var checks []string
+	for _, size := range o.sizes {
+		line, err := verifyBatch(size, o.events, o.dump)
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, line)
+	}
+	return checks, nil
+}

@@ -8,13 +8,24 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_4.json] [-base 60000] [-reps 3] [-parallel N]
+//	bench [-out BENCH_5.json] [-base 60000] [-reps 3] [-parallel N]
+//	      [-batch] [-batchsizes 1,8,64,256] [-batchshards 1,2,4]
+//	      [-batchevents 2048] [-batchdump PREFIX]
 //	      [-cpuprofile F] [-memprofile F]
 //
 // -base sets the per-workload instruction budget for the suite wall-clock
 // measurement (the full-scale experiment runs use 400k+; the default keeps
 // the tool interactive). -reps controls how many times each measurement is
 // repeated; the fastest repetition is reported, minimizing scheduler noise.
+//
+// The batch section (batch.go) measures the internal/batch multi-stream
+// engine: the single-stream serial contract, the batched prediction-serving
+// rate at the -batchsizes widths, and full-drain streams/second at the
+// -batchshards shard counts, with a batched-vs-serial differential check
+// per width. -batch runs only that section (plus the report header) — the
+// quick mode the CI smoke and the README example use — and -batchdump
+// writes each width's batched and serial prediction logs as CSV for an
+// external diff.
 //
 // The suite measurements run on the experiments execution layer: one shared
 // trace cache feeds both the single-worker (suite_pass) and multi-worker
@@ -57,6 +68,11 @@ type Report struct {
 	NumCPU    int    `json:"num_cpu"`
 	// GOMAXPROCS is the scheduler's processor limit at measurement time.
 	GOMAXPROCS int `json:"gomaxprocs"`
+	// ParallelMeaningful is false when GOMAXPROCS is 1: suite_pass_parallel
+	// then degenerates to ≈ suite_pass and the batch_shards_* entries scale
+	// flat by construction, so trajectory comparisons must not read those
+	// numbers as parallel speedups.
+	ParallelMeaningful bool `json:"parallel_meaningful"`
 	// Parallel is the worker count of the suite_pass_parallel measurement.
 	Parallel int     `json:"parallel"`
 	Base     int64   `json:"suite_instr_base"`
@@ -275,20 +291,30 @@ func measureSuiteStart(name string, specs []blbp.WorkloadSpec, instr int64, reps
 	}, last, nil
 }
 
-// run executes every measurement and assembles the report.
-func run(base int64, reps, parallel int) (*Report, error) {
+// run executes every measurement and assembles the report; with batchOnly
+// it runs just the header and the batch section. It returns the report and
+// the batch verification lines.
+func run(base int64, reps, parallel int, batchOnly bool, bo batchOpts) (*Report, []string, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	rep := &Report{
-		Schema:     "blbp-bench-4",
-		GoVersion:  runtime.Version(),
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Parallel:   parallel,
-		Base:       base,
-		Reps:       reps,
+		Schema:             "blbp-bench-5",
+		GoVersion:          runtime.Version(),
+		GOARCH:             runtime.GOARCH,
+		NumCPU:             runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		ParallelMeaningful: runtime.GOMAXPROCS(0) > 1,
+		Parallel:           parallel,
+		Base:               base,
+		Reps:               reps,
+	}
+	if batchOnly {
+		checks, err := runBatchSection(rep, reps, bo)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep, checks, nil
 	}
 	tr := microTrace()
 	rep.Results = append(rep.Results,
@@ -301,17 +327,17 @@ func run(base int64, reps, parallel int) (*Report, error) {
 	)
 	engine, err := measureEngine(tr, reps)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.Results = append(rep.Results, engine)
 
 	spillV1, err := measureSpillDecode("spill_decode_v1", tr, reps, trace.WriteSpillV1)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	spillV2, err := measureSpillDecode("spill_decode", tr, reps, trace.WriteSpill)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.Results = append(rep.Results, spillV1, spillV2)
 
@@ -321,20 +347,20 @@ func run(base int64, reps, parallel int) (*Report, error) {
 	// measurement below.
 	spillDir, err := os.MkdirTemp("", "blbp-bench-spill-")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer os.RemoveAll(spillDir)
 	cache := tracecache.New(tracecache.Config{SpillDir: spillDir, KeepSpill: true})
 	suite, err := measureSuite("suite_pass", specs, cache, 1, reps)
 	if err != nil {
 		cache.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	rep.Results = append(rep.Results, suite)
 	suitePar, err := measureSuite("suite_pass_parallel", specs, cache, parallel, reps)
 	if err != nil {
 		cache.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	rep.Results = append(rep.Results, suitePar)
 	cache.Close()
@@ -344,34 +370,53 @@ func run(base int64, reps, parallel int) (*Report, error) {
 		return tracecache.New(tracecache.Config{})
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.Results = append(rep.Results, cold)
 	warm, warmStats, err := measureSuiteStart("suite_pass_warm", specs, suite.Events, reps, func() *tracecache.Cache {
 		return tracecache.New(tracecache.Config{SpillDir: spillDir, KeepSpill: true})
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep.Results = append(rep.Results, warm)
 	rep.TraceCacheWarm = counters(warmStats)
 	if warmStats.Builds != 0 {
-		return nil, fmt.Errorf("bench: warm suite pass ran %d generator builds, want 0 (spill errors: %d)",
+		return nil, nil, fmt.Errorf("bench: warm suite pass ran %d generator builds, want 0 (spill errors: %d)",
 			warmStats.Builds, warmStats.SpillErrors)
 	}
-	return rep, nil
+	checks, err := runBatchSection(rep, reps, bo)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, checks, nil
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	base := flag.Int64("base", 60_000, "per-workload instruction base for the suite pass")
 	reps := flag.Int("reps", 3, "repetitions per measurement (fastest wins)")
 	parallel := flag.Int("parallel", 0, "workers for suite_pass_parallel (0 = GOMAXPROCS)")
+	batchOnly := flag.Bool("batch", false, "run only the batch-engine measurements")
+	batchSizes := flag.String("batchsizes", "1,8,64,256", "batch widths for the serving-rate entries")
+	batchShards := flag.String("batchshards", "1,2,4", "shard counts for the full-drain entries")
+	batchEvents := flag.Int("batchevents", 2048, "events per stream in the batch workload")
+	batchDump := flag.String("batchdump", "", "prefix for batched/serial CSV prediction logs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
-	if *base <= 0 || *reps <= 0 {
-		fmt.Fprintln(os.Stderr, "bench: -base and -reps must be positive")
+	if *base <= 0 || *reps <= 0 || *batchEvents <= 0 {
+		fmt.Fprintln(os.Stderr, "bench: -base, -reps, and -batchevents must be positive")
+		os.Exit(2)
+	}
+	bo := batchOpts{events: *batchEvents, dump: *batchDump}
+	var err error
+	if bo.sizes, err = parseIntList("-batchsizes", *batchSizes); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if bo.shards, err = parseIntList("-batchshards", *batchShards); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *cpuProfile != "" {
@@ -399,7 +444,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	rep, err := run(*base, *reps, *parallel)
+	rep, checks, err := run(*base, *reps, *parallel, *batchOnly, bo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -418,11 +463,19 @@ func main() {
 		fmt.Printf("%-20s %12.0f %s/sec  (%d %s in %.3fs)\n",
 			e.Name, e.PerSecond, e.Unit, e.Events, e.Unit, e.Seconds)
 	}
-	tc := rep.TraceCache
-	fmt.Printf("trace cache: %d builds, %d hits, %d misses (%d spill loads, %d evictions)\n",
-		tc.Builds, tc.Hits, tc.Misses, tc.SpillLoads, tc.Evictions)
-	tw := rep.TraceCacheWarm
-	fmt.Printf("warm start:  %d builds, %d preload hits, %d spill errors\n",
-		tw.Builds, tw.PreloadHits, tw.SpillErrors)
+	for _, c := range checks {
+		fmt.Println(c)
+	}
+	if !*batchOnly {
+		tc := rep.TraceCache
+		fmt.Printf("trace cache: %d builds, %d hits, %d misses (%d spill loads, %d evictions)\n",
+			tc.Builds, tc.Hits, tc.Misses, tc.SpillLoads, tc.Evictions)
+		tw := rep.TraceCacheWarm
+		fmt.Printf("warm start:  %d builds, %d preload hits, %d spill errors\n",
+			tw.Builds, tw.PreloadHits, tw.SpillErrors)
+	}
+	if !rep.ParallelMeaningful {
+		fmt.Println("note: GOMAXPROCS=1 — parallel and shard entries scale flat (parallel_meaningful=false)")
+	}
 	fmt.Println("wrote", *out)
 }

@@ -1,15 +1,19 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestRunProducesCompleteReport runs the measurement pipeline at a tiny
 // instruction base and checks every entry is populated and positive.
 func TestRunProducesCompleteReport(t *testing.T) {
-	rep, err := run(2_000, 1, 2)
+	bo := batchOpts{sizes: []int{1, 8}, shards: []int{1, 2}, events: 128}
+	rep, checks, err := run(2_000, 1, 2, false, bo)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "blbp-bench-4" {
+	if rep.Schema != "blbp-bench-5" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if rep.Parallel != 2 {
@@ -17,6 +21,9 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	}
 	if rep.GOMAXPROCS <= 0 {
 		t.Errorf("gomaxprocs = %d", rep.GOMAXPROCS)
+	}
+	if rep.ParallelMeaningful != (rep.GOMAXPROCS > 1) {
+		t.Errorf("parallel_meaningful = %v with gomaxprocs %d", rep.ParallelMeaningful, rep.GOMAXPROCS)
 	}
 	want := map[string]bool{
 		"blbp_micro": false, "ittage_micro": false,
@@ -26,6 +33,11 @@ func TestRunProducesCompleteReport(t *testing.T) {
 		"suite_pass_warm":     false,
 		"spill_decode_v1":     false,
 		"spill_decode":        false,
+		"single_stream":       false,
+		"batch_b1":            false,
+		"batch_b8":            false,
+		"batch_shards_1":      false,
+		"batch_shards_2":      false,
 	}
 	for _, e := range rep.Results {
 		if _, ok := want[e.Name]; !ok {
@@ -36,13 +48,25 @@ func TestRunProducesCompleteReport(t *testing.T) {
 		if e.Events <= 0 || e.Seconds <= 0 || e.PerSecond <= 0 {
 			t.Errorf("%s: non-positive measurement %+v", e.Name, e)
 		}
-		if e.Unit != "branches" && e.Unit != "instructions" && e.Unit != "records" {
+		switch e.Unit {
+		case "branches", "instructions", "records", "predictions", "streams":
+		default:
 			t.Errorf("%s: unknown unit %q", e.Name, e.Unit)
 		}
 	}
 	for name, seen := range want {
 		if !seen {
 			t.Errorf("missing entry %q", name)
+		}
+	}
+	// One verification line per batch width, each attesting identical
+	// batched and serial prediction streams.
+	if len(checks) != len(bo.sizes) {
+		t.Errorf("got %d batch check lines, want %d", len(checks), len(bo.sizes))
+	}
+	for _, c := range checks {
+		if !strings.Contains(c, "outputs identical") {
+			t.Errorf("batch check line %q does not attest identity", c)
 		}
 	}
 	// Both suite measurements share one cache: every trace is built exactly
@@ -68,5 +92,26 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	}
 	if tw.SpillErrors != 0 {
 		t.Errorf("warm spill errors = %d", tw.SpillErrors)
+	}
+}
+
+// TestRunBatchOnly checks the -batch quick mode emits exactly the batch
+// section.
+func TestRunBatchOnly(t *testing.T) {
+	bo := batchOpts{sizes: []int{1}, shards: []int{1}, events: 64}
+	rep, checks, err := run(2_000, 1, 0, true, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(rep.Results))
+	for _, e := range rep.Results {
+		names = append(names, e.Name)
+	}
+	got := strings.Join(names, " ")
+	if got != "single_stream batch_b1 batch_shards_1" {
+		t.Errorf("batch-only entries = %q", got)
+	}
+	if len(checks) != 1 || !strings.Contains(checks[0], "outputs identical") {
+		t.Errorf("batch-only checks = %q", checks)
 	}
 }

@@ -9,12 +9,15 @@ import (
 // determinismScope lists the packages whose output feeds results/*.csv and
 // must therefore be byte-reproducible at any -parallel: the simulation
 // engine, the experiment execution layer, the declarative plan layer that
-// assembles every output, the table renderer, and the command front end.
+// assembles every output, the table renderer, the command front end, and
+// the multi-stream batching engine (whose bit-identical-to-serial contract
+// a nondeterministic iteration order would silently void).
 var determinismScope = []string{
 	"internal/sim",
 	"internal/experiments",
 	"internal/runspec",
 	"internal/report",
+	"internal/batch",
 	"cmd/experiments",
 }
 

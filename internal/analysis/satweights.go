@@ -17,6 +17,7 @@ var satweightsScope = []string{
 	"internal/targetcache",
 	"internal/cascaded",
 	"internal/combined",
+	"internal/batch",
 	"internal/replacement",
 	"internal/region",
 }

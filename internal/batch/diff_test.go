@@ -1,0 +1,148 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"blbp/internal/core"
+)
+
+// runSerial drives each stream through its own predictor with the plain
+// Predict/Update loop: the reference the batched engine must match bit for
+// bit. It returns each stream's predicted-target sequence (miss = 0) and
+// final state fingerprint.
+func runSerial(cfg core.Config, streams [][]Event) (preds [][]uint64, fps []uint64) {
+	preds = make([][]uint64, len(streams))
+	fps = make([]uint64, len(streams))
+	for s, evs := range streams {
+		p := core.New(cfg)
+		for _, ev := range evs {
+			if ev.Kind == Cond {
+				p.OnCond(ev.PC, ev.Taken)
+				continue
+			}
+			t, ok := p.Predict(ev.PC)
+			if !ok {
+				t = 0
+			}
+			preds[s] = append(preds[s], t)
+			p.Update(ev.PC, ev.Target)
+		}
+		fps[s] = p.Fingerprint()
+	}
+	return preds, fps
+}
+
+// runBatched drives the same streams through a Pool under a randomized
+// interleaving: events are fed in random per-stream chunks with batch
+// steps of random size mixed in, then the pool drains. It returns
+// per-stream predicted sequences and fingerprints in the same shape as
+// runSerial.
+func runBatched(t *testing.T, cfg core.Config, streams [][]Event, seed int64) (preds [][]uint64, fps []uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	pool := NewPool(NewEngine(cfg, len(streams)))
+	ids := make([]int, len(streams))
+	for s := range streams {
+		id, ok := pool.Admit()
+		if !ok {
+			t.Fatalf("admission refused with capacity %d", len(streams))
+		}
+		ids[s] = id
+	}
+	fed := make([]int, len(streams))
+	remaining := 0
+	for _, evs := range streams {
+		remaining += len(evs)
+	}
+	for remaining > 0 {
+		s := rng.Intn(len(streams))
+		if fed[s] == len(streams[s]) {
+			continue
+		}
+		chunk := 1 + rng.Intn(3)
+		for ; chunk > 0 && fed[s] < len(streams[s]); chunk-- {
+			pool.Feed(ids[s], streams[s][fed[s]])
+			fed[s]++
+			remaining--
+		}
+		if rng.Intn(4) == 0 {
+			pool.Step(1 + rng.Intn(len(streams)))
+		}
+	}
+	pool.Drain(1 + rng.Intn(len(streams)))
+
+	preds = make([][]uint64, len(streams))
+	for _, r := range pool.Results() {
+		v := r.Predicted
+		if !r.OK {
+			v = 0
+		}
+		// Pool ids are admission-ordered, matching the streams index.
+		preds[r.Stream] = append(preds[r.Stream], v)
+	}
+	fps = make([]uint64, len(streams))
+	for s, id := range ids {
+		fps[s] = pool.Predictor(id).Fingerprint()
+	}
+	return preds, fps
+}
+
+func diffStreams(t *testing.T, label string, wantP [][]uint64, wantF []uint64, gotP [][]uint64, gotF []uint64) {
+	t.Helper()
+	for s := range wantP {
+		if len(gotP[s]) != len(wantP[s]) {
+			t.Fatalf("%s: stream %d served %d predictions, serial made %d", label, s, len(gotP[s]), len(wantP[s]))
+		}
+		for i := range wantP[s] {
+			if gotP[s][i] != wantP[s][i] {
+				t.Fatalf("%s: stream %d prediction %d: batched %#x != serial %#x", label, s, i, gotP[s][i], wantP[s][i])
+			}
+		}
+		if gotF[s] != wantF[s] {
+			t.Fatalf("%s: stream %d final state fingerprint: batched %#x != serial %#x", label, s, gotF[s], wantF[s])
+		}
+	}
+}
+
+// TestBatchedMatchesSerial is the differential gate: for several stream
+// counts and seeds, random interleavings through the pooled engine must
+// reproduce, bit for bit, each stream's serial Predict/Update run —
+// every prediction and the final trained state.
+func TestBatchedMatchesSerial(t *testing.T) {
+	cfg := smallConfig()
+	for _, tc := range []struct {
+		seed     int64
+		nStreams int
+		nEvents  int
+	}{
+		{seed: 1, nStreams: 1, nEvents: 600},
+		{seed: 2, nStreams: 3, nEvents: 400},
+		{seed: 3, nStreams: 8, nEvents: 300},
+		{seed: 4, nStreams: 16, nEvents: 200},
+	} {
+		streams := GenStreams(tc.seed, tc.nStreams, tc.nEvents)
+		wantP, wantF := runSerial(cfg, streams)
+		gotP, gotF := runBatched(t, cfg, streams, tc.seed)
+		diffStreams(t, "differential", wantP, wantF, gotP, gotF)
+	}
+}
+
+// FuzzBatchEquivalence fuzzes the same property over workload shape: any
+// seed, stream count, and event volume must keep the batched engine
+// bit-identical to the per-stream serial reference.
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint16(200))
+	f.Add(int64(42), uint8(5), uint16(350))
+	f.Add(int64(-7), uint8(1), uint16(64))
+	f.Add(int64(1<<40), uint8(12), uint16(120))
+	cfg := smallConfig()
+	f.Fuzz(func(t *testing.T, seed int64, nStreams uint8, nEvents uint16) {
+		s := 1 + int(nStreams)%16
+		n := 1 + int(nEvents)%400
+		streams := GenStreams(seed, s, n)
+		wantP, wantF := runSerial(cfg, streams)
+		gotP, gotF := runBatched(t, cfg, streams, seed)
+		diffStreams(t, "fuzz", wantP, wantF, gotP, gotF)
+	})
+}

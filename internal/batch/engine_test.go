@@ -1,0 +1,159 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"blbp/internal/core"
+)
+
+// smallConfig keeps unit-test engines cheap: the full predictor logic over
+// small tables and a small IBTB.
+func smallConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.TableEntries = 128
+	cfg.IBTB.Sets = 8
+	cfg.IBTB.Assoc = 8
+	cfg.IBTB.RegionEntries = 32
+	cfg.LocalEntries = 64
+	return cfg
+}
+
+func TestAdmitRetireRecycle(t *testing.T) {
+	eng := NewEngine(smallConfig(), 3)
+	if eng.Capacity() != 3 || eng.Live() != 0 {
+		t.Fatalf("fresh engine: capacity=%d live=%d", eng.Capacity(), eng.Live())
+	}
+	var slots []int
+	for i := 0; i < 3; i++ {
+		s, ok := eng.Admit()
+		if !ok {
+			t.Fatalf("admission %d refused with free capacity", i)
+		}
+		slots = append(slots, s)
+	}
+	if _, ok := eng.Admit(); ok {
+		t.Fatalf("admission beyond capacity succeeded")
+	}
+	if eng.Live() != 3 {
+		t.Fatalf("live=%d after filling capacity 3", eng.Live())
+	}
+
+	// Train a stream, retire it, re-admit the slot: the recycled predictor
+	// must be indistinguishable from a fresh one.
+	rng := rand.New(rand.NewSource(7))
+	dirty := slots[1]
+	for i := 0; i < 500; i++ {
+		pc := 0x400000 + uint64(rng.Intn(4))*0x40
+		eng.Stream(dirty).Predict(pc)
+		eng.Stream(dirty).Update(pc, 0x500000+uint64(rng.Intn(8))*8)
+	}
+	eng.Retire(dirty)
+	recycled, ok := eng.Admit()
+	if !ok || recycled != dirty {
+		t.Fatalf("recycle: got slot %d ok=%v, want LIFO reuse of %d", recycled, ok, dirty)
+	}
+	if got, want := eng.Stream(recycled).Fingerprint(), core.New(smallConfig()).Fingerprint(); got != want {
+		t.Fatalf("recycled slot fingerprint %#x differs from fresh %#x", got, want)
+	}
+}
+
+func TestDuplicateStreamPanics(t *testing.T) {
+	eng := NewEngine(smallConfig(), 2)
+	s, _ := eng.Admit()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("PredictBatch accepted the same stream twice in one batch")
+		}
+	}()
+	pcs := []uint64{0x400000, 0x400040}
+	eng.PredictBatch([]int{s, s}, pcs, make([]uint64, 2), make([]bool, 2))
+}
+
+func TestRetireNonLivePanics(t *testing.T) {
+	eng := NewEngine(smallConfig(), 2)
+	s, _ := eng.Admit()
+	eng.Retire(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double retire did not panic")
+		}
+	}()
+	eng.Retire(s)
+}
+
+// TestPoolRoundRobinOrder checks that Step serves at most one indirect
+// event per stream per batch and preserves each stream's program order.
+func TestPoolRoundRobinOrder(t *testing.T) {
+	pool := NewPool(NewEngine(smallConfig(), 4))
+	var ids []int
+	for i := 0; i < 4; i++ {
+		id, ok := pool.Admit()
+		if !ok {
+			t.Fatalf("admission %d refused", i)
+		}
+		ids = append(ids, id)
+	}
+	// Stream i gets 3 indirect events tagged with its id and sequence.
+	for seq := 0; seq < 3; seq++ {
+		for _, id := range ids {
+			pool.Feed(id, Event{
+				Kind:   Indirect,
+				PC:     0x400000 + uint64(id)*0x40,
+				Target: 0x500000 + uint64(id)<<8 + uint64(seq)*4,
+			})
+		}
+	}
+	if n := pool.Step(4); n != 4 {
+		t.Fatalf("first step served %d, want one event from each of 4 streams", n)
+	}
+	served := pool.Drain(4)
+	if served != 8 {
+		t.Fatalf("drain served %d, want the remaining 8", served)
+	}
+	results := pool.Results()
+	if len(results) != 12 {
+		t.Fatalf("got %d results, want 12", len(results))
+	}
+	next := make([]int, 4)
+	for _, r := range results {
+		wantTarget := 0x500000 + uint64(r.Stream)<<8 + uint64(next[r.Stream])*4
+		if r.Target != wantTarget {
+			t.Fatalf("stream %d served out of order: target %#x, want %#x", r.Stream, r.Target, wantTarget)
+		}
+		next[r.Stream]++
+	}
+	for id, n := range next {
+		if n != 3 {
+			t.Fatalf("stream %d served %d events, want 3", id, n)
+		}
+	}
+}
+
+// TestPoolCondOrdering interleaves conditional events and checks they reach
+// the stream's history in program order relative to its indirect events, by
+// comparing against a serially driven reference predictor.
+func TestPoolCondOrdering(t *testing.T) {
+	cfg := smallConfig()
+	pool := NewPool(NewEngine(cfg, 2))
+	id, _ := pool.Admit()
+	ref := core.New(cfg)
+
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(4) != 0 {
+			ev := Event{Kind: Cond, PC: 0x600000 + uint64(rng.Intn(16))*4, Taken: rng.Intn(2) == 0}
+			pool.Feed(id, ev)
+			ref.OnCond(ev.PC, ev.Taken)
+			continue
+		}
+		ev := Event{Kind: Indirect, PC: 0x400000 + uint64(rng.Intn(3))*0x40, Target: 0x500000 + uint64(rng.Intn(6))*8}
+		pool.Feed(id, ev)
+		ref.Predict(ev.PC)
+		ref.Update(ev.PC, ev.Target)
+	}
+	pool.Drain(1)
+	if got, want := pool.Predictor(id).Fingerprint(), ref.Fingerprint(); got != want {
+		t.Fatalf("pooled stream fingerprint %#x differs from serial reference %#x", got, want)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+// Lookahead batching: PredictBatch answers a window of upcoming branch
+// sites under the predictor's current trained state, restructured so one
+// sweep over the packed weight image accumulates every item's per-bit
+// sums. It is bit-identical — outputs, counters, and pending
+// Update state — to calling Predict once per pc with no intervening
+// training, which is well-defined because Predict mutates no predictive
+// state. Training remains serially dependent (each Update changes the
+// weights, histories, and IBTB the next prediction reads), so UpdateBatch
+// is exactly the serial loop.
+//
+// Multi-stream batching — many independent streams, one predictor each,
+// summed in a single sweep — lives in internal/batch on top of the
+// BatchPrepare/BatchRows/BatchTable/BatchFinish hooks.
+
+// lookahead is PredictBatch's scratch: per-item snapshots of the prepare
+// phase plus the batch lane accumulators. It grows to the largest batch
+// seen and is reused, so steady-state batches allocate nothing.
+type lookahead struct {
+	rows     []int    // per-item packed-row offsets, SubPredictors() apiece
+	wrows    []int    // per-item weight-row offsets, same indexing
+	cands    []uint64 // all items' candidate targets, contiguous
+	bits     []uint64 // candidates pre-shifted by BitOffset, same indexing
+	start    []int    // item i's candidates span cands[start[i]:start[i+1]]
+	suppress []uint64 // per-item selective-training masks
+	accs     []uint64 // per-item lane accumulators, wordsPerRow apiece
+}
+
+// ensureLookahead returns the lookahead scratch sized for a b-item batch.
+// The candidate arena reserves candCap slots per item — the most one
+// prepare can yield — so the hot path's appends can never grow a slice.
+func (p *BLBP) ensureLookahead(b int) *lookahead {
+	la := p.batch
+	if la == nil {
+		la = &lookahead{}
+		p.batch = la
+	}
+	if len(la.suppress) < b {
+		n := p.cfg.SubPredictors()
+		la.rows = make([]int, b*n)
+		la.wrows = make([]int, b*n)
+		la.cands = make([]uint64, 0, b*p.candCap)
+		la.bits = make([]uint64, 0, b*p.candCap)
+		la.start = make([]int, b+1)
+		la.suppress = make([]uint64, b)
+		la.accs = make([]uint64, b*p.wordsPerRow)
+	}
+	return la
+}
+
+// PredictBatch predicts the batch of branch sites pcs under the current
+// trained state, filling targets and oks. It is equivalent, bit for bit, to
+//
+//	for i := range pcs { targets[i], oks[i] = p.Predict(pcs[i]) }
+//
+// including diagnostics counters and the pending state the next Update
+// consumes (that of the final item). The three slices must have equal
+// length; pcs may repeat (a repeated site simply predicts the same way
+// twice, exactly as the serial loop would).
+func (p *BLBP) PredictBatch(pcs, targets []uint64, oks []bool) {
+	if len(targets) != len(pcs) || len(oks) != len(pcs) {
+		panic("core: PredictBatch slice lengths differ")
+	}
+	b := len(pcs)
+	if b == 0 {
+		return
+	}
+	n := p.cfg.SubPredictors()
+	wpr := p.wordsPerRow
+	la := p.ensureLookahead(b)
+
+	// Phase A: prepare each item — candidates, active rows, suppress mask —
+	// and snapshot the results into the scratch arena.
+	la.cands = la.cands[:0]
+	la.bits = la.bits[:0]
+	for i, pc := range pcs {
+		p.prepare(pc)
+		copy(la.rows[i*n:(i+1)*n], p.pRowOff)
+		copy(la.wrows[i*n:(i+1)*n], p.rowOff)
+		la.start[i] = len(la.cands)
+		la.cands = append(la.cands, p.candBuf...)
+		la.bits = append(la.bits, p.candBits...)
+		la.suppress[i] = p.suppressMask
+	}
+	la.start[b] = len(la.cands)
+
+	// Phase B: one sweep accumulates every item's lane sums.
+	accs := la.accs[:b*wpr]
+	for i := range accs {
+		accs[i] = 0
+	}
+	p.sweepLookahead(la.rows[:b*n], accs, b)
+
+	// Phase C: restore each item's prepared state and finish its
+	// prediction; after the final item the pending state matches a serial
+	// Predict of that pc.
+	for i, pc := range pcs {
+		lo, hi := la.start[i], la.start[i+1]
+		p.candBuf = append(p.candBuf[:0], la.cands[lo:hi]...)
+		p.candBits = append(p.candBits[:0], la.bits[lo:hi]...)
+		p.suppressMask = la.suppress[i]
+		p.hadCandidates = hi > lo
+		copy(p.pRowOff, la.rows[i*n:(i+1)*n])
+		copy(p.rowOff, la.wrows[i*n:(i+1)*n])
+		targets[i], oks[i] = p.BatchFinish(pc, accs[i*wpr:(i+1)*wpr])
+	}
+}
+
+// sweepLookahead is the batched sum kernel: one pass over the batch's
+// SubPredictors()×items active packed rows, accumulating each item's lane
+// sums. The row loads are independent within an item and across items, so
+// the whole batch's scattered loads overlap in the memory pipeline; each
+// item's lane accumulators stay in registers for its entire sweep.
+//
+//blbp:hot
+func (p *BLBP) sweepLookahead(rows []int, accs []uint64, b int) {
+	n := p.cfg.SubPredictors()
+	wpr := p.wordsPerRow
+	pw := p.pweights
+	if wpr == 3 {
+		// K in 9..12 — the paper configuration's row shape.
+		for i := 0; i < b; i++ {
+			var a0, a1, a2 uint64
+			for _, base := range rows[i*n : i*n+n] {
+				row := pw[base : base+3 : base+3]
+				a0 += row[0]
+				a1 += row[1]
+				a2 += row[2]
+			}
+			j := i * 3
+			accs[j] = a0
+			accs[j+1] = a1
+			accs[j+2] = a2
+		}
+		return
+	}
+	for i := 0; i < b; i++ {
+		acc := accs[i*wpr : i*wpr+wpr]
+		for _, base := range rows[i*n : i*n+n] {
+			row := pw[base : base+wpr]
+			for w, v := range row {
+				acc[w] += v
+			}
+		}
+	}
+}
+
+// UpdateBatch trains the predictor with a batch of resolved targets:
+// exactly the serial loop, because training is serially dependent — each
+// Update changes the weights, histories, and IBTB that the next item's
+// training reads.
+func (p *BLBP) UpdateBatch(pcs, actuals []uint64) {
+	if len(actuals) != len(pcs) {
+		panic("core: UpdateBatch slice lengths differ")
+	}
+	for i, pc := range pcs {
+		p.Update(pc, actuals[i])
+	}
+}

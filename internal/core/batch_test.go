@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPredictBatchMatchesSerial checks the lookahead contract: a
+// PredictBatch over a window of sites is bit-identical — outputs, counters,
+// pending Update state, and final fingerprint — to the serial Predict loop
+// with no intervening training.
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	for _, batchSize := range []int{1, 2, 7, 64} {
+		serial, events := benchStream(4096)
+		batched := New(DefaultConfig())
+		for _, e := range events { // identical warmup
+			if e.cond {
+				batched.OnCond(e.pc, e.taken)
+				continue
+			}
+			batched.Predict(e.pc)
+			batched.Update(e.pc, e.target)
+		}
+		if serial.Fingerprint() != batched.Fingerprint() {
+			t.Fatalf("warmup fingerprints differ before the experiment")
+		}
+
+		rng := rand.New(rand.NewSource(int64(batchSize)))
+		pcs := make([]uint64, batchSize)
+		gotT := make([]uint64, batchSize)
+		gotOK := make([]bool, batchSize)
+		for round := 0; round < 50; round++ {
+			for i := range pcs {
+				pcs[i] = 0x400000 + uint64(rng.Intn(8))*0x224
+			}
+			batched.PredictBatch(pcs, gotT, gotOK)
+			for i, pc := range pcs {
+				wantT, wantOK := serial.Predict(pc)
+				if gotT[i] != wantT || gotOK[i] != wantOK {
+					t.Fatalf("b=%d round=%d item=%d: batch (%#x,%v) != serial (%#x,%v)",
+						batchSize, round, i, gotT[i], gotOK[i], wantT, wantOK)
+				}
+			}
+			// The pending state left by the final item must serve the next
+			// Update exactly as the serial path's would.
+			last := pcs[batchSize-1]
+			actual := 0x500000 + uint64(rng.Intn(1<<16))*4
+			batched.Update(last, actual)
+			serial.Update(last, actual)
+			if serial.Fingerprint() != batched.Fingerprint() {
+				t.Fatalf("b=%d round=%d: fingerprints diverged after batch+update", batchSize, round)
+			}
+		}
+		if serial.Predictions() != batched.Predictions() {
+			t.Fatalf("b=%d: prediction counters differ: %d vs %d", batchSize, serial.Predictions(), batched.Predictions())
+		}
+	}
+}
+
+// TestUpdateBatchMatchesSerial pins UpdateBatch to the serial training loop.
+func TestUpdateBatchMatchesSerial(t *testing.T) {
+	serial, events := benchStream(2048)
+	batched := New(DefaultConfig())
+	for _, e := range events {
+		if e.cond {
+			batched.OnCond(e.pc, e.taken)
+			continue
+		}
+		batched.Predict(e.pc)
+		batched.Update(e.pc, e.target)
+	}
+	pcs := []uint64{0x400000, 0x400224, 0x400000}
+	actuals := []uint64{0x500040, 0x500080, 0x500040}
+	batched.UpdateBatch(pcs, actuals)
+	for i := range pcs {
+		serial.Update(pcs[i], actuals[i])
+	}
+	if serial.Fingerprint() != batched.Fingerprint() {
+		t.Fatalf("fingerprints diverged after UpdateBatch")
+	}
+}
+
+// TestPackedImageMatchesWeights cross-checks the invariant the batched sums
+// rely on: after arbitrary training, every packed 16-bit lane equals
+// transfer(weight) + laneBias, and a serial prediction's yout equals the
+// naive transferred-weight sum.
+func TestPackedImageMatchesWeights(t *testing.T) {
+	p, _ := benchStream(4096)
+	wMin := -int(p.wMax)
+	for i := range p.weights {
+		row := i / p.cfg.K
+		k := i % p.cfg.K
+		want := uint64(p.transfer[int(p.weights[i])-wMin] + p.laneBias)
+		word := p.pweights[row*p.wordsPerRow+k/lanesPerWord]
+		got := word >> (uint(k%lanesPerWord) * laneBits) & laneMask
+		if got != want {
+			t.Fatalf("packed lane (row %d, bit %d) = %d, want %d (weight %d)", row, k, got, want, p.weights[i])
+		}
+	}
+	// Padding lanes must stay at the bias so whole-word adds are exact.
+	for r := 0; r < len(p.pweights)/p.wordsPerRow; r++ {
+		for k := p.cfg.K; k < p.wordsPerRow*lanesPerWord; k++ {
+			word := p.pweights[r*p.wordsPerRow+k/lanesPerWord]
+			if got := word >> (uint(k%lanesPerWord) * laneBits) & laneMask; got != uint64(p.laneBias) {
+				t.Fatalf("padding lane (row %d, lane %d) = %d, want bias %d", r, k, got, p.laneBias)
+			}
+		}
+	}
+
+	p.prepare(0x400000)
+	p.sumRows()
+	p.unpackYout(p.acc[:p.wordsPerRow])
+	for k := 0; k < p.cfg.K; k++ {
+		want := 0
+		for _, base := range p.rowOff {
+			want += p.transfer[int(p.weights[base+k])-wMin]
+		}
+		if p.yout[k] != want {
+			t.Fatalf("yout[%d] = %d, want naive sum %d", k, p.yout[k], want)
+		}
+	}
+}
+
+// TestResetRestoresFreshState trains a predictor, Resets it, and requires
+// its behavior and fingerprint to match a freshly constructed one over a
+// new workload — the property slot recycling in internal/batch depends on.
+func TestResetRestoresFreshState(t *testing.T) {
+	recycled, _ := benchStream(4096)
+	recycled.Reset()
+	fresh := New(DefaultConfig())
+	if recycled.Fingerprint() != fresh.Fingerprint() {
+		t.Fatalf("fingerprints differ immediately after Reset")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(4) != 0 {
+			pc := 0x600000 + uint64(rng.Intn(64))*4
+			taken := rng.Intn(3) != 0
+			recycled.OnCond(pc, taken)
+			fresh.OnCond(pc, taken)
+			continue
+		}
+		pc := 0x700000 + uint64(rng.Intn(6))*0x40
+		target := 0x800000 + uint64(rng.Intn(8))*8
+		gt, gok := recycled.Predict(pc)
+		wt, wok := fresh.Predict(pc)
+		if gt != wt || gok != wok {
+			t.Fatalf("event %d: recycled (%#x,%v) != fresh (%#x,%v)", i, gt, gok, wt, wok)
+		}
+		recycled.Update(pc, target)
+		fresh.Update(pc, target)
+	}
+	if recycled.Fingerprint() != fresh.Fingerprint() {
+		t.Fatalf("fingerprints diverged after identical post-Reset workload")
+	}
+}
+
+// BenchmarkPredictBatch measures the lookahead batch at several widths,
+// reporting per-prediction cost.
+func BenchmarkPredictBatch(b *testing.B) {
+	p, events := benchStream(4096)
+	var sites []uint64
+	for _, e := range events {
+		if !e.cond {
+			sites = append(sites, e.pc)
+		}
+	}
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("b%d", size), func(b *testing.B) {
+			pcs := make([]uint64, size)
+			outT := make([]uint64, size)
+			outOK := make([]bool, size)
+			for i := range pcs {
+				pcs[i] = sites[i%len(sites)]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				p.PredictBatch(pcs, outT, outOK)
+			}
+		})
+	}
+}

@@ -10,6 +10,19 @@ import (
 	"blbp/internal/trace"
 )
 
+// Lane geometry of the packed (bit-sliced) weight image: each table row's K
+// transferred weights live in 16-bit biased lanes, four per uint64, so the
+// per-bit column sum across sub-predictors is a handful of word adds instead
+// of K×N byte loads. 16-bit lanes keep the layout valid for every
+// configuration Validate accepts: with at most 256 sub-predictors and
+// transferred magnitudes at most 127, a column sum plus its bias never
+// carries into the neighboring lane.
+const (
+	laneBits     = 16
+	lanesPerWord = 64 / laneBits
+	laneMask     = 1<<laneBits - 1
+)
+
 // BLBP is the bit-level perceptron indirect branch predictor.
 //
 // It satisfies predictor.Indirect: the engine calls Predict(pc) followed
@@ -30,12 +43,17 @@ type BLBP struct {
 
 	transfer []int // transfer-function lookup, indexed by weight - wMin
 
-	// tweights caches transfer[weight-wMin] for every weight, maintained at
-	// weight-write time. Prediction sums all SubPredictors()*K transferred
-	// weights on every call, while training changes only the few gated by
-	// the adaptive thresholds — moving the table lookup to the write side
-	// keeps the per-prediction inner loop to a load and an add.
-	tweights []int8
+	// pweights is the bit-sliced image of the transferred weights: row
+	// (i*TableEntries + r) spans wordsPerRow uint64s whose 16-bit lanes hold
+	// transfer(weight) + laneBias per predicted bit. It is maintained at
+	// weight-write time, so the per-prediction column sum is wordsPerRow
+	// word adds per sub-predictor (sumRows) instead of K byte loads — and a
+	// whole batch of predictions can be summed in one sweep over the tables
+	// (PredictBatch, internal/batch).
+	pweights    []uint64
+	wordsPerRow int // ceil(K / lanesPerWord)
+	laneBias    int // max |transfer| value: biases lanes non-negative
+	sumBias     int // SubPredictors() * laneBias, subtracted on unpack
 
 	buffer     ibtb.Buffer
 	ghist      *history.FoldedSet
@@ -46,14 +64,20 @@ type BLBP struct {
 	// Prediction-time state cached for the matching Update call.
 	lastPC        uint64
 	lastOK        bool
-	rowOff        []int   // absolute weight offset of each sub-predictor's active row
+	rowOff        []int // absolute weight offset of each sub-predictor's active row
+	pRowOff       []int // absolute pweights offset of the same rows
+	acc           [8]uint64
 	yout          [64]int // per-bit summed confidence (first K entries live)
 	suppressMask  uint64  // bit k set = selective training suppresses bit k
 	kMask         uint64  // low K bits
 	hadCandidates bool
 
+	candCap  int
 	candBuf  []uint64
 	candBits []uint64 // candidate targets pre-shifted by BitOffset
+
+	// Lookahead-batch scratch, lazily sized by PredictBatch.
+	batch *lookahead
 
 	// Diagnostics.
 	predictions int64
@@ -92,23 +116,58 @@ func New(cfg Config) *BLBP {
 		lo, hi := cfg.interval(i)
 		folds[i] = ghist.Register(lo, hi, 22)
 	}
-	return &BLBP{
+	transfer := buildTransferTable(cfg.WeightBits, cfg.UseTransfer)
+	bias := 0
+	for _, v := range transfer {
+		if v < 0 {
+			v = -v
+		}
+		if v > bias {
+			bias = v
+		}
+	}
+	wpr := (cfg.K + lanesPerWord - 1) / lanesPerWord
+	if n*2*bias >= 1<<laneBits {
+		// Unreachable under Validate (SubPredictors <= 256, |transfer| <=
+		// 127), kept as the packing invariant's executable statement.
+		panic("core: packed column sums would overflow a lane")
+	}
+	p := &BLBP{
 		cfg:         cfg,
 		weights:     make([]int8, n*stride),
-		tweights:    make([]int8, n*stride), // transfer(0) == 0 for every table
+		pweights:    make([]uint64, n*cfg.TableEntries*wpr),
+		wordsPerRow: wpr,
+		laneBias:    bias,
+		sumBias:     n * bias,
 		tableStride: stride,
 		wMax:        maxW,
-		transfer:    buildTransferTable(cfg.WeightBits, cfg.UseTransfer),
+		transfer:    transfer,
 		buffer:      buffer,
 		ghist:       ghist,
 		ghistFolds:  folds,
 		local:       history.NewLocal(cfg.LocalEntries, cfg.LocalBits),
 		thetas:      thetas,
 		rowOff:      make([]int, n),
+		pRowOff:     make([]int, n),
 		kMask:       uint64(1)<<uint(cfg.K) - 1,
+		candCap:     candCap,
 		candBuf:     make([]uint64, 0, candCap),
 		candBits:    make([]uint64, 0, candCap),
 		candHist:    make([]int64, candCap+1),
+	}
+	p.fillPackedBias()
+	return p
+}
+
+// fillPackedBias writes the packed image of an all-zero weight table: every
+// lane (including the padding lanes past K in a row's last word) holds
+// transfer(0) + laneBias = laneBias.
+func (p *BLBP) fillPackedBias() {
+	w := uint64(p.laneBias)
+	w |= w << laneBits
+	w |= w << (2 * laneBits)
+	for i := range p.pweights {
+		p.pweights[i] = w
 	}
 }
 
@@ -127,43 +186,74 @@ func (p *BLBP) Name() string { return "blbp" }
 // Config returns the configuration the predictor was built with.
 func (p *BLBP) Config() Config { return p.cfg }
 
-// computeRows fills p.rowOff with each sub-predictor's active-row weight
-// offset for pc under the current history state. The history folds are read
-// from the incrementally maintained FoldedSet instead of being recomputed
-// from the raw history bits.
+// computeRows fills p.rowOff and p.pRowOff with each sub-predictor's
+// active-row offsets for pc under the current history state. The history
+// folds are read from the incrementally maintained FoldedSet instead of
+// being recomputed from the raw history bits.
 //
 //blbp:hot
 func (p *BLBP) computeRows(pc uint64) {
 	pcH := hashing.Mix64(pc)
+	var row int
 	if p.cfg.UseLocal {
-		p.rowOff[0] = hashing.Index(hashing.Combine(pcH, p.local.Get(pc)), p.cfg.TableEntries) * p.cfg.K
+		row = hashing.Index(hashing.Combine(pcH, p.local.Get(pc)), p.cfg.TableEntries)
 	} else {
-		p.rowOff[0] = hashing.Index(pcH, p.cfg.TableEntries) * p.cfg.K
+		row = hashing.Index(pcH, p.cfg.TableEntries)
 	}
+	p.rowOff[0] = row * p.cfg.K
+	p.pRowOff[0] = row * p.wordsPerRow
 	for i, id := range p.ghistFolds {
 		fold := p.ghist.Value(id)
-		row := hashing.Index(hashing.Combine(pcH+uint64(i+1), fold), p.cfg.TableEntries)
+		row = hashing.Index(hashing.Combine(pcH+uint64(i+1), fold), p.cfg.TableEntries)
 		p.rowOff[i+1] = (i+1)*p.tableStride + row*p.cfg.K
+		p.pRowOff[i+1] = ((i+1)*p.cfg.TableEntries + row) * p.wordsPerRow
 	}
 }
 
-// computeYout aggregates the per-bit confidences across sub-predictors
-// (Algorithm 1's inner loops). The transfer function is already applied in
-// p.tweights, so each sub-predictor row contributes a load and an add per
-// bit.
+// sumRows aggregates the per-bit confidences across sub-predictors
+// (Algorithm 1's inner loops) from the packed weight image: wordsPerRow
+// lane-wise word adds per sub-predictor, then one unpack into p.yout.
+//
+// sumRows leaves the lane sums in p.acc; the per-bit integers of p.yout
+// are not unpacked here — prediction selects candidates directly on the
+// packed lanes (similarity), and only training needs yout, so Update
+// unpacks on demand.
 //
 //blbp:hot
-func (p *BLBP) computeYout() {
-	yout := p.yout[:p.cfg.K]
-	for k := range yout {
-		yout[k] = 0
+func (p *BLBP) sumRows() {
+	wpr := p.wordsPerRow
+	acc := p.acc[:wpr]
+	for w := range acc {
+		acc[w] = 0
 	}
-	for _, base := range p.rowOff {
-		row := p.tweights[base : base+len(yout)]
-		for k, w := range row {
-			yout[k] += int(w)
+	for _, base := range p.pRowOff {
+		row := p.pweights[base : base+wpr]
+		for w, v := range row {
+			acc[w] += v
 		}
 	}
+}
+
+// unpackYout expands packed lane sums into the per-bit integer confidences
+// of p.yout, removing the accumulated lane bias.
+//
+//blbp:hot
+func (p *BLBP) unpackYout(acc []uint64) {
+	yout := p.yout[:p.cfg.K]
+	for k := range yout {
+		lane := int(acc[k/lanesPerWord] >> (uint(k%lanesPerWord) * laneBits) & laneMask)
+		yout[k] = lane - p.sumBias
+	}
+}
+
+// setLane mirrors a weight write into the packed image: lane k of packed row
+// prow becomes tv (a transferred weight) plus the lane bias.
+//
+//blbp:hot
+func (p *BLBP) setLane(prow, k, tv int) {
+	i := prow + k/lanesPerWord
+	sh := uint(k%lanesPerWord) * laneBits
+	p.pweights[i] = p.pweights[i]&^(uint64(laneMask)<<sh) | uint64(tv+p.laneBias)<<sh
 }
 
 // computeSuppress fills the selective-training mask: bit k is suppressed
@@ -187,48 +277,88 @@ func (p *BLBP) computeSuppress(candBits []uint64) {
 	p.suppressMask = ^differ & p.kMask
 }
 
+// laneSel expands a nibble of candidate bits into the 16-bit lane-select
+// mask of one packed accumulator word: bit j set selects lanes [16j,16j+16).
+var laneSel = [16]uint64{
+	0x0000000000000000, 0x000000000000ffff, 0x00000000ffff0000, 0x00000000ffffffff,
+	0x0000ffff00000000, 0x0000ffff0000ffff, 0x0000ffffffff0000, 0x0000ffffffffffff,
+	0xffff000000000000, 0xffff00000000ffff, 0xffff0000ffff0000, 0xffff0000ffffffff,
+	0xffffffff00000000, 0xffffffff0000ffff, 0xffffffffffff0000, 0xffffffffffffffff,
+}
+
 // similarity computes the non-normalized cosine similarity between yout and
 // a candidate target's pre-shifted bit vector: the sum of yout[k] over
-// unsuppressed bits that are 1 in the candidate (paper §3.7). The suppress
-// and K masks are applied once up front so the loop visits only the set
-// candidate bits.
+// unsuppressed bits that are 1 in the candidate (paper §3.7). It reads the
+// packed lane sums of the current prediction (p.acc) instead of iterating
+// set bits: masking selected lanes and summing them horizontally costs a
+// handful of word ops per row word regardless of how many bits are set,
+// and the biased-lane identity lane[k] = yout[k] + sumBias makes the
+// result exact — subtract one sumBias per selected bit at the end.
 //
 //blbp:hot
 func (p *BLBP) similarity(candBits uint64) int {
-	sum := 0
-	for m := candBits &^ p.suppressMask & p.kMask; m != 0; m &= m - 1 {
-		sum += p.yout[mathbits.TrailingZeros64(m)&63]
+	m := candBits &^ p.suppressMask & p.kMask
+	if p.wordsPerRow == 3 {
+		// K in 9..12 — the paper configuration's row shape, unrolled.
+		// Horizontal lane sums: 16-bit lanes pairwise into 32-bit fields
+		// (each at most 2^17, no carry), then fold the halves.
+		x0 := p.acc[0] & laneSel[m&15]
+		x1 := p.acc[1] & laneSel[m>>4&15]
+		x2 := p.acc[2] & laneSel[m>>8&15]
+		t0 := x0&0x0000ffff0000ffff + x0>>laneBits&0x0000ffff0000ffff
+		t1 := x1&0x0000ffff0000ffff + x1>>laneBits&0x0000ffff0000ffff
+		t2 := x2&0x0000ffff0000ffff + x2>>laneBits&0x0000ffff0000ffff
+		total := (t0+t0>>32)&0xffffffff + (t1+t1>>32)&0xffffffff + (t2+t2>>32)&0xffffffff
+		return int(total) - mathbits.OnesCount64(m)*p.sumBias
 	}
-	return sum
+	var total uint64
+	for w := 0; w < p.wordsPerRow; w++ {
+		x := p.acc[w] & laneSel[m>>(uint(w)*lanesPerWord)&(1<<lanesPerWord-1)]
+		t := x&0x0000ffff0000ffff + x>>laneBits&0x0000ffff0000ffff
+		total += (t + t>>32) & 0xffffffff
+	}
+	return int(total) - mathbits.OnesCount64(m)*p.sumBias
 }
 
-// prepare computes the per-prediction state shared by Predict and Update's
-// out-of-contract recompute path — candidate targets with their pre-shifted
-// bit vectors, active row offsets, yout, and the suppress mask — so the two
-// can never drift. It returns the candidate set.
+// prepare computes the pre-sum prediction state shared by Predict, the
+// batched paths, and Update's out-of-contract recompute — candidate targets
+// with their pre-shifted bit vectors, active row offsets, and the suppress
+// mask — so the paths can never drift. The per-bit sums themselves are
+// produced separately (sumRows for the serial path, the batched sweeps for
+// PredictBatch and internal/batch).
 //
 //blbp:hot
-func (p *BLBP) prepare(pc uint64) []uint64 {
-	candidates := p.buffer.Candidates(pc, p.candBuf[:0])
-	p.candBuf = candidates[:0]
+func (p *BLBP) prepare(pc uint64) {
+	p.gather(pc)
+	p.computeRows(pc)
+}
+
+// gather runs the candidate half of prepare: the IBTB lookup, the
+// pre-shifted candidate bit vectors, and the suppress mask. It touches no
+// history or weight state, and computeRows touches no IBTB state, so the
+// two halves commute — the batched paths run them as separate tight loops
+// over a batch's items to overlap their scattered loads.
+//
+//blbp:hot
+func (p *BLBP) gather(pc uint64) {
+	p.candBuf = p.buffer.Candidates(pc, p.candBuf[:0])
 	bits := p.candBits[:0]
-	for _, c := range candidates {
+	for _, c := range p.candBuf {
 		bits = append(bits, c>>uint(p.cfg.BitOffset))
 	}
 	p.candBits = bits
-	p.computeRows(pc)
-	p.computeYout()
 	p.computeSuppress(bits)
-	p.hadCandidates = len(candidates) > 0
-	return candidates
+	p.hadCandidates = len(p.candBuf) > 0
 }
 
-// Predict implements predictor.Indirect: Algorithm 1 of the paper.
+// finishPredict selects among the prepared candidates using the per-bit
+// sums in p.yout and records the prediction-time bookkeeping (counters,
+// histogram, pending state for the matching Update).
 //
 //blbp:hot
-func (p *BLBP) Predict(pc uint64) (uint64, bool) {
+func (p *BLBP) finishPredict(pc uint64) (uint64, bool) {
 	p.predictions++
-	candidates := p.prepare(pc)
+	candidates := p.candBuf
 	if n := len(candidates); n < len(p.candHist) {
 		p.candHist[n]++
 	} else {
@@ -249,6 +379,52 @@ func (p *BLBP) Predict(pc uint64) (uint64, bool) {
 	return best, true
 }
 
+// Predict implements predictor.Indirect: Algorithm 1 of the paper. It is
+// exactly the three batch phases run back to back for one pc — prepare,
+// packed column sum, candidate selection — which is what keeps the batched
+// paths bit-identical to it.
+//
+//blbp:hot
+func (p *BLBP) Predict(pc uint64) (uint64, bool) {
+	p.prepare(pc)
+	p.sumRows()
+	return p.finishPredict(pc)
+}
+
+// BatchPrepare runs Predict's pre-sum phase for pc: candidates, active
+// rows, suppress mask. internal/batch calls it per batch item before the
+// whole batch's sums are accumulated in one sweep over the tables.
+func (p *BLBP) BatchPrepare(pc uint64) { p.prepare(pc) }
+
+// BatchIndex runs only the row-indexing half of the pre-sum phase (history
+// folds and hashing); BatchGather runs the candidate half (IBTB lookup and
+// suppress mask). The halves commute, so batched callers may loop each
+// across a whole batch — one item's hashing overlapping another's buffer
+// scan — before finishing any prediction. Calling both equals BatchPrepare.
+func (p *BLBP) BatchIndex(pc uint64) { p.computeRows(pc) }
+
+// BatchGather is the candidate half of the pre-sum phase; see BatchIndex.
+func (p *BLBP) BatchGather(pc uint64) { p.gather(pc) }
+
+// BatchRows returns the packed-row offsets prepared by the last
+// BatchPrepare/prepare, valid until the next prepare on this predictor.
+func (p *BLBP) BatchRows() []int { return p.pRowOff }
+
+// BatchTable returns the packed weight image summed by the batched sweeps.
+func (p *BLBP) BatchTable() []uint64 { return p.pweights }
+
+// LaneWordsPerRow returns how many uint64s one packed row spans.
+func (p *BLBP) LaneWordsPerRow() int { return p.wordsPerRow }
+
+// BatchFinish completes a prediction whose lane sums were accumulated
+// externally (the batched sweeps): acc must hold the lane-wise sum of this
+// predictor's BatchRows rows over LaneWordsPerRow words, exactly what
+// sumRows would have produced.
+func (p *BLBP) BatchFinish(pc uint64, acc []uint64) (uint64, bool) {
+	copy(p.acc[:p.wordsPerRow], acc) // similarity and Update read the lane sums
+	return p.finishPredict(pc)
+}
+
 // Update implements predictor.Indirect: Algorithm 2 of the paper. It stores
 // the resolved target in the IBTB and trains each unsuppressed bit's
 // perceptron weights toward the actual target's bits, gated by the per-bit
@@ -260,8 +436,10 @@ func (p *BLBP) Update(pc, actual uint64) {
 		// Out-of-contract call (tests, replay): recompute prediction state
 		// through the exact code path Predict uses.
 		p.prepare(pc)
+		p.sumRows()
 	}
 	p.lastOK = false
+	p.unpackYout(p.acc[:p.wordsPerRow]) // training reads per-bit integers
 
 	p.buffer.Insert(pc, actual)
 
@@ -286,17 +464,17 @@ func (p *BLBP) Update(pc, actual uint64) {
 		p.trainEvents++
 		wMin := int(-p.wMax)
 		if bit {
-			for _, base := range p.rowOff {
+			for i, base := range p.rowOff {
 				if w := p.weights[base+k]; w < p.wMax {
 					p.weights[base+k] = w + 1
-					p.tweights[base+k] = int8(p.transfer[int(w)+1-wMin])
+					p.setLane(p.pRowOff[i], k, p.transfer[int(w)+1-wMin])
 				}
 			}
 		} else {
-			for _, base := range p.rowOff {
+			for i, base := range p.rowOff {
 				if w := p.weights[base+k]; w > -p.wMax {
 					p.weights[base+k] = w - 1
-					p.tweights[base+k] = int8(p.transfer[int(w)-1-wMin])
+					p.setLane(p.pRowOff[i], k, p.transfer[int(w)-1-wMin])
 				}
 			}
 		}
@@ -325,6 +503,72 @@ func (p *BLBP) OnCond(pc uint64, taken bool) {
 // ignored.
 func (p *BLBP) OnOther(pc, target uint64, bt trace.BranchType) {}
 
+// Reset restores the predictor to its freshly constructed state: weights,
+// packed image, IBTB, histories, thresholds, pending state, and
+// diagnostics. internal/batch uses it to recycle stream slots without
+// reallocating (admission of a new stream onto a retired slot).
+func (p *BLBP) Reset() {
+	for i := range p.weights {
+		p.weights[i] = 0
+	}
+	p.fillPackedBias()
+	p.buffer.Reset()
+	p.ghist.Reset()
+	p.local.Reset()
+	for _, th := range p.thetas {
+		th.Reset(p.cfg.ThetaInit)
+	}
+	p.lastPC, p.lastOK = 0, false
+	p.suppressMask = 0
+	p.hadCandidates = false
+	p.candBuf = p.candBuf[:0]
+	p.candBits = p.candBits[:0]
+	p.predictions, p.ibtbMisses, p.trainEvents = 0, 0, 0
+	for i := range p.candHist {
+		p.candHist[i] = 0
+	}
+}
+
+// Fingerprint hashes the predictor's trained state — weights, packed image,
+// global and local histories, thresholds, and event counters — into one
+// 64-bit FNV-1a digest. The batch differential suites compare it between a
+// batched stream and its serial reference; the IBTB is excluded (its
+// package owns its layout) but any buffer divergence surfaces in the
+// predicted-target comparison those suites also make.
+func (p *BLBP) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= prime64
+		}
+	}
+	for _, w := range p.weights {
+		mix(uint64(uint8(w)))
+	}
+	for _, w := range p.pweights {
+		mix(w)
+	}
+	for i := 0; i < p.ghist.Capacity(); i++ {
+		h ^= p.ghist.Bit(i)
+		h *= prime64
+	}
+	for i := 0; i < p.local.Entries(); i++ {
+		mix(p.local.Reg(i))
+	}
+	for _, th := range p.thetas {
+		mix(uint64(th.Theta()))
+	}
+	mix(uint64(p.predictions))
+	mix(uint64(p.trainEvents))
+	mix(uint64(p.ibtbMisses))
+	return h
+}
+
 // IBTBMissRate returns the fraction of predictions with no stored targets.
 func (p *BLBP) IBTBMissRate() float64 {
 	if p.predictions == 0 {
@@ -335,6 +579,9 @@ func (p *BLBP) IBTBMissRate() float64 {
 
 // TrainEvents returns how many per-bit weight-vector updates have occurred.
 func (p *BLBP) TrainEvents() int64 { return p.trainEvents }
+
+// Predictions returns how many predictions have been made.
+func (p *BLBP) Predictions() int64 { return p.predictions }
 
 // CandidateHistogram returns the distribution of candidate-set sizes seen
 // at prediction time (index = number of candidates, final bucket clamps).

@@ -127,6 +127,13 @@ func (c Config) Validate() error {
 	if len(c.Intervals) == 0 {
 		return fmt.Errorf("core: no history intervals")
 	}
+	// The packed weight image sums one 16-bit lane per predicted bit across
+	// all sub-predictors without inter-lane carry suppression; that is
+	// overflow-free while SubPredictors() * 2*max|transfer| < 2^16, which the
+	// WeightBits bound (|transfer| <= 127) reduces to a table-count cap.
+	if c.SubPredictors() > 256 {
+		return fmt.Errorf("core: %d sub-predictors exceed the packed-sum limit of 256", c.SubPredictors())
+	}
 	if len(c.GEHLLengths) != len(c.Intervals) {
 		return fmt.Errorf("core: %d GEHL lengths but %d intervals; counts must match", len(c.GEHLLengths), len(c.Intervals))
 	}

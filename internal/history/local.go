@@ -53,6 +53,9 @@ func (l *Local) Bits() int { return l.bits }
 // Entries returns the number of registers.
 func (l *Local) Entries() int { return l.entries }
 
+// Reg returns register i's raw contents (state fingerprinting/diagnostics).
+func (l *Local) Reg(i int) uint64 { return l.regs[i] }
+
 // Reset clears every register.
 func (l *Local) Reset() {
 	for i := range l.regs {

@@ -219,6 +219,7 @@ func (b *IBTB) Reset() {
 	for i := range b.valid {
 		b.valid[i] = 0
 	}
+	b.rrip.Reset()
 	b.regions.Reset()
 }
 

@@ -56,5 +56,14 @@ func (r *RRIP) Victim(set int) int {
 	}
 }
 
+// Reset restores every way to the distant interval, the freshly
+// constructed state. Caches call it from their own Reset so a recycled
+// structure replaces exactly like a new one.
+func (r *RRIP) Reset() {
+	for i := range r.rrpv {
+		r.rrpv[i] = r.max
+	}
+}
+
 // RRPV exposes the current prediction value of a way (used by tests).
 func (r *RRIP) RRPV(set, way int) uint8 { return r.rrpv[set*r.assoc+way] }

@@ -1,6 +1,7 @@
 #!/bin/sh
 # CI gate: lint (vet + blbplint), build, race-enabled tests, fuzz smoke,
-# warm-start and run-plan round-trip smokes, and a strict gofmt -s check.
+# batch-engine smoke, warm-start and run-plan round-trip smokes, and a
+# strict gofmt -s check.
 # Run from the repository root (or `make ci`).
 set -eux
 
@@ -15,6 +16,19 @@ go test -run xxx -bench . -benchtime 1x ./...
 go test -fuzz FuzzTraceRoundTrip -fuzztime 5s -run xxx ./internal/trace/
 go test -fuzz FuzzSpillDecode -fuzztime 5s -run xxx ./internal/tracecache/
 go test -fuzz FuzzRunPlanDecode -fuzztime 5s -run xxx ./internal/runspec/
+go test -fuzz FuzzBatchEquivalence -fuzztime 5s -run xxx ./internal/batch/
+# Batch-engine smoke: run the cmd/bench batch section at widths 1 and 64,
+# check each width served exactly as many predictions as the serial
+# reference, and diff the batched-vs-serial prediction logs byte for byte.
+bdir=$(mktemp -d)
+go run ./cmd/bench -batch -reps 1 -batchevents 512 -batchsizes 1,64 \
+	-batchshards 1 -batchdump "$bdir/preds" -out "$bdir/bench.json" \
+	>"$bdir/bench.txt"
+grep -q 'batch_b1 check: batched=\([0-9]*\) serial=\1 predictions, outputs identical' "$bdir/bench.txt"
+grep -q 'batch_b64 check: batched=\([0-9]*\) serial=\1 predictions, outputs identical' "$bdir/bench.txt"
+diff "$bdir/preds.b1.batched.csv" "$bdir/preds.b1.serial.csv"
+diff "$bdir/preds.b64.batched.csv" "$bdir/preds.b64.serial.csv"
+rm -rf "$bdir"
 # Warm-start smoke: a second experiments run against a kept spill directory
 # must serve every trace from disk (0 generator builds) and emit
 # byte-identical CSVs.
