@@ -20,10 +20,10 @@ lint:
 ci:
 	sh scripts/ci.sh
 
-# Throughput report: writes BENCH_5.json (see ROADMAP.md for the BENCH_*
+# Throughput report: writes BENCH_6.json (see ROADMAP.md for the BENCH_*
 # convention) and prints the headline numbers, batch-engine section included.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_5.json
+	$(GO) run ./cmd/bench -out BENCH_6.json
 
 # CPU + allocation profiles of the suite-scale benchmark run, for pprof.
 profile:
@@ -36,6 +36,7 @@ micro:
 	$(GO) test -run xxx -bench 'BenchmarkPredict$$|BenchmarkPredictUpdate|BenchmarkOnCond' -benchmem ./internal/core/
 	$(GO) test -run xxx -bench 'BenchmarkFolded|BenchmarkFoldFromScratch' -benchmem ./internal/history/
 	$(GO) test -run xxx -bench 'BenchmarkServing|BenchmarkPoolDrain' -benchmem ./internal/batch/
+	$(GO) test -run xxx -bench 'BenchmarkSimRun' -benchmem ./internal/sim/
 	$(GO) test -run xxx -bench 'Throughput|EndToEnd' -benchmem .
 
 # Regenerate the committed results (full-scale instruction base). The

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_5.json] [-base 60000] [-reps 3] [-parallel N]
+//	bench [-out BENCH_6.json] [-base 60000] [-reps 3] [-parallel N]
 //	      [-batch] [-batchsizes 1,8,64,256] [-batchshards 1,2,4]
 //	      [-batchevents 2048] [-batchdump PREFIX]
 //	      [-cpuprofile F] [-memprofile F]
@@ -55,6 +55,7 @@ import (
 
 	"blbp"
 	"blbp/internal/experiments"
+	"blbp/internal/sim"
 	"blbp/internal/trace"
 	"blbp/internal/tracecache"
 	"blbp/internal/workload"
@@ -195,8 +196,11 @@ func measureEngine(tr *blbp.Trace, reps int) (Entry, error) {
 // measureSpillDecode times decoding the spill-file encoding of tr — the
 // per-trace cost of a warm start from the trace cache's persistent tier.
 // The v1 entry re-encodes with the legacy whole-payload codec so the report
-// carries the before/after of the blocked (SPL2) decoder side by side.
-func measureSpillDecode(name string, tr *blbp.Trace, reps int, write func(io.Writer, trace.SpillHeader, *trace.Trace) error) (Entry, error) {
+// carries the before/after of the blocked (SPL2) decoder side by side, and
+// decode selects the record-slice or columnar destination: the columnar
+// spill_decode entry decodes the same SPL2 bytes straight into pooled
+// column arrays (trace.ReadSpillColumns).
+func measureSpillDecode(name string, tr *blbp.Trace, reps int, write func(io.Writer, trace.SpillHeader, *trace.Trace) error, decode func([]byte, int) error) (Entry, error) {
 	var buf bytes.Buffer
 	h := trace.SpillHeader{Name: tr.Name, Seed: 1, Instructions: tr.Instructions()}
 	if err := write(&buf, h, tr); err != nil {
@@ -205,15 +209,69 @@ func measureSpillDecode(name string, tr *blbp.Trace, reps int, write func(io.Wri
 	data := buf.Bytes()
 	var decErr error
 	d := fastest(reps, func() {
-		_, got, err := trace.ReadSpill(bytes.NewReader(data))
-		if err != nil {
+		if err := decode(data, len(tr.Records)); err != nil {
 			decErr = err
-		} else if len(got.Records) != len(tr.Records) {
-			decErr = fmt.Errorf("decoded %d records, want %d", len(got.Records), len(tr.Records))
 		}
 	})
 	if decErr != nil {
 		return Entry{}, decErr
+	}
+	n := int64(len(tr.Records))
+	return Entry{
+		Name: name, Events: n, Unit: "records",
+		Seconds: d.Seconds(), PerSecond: float64(n) / d.Seconds(),
+	}, nil
+}
+
+// decodeSpillRecords decodes a spill image into the record-slice form.
+func decodeSpillRecords(data []byte, want int) error {
+	_, got, err := trace.ReadSpill(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if len(got.Records) != want {
+		return fmt.Errorf("decoded %d records, want %d", len(got.Records), want)
+	}
+	return nil
+}
+
+// decodeSpillColumns decodes a spill image through the columnar fast path,
+// recycling the column arena between repetitions as a warm-start loop does.
+func decodeSpillColumns(data []byte, want int) error {
+	_, got, err := trace.ReadSpillColumns(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	n := got.Len()
+	trace.ReleaseColumns(got)
+	if n != want {
+		return fmt.Errorf("decoded %d records, want %d", n, want)
+	}
+	return nil
+}
+
+// measureSimRun runs one full-engine pass (hashed perceptron + BLBP) over
+// the micro trace through the record-slice reference loop or the columnar
+// segmented loop, so the report tracks the replay representations side by
+// side on identical predictions.
+func measureSimRun(name string, tr *blbp.Trace, reps int, columnar bool) (Entry, error) {
+	cols := tr.Columns()
+	var simErr error
+	d := fastest(reps, func() {
+		cp := blbp.NewHashedPerceptron()
+		ips := []blbp.IndirectPredictor{blbp.NewBLBP(blbp.DefaultBLBPConfig())}
+		var err error
+		if columnar {
+			_, err = sim.RunColumns(cols, cp, ips, sim.Options{})
+		} else {
+			_, err = sim.RunRecords(tr, cp, ips, sim.Options{})
+		}
+		if err != nil {
+			simErr = err
+		}
+	})
+	if simErr != nil {
+		return Entry{}, simErr
 	}
 	n := int64(len(tr.Records))
 	return Entry{
@@ -242,8 +300,7 @@ func suitePass() experiments.Pass {
 func measureSuite(name string, specs []blbp.WorkloadSpec, cache *tracecache.Cache, workers, reps int) (Entry, error) {
 	var instr int64
 	for _, s := range specs {
-		tr := cache.Get(s).Trace()
-		instr += tr.Instructions()
+		instr += cache.Get(s).Columns().Instructions()
 	}
 	r := experiments.NewRunnerCache(workers, cache)
 	defer r.Close()
@@ -299,7 +356,7 @@ func run(base int64, reps, parallel int, batchOnly bool, bo batchOpts) (*Report,
 		parallel = runtime.GOMAXPROCS(0)
 	}
 	rep := &Report{
-		Schema:             "blbp-bench-5",
+		Schema:             "blbp-bench-6",
 		GoVersion:          runtime.Version(),
 		GOARCH:             runtime.GOARCH,
 		NumCPU:             runtime.NumCPU(),
@@ -331,15 +388,29 @@ func run(base int64, reps, parallel int, batchOnly bool, bo batchOpts) (*Report,
 	}
 	rep.Results = append(rep.Results, engine)
 
-	spillV1, err := measureSpillDecode("spill_decode_v1", tr, reps, trace.WriteSpillV1)
+	simRecords, err := measureSimRun("sim_run_records", tr, reps, false)
 	if err != nil {
 		return nil, nil, err
 	}
-	spillV2, err := measureSpillDecode("spill_decode", tr, reps, trace.WriteSpill)
+	simColumnar, err := measureSimRun("sim_run_columnar", tr, reps, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.Results = append(rep.Results, spillV1, spillV2)
+	rep.Results = append(rep.Results, simRecords, simColumnar)
+
+	spillV1, err := measureSpillDecode("spill_decode_v1", tr, reps, trace.WriteSpillV1, decodeSpillRecords)
+	if err != nil {
+		return nil, nil, err
+	}
+	spillV2, err := measureSpillDecode("spill_decode_records", tr, reps, trace.WriteSpill, decodeSpillRecords)
+	if err != nil {
+		return nil, nil, err
+	}
+	spillCols, err := measureSpillDecode("spill_decode", tr, reps, trace.WriteSpill, decodeSpillColumns)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Results = append(rep.Results, spillV1, spillV2, spillCols)
 
 	specs := workload.Suite(base)
 	// The shared cache doubles as the spill-tier seeder: KeepSpill makes
@@ -393,7 +464,7 @@ func run(base int64, reps, parallel int, batchOnly bool, bo batchOpts) (*Report,
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
 	base := flag.Int64("base", 60_000, "per-workload instruction base for the suite pass")
 	reps := flag.Int("reps", 3, "repetitions per measurement (fastest wins)")
 	parallel := flag.Int("parallel", 0, "workers for suite_pass_parallel (0 = GOMAXPROCS)")

@@ -11,8 +11,11 @@ import (
 // engine, the experiment execution layer, the declarative plan layer that
 // assembles every output, the table renderer, the command front end, and
 // the multi-stream batching engine (whose bit-identical-to-serial contract
-// a nondeterministic iteration order would silently void).
+// a nondeterministic iteration order would silently void), and the trace
+// layer whose columnar storage, stats, and spill codecs every replay and
+// cache path reads.
 var determinismScope = []string{
+	"internal/trace",
 	"internal/sim",
 	"internal/experiments",
 	"internal/runspec",

@@ -503,6 +503,21 @@ func (p *BLBP) OnCond(pc uint64, taken bool) {
 // ignored.
 func (p *BLBP) OnOther(pc, target uint64, bt trace.BranchType) {}
 
+// OnCondSpan implements predictor.SpanFeeder: a whole conditional segment
+// folds into the global history through one call — identical to OnCond per
+// record, with the interface dispatch amortized over the run and long runs
+// taking the bulk register-shift + refold path (no fold is read mid-span).
+//
+//blbp:hot
+func (p *BLBP) OnCondSpan(c *trace.Columns, start, end int) {
+	p.ghist.ShiftRun(c.TakenWords(), start, end)
+	p.lastOK = false
+}
+
+// OnOtherSpan implements predictor.SpanFeeder. Like OnOther it is a no-op:
+// whole jump/call/return segments cost one call instead of end-start.
+func (p *BLBP) OnOtherSpan(c *trace.Columns, start, end int, bt trace.BranchType) {}
+
 // Reset restores the predictor to its freshly constructed state: weights,
 // packed image, IBTB, histories, thresholds, pending state, and
 // diagnostics. internal/batch uses it to recycle stream slots without

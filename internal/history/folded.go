@@ -39,21 +39,35 @@ type foldView struct {
 }
 
 // FoldedSet couples a Global history register with a set of interval folds
-// maintained incrementally. Each (lo, hi, width) interval is registered once
-// at predictor construction; every Shift/ShiftBits then updates the
-// registered interval accumulators in O(1) each, and Value reads a fold back
-// without re-walking the history. Values are bit-identical to calling
-// Global.Fold(lo, hi, width) on the equivalent register state.
+// maintained incrementally and *lazily*. Each (lo, hi, width) interval is
+// registered once at predictor construction. Shift/ShiftBits/ShiftRun only
+// advance the raw register and a pending-bit counter; the accumulators are
+// caught up in one O(1) step each at the next fold read (catchUp). Between
+// reads the predictor observes nothing, so laziness is invisible: Value is
+// bit-identical to Global.Fold(lo, hi, width) on the equivalent register
+// state, however the outcome bits arrived.
+//
+// The register is allocated with 64 bits of slack beyond the logical
+// capacity so that up to 64 pending bits can accumulate before the oldest
+// leaving-bit information (history bit hi at insertion time, now at raw
+// index hi+pending) is overwritten; catchUp fires automatically at that
+// bound.
 type FoldedSet struct {
-	g     *Global
-	accs  []accReg
-	folds []foldView
+	g       *Global
+	capBits int // logical capacity; Register bounds intervals by this
+	pending int // raw-register shifts not yet applied to the accumulators
+	accs    []accReg
+	folds   []foldView
 }
 
 // NewFoldedSet returns a folded history register holding at least capacity
 // bits and no registered folds.
 func NewFoldedSet(capacity int) *FoldedSet {
-	return &FoldedSet{g: NewGlobal(capacity)}
+	if capacity <= 0 {
+		panic("history: NewFoldedSet with non-positive capacity")
+	}
+	logical := (capacity + 63) / 64 * 64
+	return &FoldedSet{g: NewGlobal(logical + 64), capBits: logical}
 }
 
 // Register adds an interval fold and returns its id. Argument constraints
@@ -62,12 +76,13 @@ func NewFoldedSet(capacity int) *FoldedSet {
 // may register folds before or after history has accumulated. Folds sharing
 // an interval share the underlying accumulator.
 func (s *FoldedSet) Register(lo, hi, width int) FoldID {
-	if lo < 0 || hi < lo || hi >= s.g.capBits {
+	if lo < 0 || hi < lo || hi >= s.capBits {
 		panic("history: Register interval out of range")
 	}
 	if width <= 0 || width >= 64 {
 		panic("history: Register width out of range")
 	}
+	s.catchUp()
 	accIdx := -1
 	for i := range s.accs {
 		if s.accs[i].lo == lo && s.accs[i].hi == hi {
@@ -98,16 +113,46 @@ func (s *FoldedSet) NumAccumulators() int { return len(s.accs) }
 
 // Value returns the current fold value for id: identical to
 // Fold(lo, hi, width) of the registered interval, without re-walking the
-// history bits.
+// history bits. The first read after a run of shifts catches every
+// accumulator up in one step each.
 //
 //blbp:hot
 func (s *FoldedSet) Value(id FoldID) uint64 {
+	if s.pending != 0 {
+		s.catchUp()
+	}
 	f := &s.folds[id]
 	return foldDown(s.accs[f.accIdx].acc, f.width)
 }
 
+// catchUp applies the pending raw-register shifts to every interval
+// accumulator in one step each. With P pending bits, the bits that entered
+// interval position lo over the run now sit at raw indices [lo, lo+P) and
+// the bits that left past hi at [hi+1, hi+1+P) — both still present thanks
+// to the 64-bit allocation slack — and XOR-linearity collapses the P
+// per-bit updates into one rotate and two masked word reads:
+//
+//	acc' = rotl64(acc, P) ^ entering ^ rotl64(leaving, n mod 64)
+//
+//blbp:hot
+func (s *FoldedSet) catchUp() {
+	p := s.pending
+	if p == 0 {
+		return
+	}
+	s.pending = 0
+	g := s.g
+	mask := uint64(1)<<uint(p) - 1 // p == 64 wraps to all ones
+	for i := range s.accs {
+		f := &s.accs[i]
+		in := g.word64(f.lo) & mask
+		out := g.word64(f.hi+1) & mask
+		f.acc = bits.RotateLeft64(f.acc, p) ^ in ^ bits.RotateLeft64(out, int(f.outShift))
+	}
+}
+
 // Capacity returns the usable history length in bits.
-func (s *FoldedSet) Capacity() int { return s.g.Capacity() }
+func (s *FoldedSet) Capacity() int { return s.capBits }
 
 // Bit returns history bit i (0 = most recent) as 0 or 1.
 func (s *FoldedSet) Bit(i int) uint64 { return s.g.Bit(i) }
@@ -116,26 +161,18 @@ func (s *FoldedSet) Bit(i int) uint64 { return s.g.Bit(i) }
 // see Global.Fold). Registered folds match it bit for bit.
 func (s *FoldedSet) Fold(lo, hi, width int) uint64 { return s.g.Fold(lo, hi, width) }
 
-// Shift inserts one outcome bit as the new most-recent history bit and
-// updates every registered interval accumulator in O(1).
+// Shift inserts one outcome bit as the new most-recent history bit. Only
+// the raw register advances; accumulator catch-up is deferred to the next
+// fold read (or to the 64-pending-bit bound, where leaving-bit information
+// would start to be overwritten).
 //
 //blbp:hot
 func (s *FoldedSet) Shift(b bool) {
-	g := s.g
-	var in0 uint64
-	if b {
-		in0 = 1
+	if s.pending == 64 {
+		s.catchUp()
 	}
-	for i := range s.accs {
-		f := &s.accs[i]
-		in := in0
-		if f.lo != 0 {
-			in = g.bit(f.lo - 1)
-		}
-		out := g.bit(f.hi)
-		f.acc = bits.RotateLeft64(f.acc, 1) ^ in ^ out<<f.outShift
-	}
-	g.Shift(b)
+	s.g.Shift(b)
+	s.pending++
 }
 
 // ShiftBits inserts the low n bits of v, oldest-first, exactly as
@@ -146,9 +183,27 @@ func (s *FoldedSet) ShiftBits(v uint64, n int) {
 	}
 }
 
+// ShiftRun inserts run bits start..end-1 of the packed bitset words (bit i
+// lives at words[i/64], bit position i%64), oldest first — observably
+// identical to calling Shift on each bit in order. With lazy catch-up a
+// whole run costs one raw register shift per bit plus one accumulator
+// update per 64 bits.
+//
+//blbp:hot
+func (s *FoldedSet) ShiftRun(words []uint64, start, end int) {
+	for i := start; i < end; i++ {
+		if s.pending == 64 {
+			s.catchUp()
+		}
+		s.g.Shift(words[uint(i)>>6]&(1<<(uint(i)&63)) != 0)
+		s.pending++
+	}
+}
+
 // Reset clears all history bits and registered folds.
 func (s *FoldedSet) Reset() {
 	s.g.Reset()
+	s.pending = 0
 	for i := range s.accs {
 		s.accs[i].acc = 0
 	}
@@ -166,6 +221,7 @@ type FoldedSnapshot struct {
 // when possible so steady-state snapshotting does not allocate. VPC
 // snapshots once per prediction, which makes this the hot variant.
 func (s *FoldedSet) SnapshotInto(dst *FoldedSnapshot) {
+	s.catchUp()
 	dst.words = append(dst.words[:0], s.g.words...)
 	dst.head = s.g.head
 	dst.accs = dst.accs[:0]
@@ -189,6 +245,7 @@ func (s *FoldedSet) Restore(snap *FoldedSnapshot) {
 	}
 	copy(s.g.words, snap.words)
 	s.g.head = snap.head
+	s.pending = 0
 	for i := range s.accs {
 		s.accs[i].acc = snap.accs[i]
 	}

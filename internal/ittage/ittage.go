@@ -458,6 +458,32 @@ func (p *ITTAGE) OnOther(pc, target uint64, bt trace.BranchType) {
 	p.lastOK = false
 }
 
+// OnCondSpan implements predictor.SpanFeeder: a whole conditional segment
+// folds into the global and path histories through one call — identical to
+// OnCond per record, with the interface dispatch amortized over the run.
+func (p *ITTAGE) OnCondSpan(c *trace.Columns, start, end int) {
+	p.ghist.ShiftRun(c.TakenWords(), start, end)
+	pc := c.PC()
+	phist := p.phist
+	for i := start; i < end; i++ {
+		phist = (phist<<1 ^ pc[i]>>2) & 0xFFFF
+	}
+	p.phist = phist
+	p.lastOK = false
+}
+
+// OnOtherSpan implements predictor.SpanFeeder: only the path history
+// advances, one whole segment per call.
+func (p *ITTAGE) OnOtherSpan(c *trace.Columns, start, end int, bt trace.BranchType) {
+	pc := c.PC()
+	phist := p.phist
+	for i := start; i < end; i++ {
+		phist = (phist<<1 ^ pc[i]>>2) & 0xFFFF
+	}
+	p.phist = phist
+	p.lastOK = false
+}
+
 // StorageBits implements predictor.Indirect.
 func (p *ITTAGE) StorageBits() int {
 	regionIndexBits := log2ceil(p.cfg.RegionEntries)

@@ -43,6 +43,21 @@ type Indirect interface {
 	StorageBits() int
 }
 
+// SpanFeeder is an optional fast path for columnar replay: a predictor that
+// implements it consumes a whole same-class run of records through one call
+// instead of one interface call per record. Implementations must be
+// observably identical to calling OnCond (respectively OnOther) once per
+// record in [start, end) in index order — sim.Tape feeds spans only on the
+// shared-conditional replay path, where bit-identical results are the
+// contract.
+type SpanFeeder interface {
+	// OnCondSpan observes records [start, end) of a conditional segment.
+	OnCondSpan(c *trace.Columns, start, end int)
+	// OnOtherSpan observes records [start, end) of a direct-jump, direct-
+	// call, or return segment of type bt.
+	OnOtherSpan(c *trace.Columns, start, end int, bt trace.BranchType)
+}
+
 // Entry describes one registered predictor: its default configuration and
 // how to build an instance from a configuration value. Exactly one of the
 // three constructors is set, depending on how the predictor relates to the

@@ -82,10 +82,145 @@ const instructionSize = 4
 // identical event stream; conditional and return statistics are duplicated
 // into every Result.
 //
+// Replay runs over the trace's columnar form (built and cached on first
+// use; see trace.Columns) via RunColumns. Results are bit-identical to the
+// record-slice reference RunRecords.
+//
 // VPC shares state with the conditional predictor, so a VPC instance must
 // be the only indirect predictor in its pass and must be paired with its
 // own *cond.HashedPerceptron as cp; see package vpc.
 func Run(tr *trace.Trace, cp cond.Predictor, indirects []predictor.Indirect, opts Options) ([]Result, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	// Validate once up front (cached on the trace across passes) instead of
+	// re-checking every record inside the hot loop; the columnar build then
+	// inherits the validation.
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return RunColumns(tr.Columns(), cp, indirects, opts)
+}
+
+// RunColumns is the engine proper: Run over a columnar trace. Segments are
+// replayed in order and every record within a segment in order, so each
+// predictor observes exactly the interleaved event stream of the
+// record-slice loop — only the per-record type switch and the
+// cond.TargetTrainer assertion are hoisted to the segment level. Within
+// conditional segments the per-record call sequence (predict, train, update
+// history, feed indirects) is preserved verbatim: VPC and the consolidated
+// predictor share state between the conditional and indirect sides, so the
+// relative order of those calls is observable.
+func RunColumns(cols *trace.Columns, cp cond.Predictor, indirects []predictor.Indirect, opts Options) ([]Result, error) {
+	if cols == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("sim: nil conditional predictor")
+	}
+	if len(indirects) == 0 {
+		return nil, fmt.Errorf("sim: no indirect predictors")
+	}
+	if err := cols.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	stack := ras.New(opts.rasDepth())
+	var shared Result
+	perPred := make([]Result, len(indirects))
+	pc, target := cols.PC(), cols.Target()
+	tt, hasTT := cp.(cond.TargetTrainer)
+
+	for _, seg := range cols.Segments() {
+		switch seg.Type {
+		case trace.CondDirect:
+			shared.CondBranches += int64(seg.End - seg.Start)
+			for i := seg.Start; i < seg.End; i++ {
+				taken := cols.Taken(i)
+				if cp.Predict(pc[i]) != taken {
+					shared.CondMispredicts++
+				}
+				if hasTT {
+					tt.TrainWithTarget(pc[i], taken, target[i])
+				} else {
+					cp.Train(pc[i], taken)
+				}
+				cp.UpdateHistory(pc[i], taken)
+				for _, ip := range indirects {
+					ip.OnCond(pc[i], taken)
+				}
+			}
+
+		case trace.IndirectJump, trace.IndirectCall:
+			isCall := seg.Type == trace.IndirectCall
+			for i := seg.Start; i < seg.End; i++ {
+				for j := range indirects {
+					ip := indirects[j]
+					perPred[j].IndirectBranches++
+					pred, ok := ip.Predict(pc[i])
+					if !ok {
+						perPred[j].NoPrediction++
+						perPred[j].IndirectMispredicts++
+					} else if pred != target[i] {
+						perPred[j].IndirectMispredicts++
+					}
+					ip.Update(pc[i], target[i])
+				}
+				if isCall {
+					stack.Push(pc[i] + instructionSize)
+				}
+				cp.OnOther(pc[i], target[i], seg.Type)
+			}
+
+		case trace.Return:
+			shared.Returns += int64(seg.End - seg.Start)
+			for i := seg.Start; i < seg.End; i++ {
+				if !stack.Predict(target[i]) {
+					shared.ReturnMispredicts++
+				}
+				cp.OnOther(pc[i], target[i], trace.Return)
+				for _, ip := range indirects {
+					ip.OnOther(pc[i], target[i], trace.Return)
+				}
+			}
+
+		case trace.DirectCall:
+			for i := seg.Start; i < seg.End; i++ {
+				stack.Push(pc[i] + instructionSize)
+				cp.OnOther(pc[i], target[i], trace.DirectCall)
+				for _, ip := range indirects {
+					ip.OnOther(pc[i], target[i], trace.DirectCall)
+				}
+			}
+
+		case trace.UncondDirect:
+			for i := seg.Start; i < seg.End; i++ {
+				cp.OnOther(pc[i], target[i], trace.UncondDirect)
+				for _, ip := range indirects {
+					ip.OnOther(pc[i], target[i], trace.UncondDirect)
+				}
+			}
+		}
+	}
+	shared.Instructions = cols.Instructions()
+
+	for i, ip := range indirects {
+		perPred[i].Trace = cols.Name
+		perPred[i].Predictor = ip.Name()
+		perPred[i].Instructions = shared.Instructions
+		perPred[i].CondBranches = shared.CondBranches
+		perPred[i].CondMispredicts = shared.CondMispredicts
+		perPred[i].Returns = shared.Returns
+		perPred[i].ReturnMispredicts = shared.ReturnMispredicts
+	}
+	return perPred, nil
+}
+
+// RunRecords is the record-slice reference engine: the original per-record
+// loop over tr.Records, kept verbatim (modulo the hoisted TargetTrainer
+// assertion) as the differential baseline for the columnar path — the
+// FuzzColumnarEquivalence gate and the sim_run_records bench entry compare
+// against it. New callers should use Run.
+func RunRecords(tr *trace.Trace, cp cond.Predictor, indirects []predictor.Indirect, opts Options) ([]Result, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("sim: nil trace")
 	}
@@ -95,14 +230,13 @@ func Run(tr *trace.Trace, cp cond.Predictor, indirects []predictor.Indirect, opt
 	if len(indirects) == 0 {
 		return nil, fmt.Errorf("sim: no indirect predictors")
 	}
-	// Validate once up front (cached on the trace across passes) instead of
-	// re-checking every record inside the hot loop.
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	stack := ras.New(opts.rasDepth())
 	var shared Result
 	perPred := make([]Result, len(indirects))
+	tt, hasTT := cp.(cond.TargetTrainer)
 
 	for ri := range tr.Records {
 		r := &tr.Records[ri]
@@ -115,7 +249,7 @@ func Run(tr *trace.Trace, cp cond.Predictor, indirects []predictor.Indirect, opt
 			if pred != r.Taken {
 				shared.CondMispredicts++
 			}
-			if tt, ok := cp.(cond.TargetTrainer); ok {
+			if hasTT {
 				tt.TrainWithTarget(r.PC, r.Taken, r.Target)
 			} else {
 				cp.Train(r.PC, r.Taken)

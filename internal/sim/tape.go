@@ -21,13 +21,14 @@ import (
 // tape, driving only their indirect predictors over the record stream,
 // instead of re-simulating the conditional and return sides.
 //
+// The tape replays the trace's columnar form (trace.Columns): its loops run
+// segment by segment, skipping classes a memo does not observe and feeding
+// predictors whole same-class runs at a time.
+//
 // A Tape is safe for concurrent use: the scheduler runs many passes of the
 // same workload at once and they all share one tape.
 type Tape struct {
-	tr           *trace.Trace
-	instructions int64
-	condBranches int64
-	returns      int64
+	cols *trace.Columns
 
 	mu   sync.Mutex
 	ras  map[int]*rasMemo
@@ -47,8 +48,8 @@ type rasMemo struct {
 	mispredicts int64
 }
 
-// NewTape validates the trace and scans it once for the pass-invariant
-// totals. The conditional and RAS sides are filled in lazily on first use.
+// NewTape validates the trace and builds (or reuses) its columnar form. The
+// conditional and RAS sides are filled in lazily on first use.
 func NewTape(tr *trace.Trace) (*Tape, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("sim: nil trace")
@@ -56,25 +57,28 @@ func NewTape(tr *trace.Trace) (*Tape, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	tp := &Tape{tr: tr, ras: make(map[int]*rasMemo), cond: make(map[string]*condMemo)}
-	for i := range tr.Records {
-		r := &tr.Records[i]
-		tp.instructions += r.Instructions()
-		switch r.Type {
-		case trace.CondDirect:
-			tp.condBranches++
-		case trace.Return:
-			tp.returns++
-		}
-	}
-	return tp, nil
+	return NewTapeColumns(tr.Columns())
 }
 
-// Trace returns the underlying trace (shared; callers must not mutate it).
-func (tp *Tape) Trace() *trace.Trace { return tp.tr }
+// NewTapeColumns builds a tape directly over a columnar trace. The
+// pass-invariant totals are read from the columns' precomputed counts, so
+// construction is O(1) after validation.
+func NewTapeColumns(cols *trace.Columns) (*Tape, error) {
+	if cols == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	if err := cols.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return &Tape{cols: cols, ras: make(map[int]*rasMemo), cond: make(map[string]*condMemo)}, nil
+}
+
+// Columns returns the underlying columnar trace (shared; callers must not
+// mutate it).
+func (tp *Tape) Columns() *trace.Columns { return tp.cols }
 
 // Instructions returns the trace's total instruction count.
-func (tp *Tape) Instructions() int64 { return tp.instructions }
+func (tp *Tape) Instructions() int64 { return tp.cols.Instructions() }
 
 // condMispredicts returns the misprediction count of the conditional
 // configuration named by key, simulating cp over the trace on the key's
@@ -95,24 +99,30 @@ func (tp *Tape) condMispredicts(key string, cp cond.Predictor) int64 {
 
 // simulateCond drives the conditional predictor over the trace exactly as
 // Run does — same call sequence, no indirect predictors — and returns its
-// misprediction count.
+// misprediction count. Segments hoist the class dispatch; per-record order
+// within and across segments is the trace order.
 func (tp *Tape) simulateCond(cp cond.Predictor) int64 {
 	tt, hasTT := cp.(cond.TargetTrainer)
+	pc, target := tp.cols.PC(), tp.cols.Target()
 	var mis int64
-	for i := range tp.tr.Records {
-		r := &tp.tr.Records[i]
-		if r.Type == trace.CondDirect {
-			if cp.Predict(r.PC) != r.Taken {
-				mis++
+	for _, seg := range tp.cols.Segments() {
+		if seg.Type == trace.CondDirect {
+			for i := seg.Start; i < seg.End; i++ {
+				taken := tp.cols.Taken(i)
+				if cp.Predict(pc[i]) != taken {
+					mis++
+				}
+				if hasTT {
+					tt.TrainWithTarget(pc[i], taken, target[i])
+				} else {
+					cp.Train(pc[i], taken)
+				}
+				cp.UpdateHistory(pc[i], taken)
 			}
-			if hasTT {
-				tt.TrainWithTarget(r.PC, r.Taken, r.Target)
-			} else {
-				cp.Train(r.PC, r.Taken)
-			}
-			cp.UpdateHistory(r.PC, r.Taken)
 		} else {
-			cp.OnOther(r.PC, r.Target, r.Type)
+			for i := seg.Start; i < seg.End; i++ {
+				cp.OnOther(pc[i], target[i], seg.Type)
+			}
 		}
 	}
 	return mis
@@ -120,7 +130,8 @@ func (tp *Tape) simulateCond(cp cond.Predictor) int64 {
 
 // returnMispredicts returns the RAS misprediction count at the given stack
 // depth, replaying the trace's call/return sequence on the depth's first
-// use.
+// use. Only call and return segments are visited; the (dominant)
+// conditional and jump segments are skipped whole.
 func (tp *Tape) returnMispredicts(depth int) int64 {
 	tp.mu.Lock()
 	m := tp.ras[depth]
@@ -131,15 +142,19 @@ func (tp *Tape) returnMispredicts(depth int) int64 {
 	tp.mu.Unlock()
 	m.once.Do(func() {
 		stack := ras.New(depth)
+		pc, target := tp.cols.PC(), tp.cols.Target()
 		var mis int64
-		for i := range tp.tr.Records {
-			r := &tp.tr.Records[i]
-			switch r.Type {
+		for _, seg := range tp.cols.Segments() {
+			switch seg.Type {
 			case trace.DirectCall, trace.IndirectCall:
-				stack.Push(r.PC + instructionSize)
+				for i := seg.Start; i < seg.End; i++ {
+					stack.Push(pc[i] + instructionSize)
+				}
 			case trace.Return:
-				if !stack.Predict(r.Target) {
-					mis++
+				for i := seg.Start; i < seg.End; i++ {
+					if !stack.Predict(target[i]) {
+						mis++
+					}
 				}
 			}
 		}
@@ -158,10 +173,15 @@ func (tp *Tape) returnMispredicts(depth int) int64 {
 //
 // Every caller passing the same condKey must construct cp identically;
 // results are bit-identical to Run because the conditional predictor, the
-// RAS, and the indirect predictors never exchange state within a pass.
+// RAS, and the indirect predictors never exchange state within a pass. The
+// same independence makes the segment-level loop interchange here legal:
+// each indirect predictor consumes a whole segment before the next
+// predictor starts it, which cannot be observed when predictors share
+// nothing. Predictors implementing predictor.SpanFeeder consume segments
+// through one call instead of one interface call per record.
 func (tp *Tape) Run(condKey string, cp cond.Predictor, indirects []predictor.Indirect, opts Options) ([]Result, error) {
 	if condKey == "" {
-		return Run(tp.tr, cp, indirects, opts)
+		return RunColumns(tp.cols, cp, indirects, opts)
 	}
 	if cp == nil {
 		return nil, fmt.Errorf("sim: nil conditional predictor")
@@ -173,39 +193,63 @@ func (tp *Tape) Run(condKey string, cp cond.Predictor, indirects []predictor.Ind
 	retMis := tp.returnMispredicts(opts.rasDepth())
 
 	perPred := make([]Result, len(indirects))
-	for ri := range tp.tr.Records {
-		r := &tp.tr.Records[ri]
-		switch r.Type {
+	pc, target := tp.cols.PC(), tp.cols.Target()
+	spans := make([]predictor.SpanFeeder, len(indirects))
+	for i, ip := range indirects {
+		if sf, ok := ip.(predictor.SpanFeeder); ok {
+			spans[i] = sf
+		}
+	}
+	for _, seg := range tp.cols.Segments() {
+		switch seg.Type {
 		case trace.CondDirect:
-			for _, ip := range indirects {
-				ip.OnCond(r.PC, r.Taken)
+			for j, ip := range indirects {
+				if spans[j] != nil {
+					spans[j].OnCondSpan(tp.cols, seg.Start, seg.End)
+					continue
+				}
+				for i := seg.Start; i < seg.End; i++ {
+					ip.OnCond(pc[i], tp.cols.Taken(i))
+				}
 			}
 		case trace.IndirectJump, trace.IndirectCall:
-			for i, ip := range indirects {
-				perPred[i].IndirectBranches++
-				pred, ok := ip.Predict(r.PC)
-				if !ok {
-					perPred[i].NoPrediction++
-					perPred[i].IndirectMispredicts++
-				} else if pred != r.Target {
-					perPred[i].IndirectMispredicts++
+			for j, ip := range indirects {
+				var branches, mispredicts, noPred int64
+				for i := seg.Start; i < seg.End; i++ {
+					branches++
+					pred, ok := ip.Predict(pc[i])
+					if !ok {
+						noPred++
+						mispredicts++
+					} else if pred != target[i] {
+						mispredicts++
+					}
+					ip.Update(pc[i], target[i])
 				}
-				ip.Update(r.PC, r.Target)
+				perPred[j].IndirectBranches += branches
+				perPred[j].IndirectMispredicts += mispredicts
+				perPred[j].NoPrediction += noPred
 			}
 		default: // Return, DirectCall, UncondDirect
-			for _, ip := range indirects {
-				ip.OnOther(r.PC, r.Target, r.Type)
+			for j, ip := range indirects {
+				if spans[j] != nil {
+					spans[j].OnOtherSpan(tp.cols, seg.Start, seg.End, seg.Type)
+					continue
+				}
+				for i := seg.Start; i < seg.End; i++ {
+					ip.OnOther(pc[i], target[i], seg.Type)
+				}
 			}
 		}
 	}
 
 	for i, ip := range indirects {
-		perPred[i].Trace = tp.tr.Name
+		perPred[i].Trace = tp.cols.Name
 		perPred[i].Predictor = ip.Name()
-		perPred[i].Instructions = tp.instructions
-		perPred[i].CondBranches = tp.condBranches
+		perPred[i].Instructions = tp.cols.Instructions()
+		perPred[i].CondBranches = tp.cols.Count(trace.CondDirect)
 		perPred[i].CondMispredicts = condMis
-		perPred[i].Returns = tp.returns
+		perPred[i].Returns = tp.cols.Count(trace.Return)
 		perPred[i].ReturnMispredicts = retMis
 	}
 	return perPred, nil

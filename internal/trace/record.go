@@ -9,7 +9,10 @@
 // (mispredictions per kilo-instruction) can be computed exactly.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BranchType classifies a control-flow instruction.
 type BranchType uint8
@@ -119,6 +122,24 @@ type Trace struct {
 	// Append clears it; callers who mutate Records directly and need
 	// revalidation should go through Append or a fresh Trace.
 	validated bool
+
+	// cols caches the columnar form (see Columns): built lazily on first
+	// use, shared by every replay pass over the trace, invalidated by
+	// Append.
+	colsMu sync.Mutex
+	cols   *Columns
+}
+
+// Columns returns the columnar form of the trace, building and caching it
+// on first use. The result is shared: callers must not mutate it, and must
+// not Append to the trace while holding it.
+func (t *Trace) Columns() *Columns {
+	t.colsMu.Lock()
+	defer t.colsMu.Unlock()
+	if t.cols == nil {
+		t.cols = columnsFromRecords(t)
+	}
+	return t.cols
 }
 
 // Validate checks every record for internal consistency. A successful
@@ -146,8 +167,14 @@ func (t *Trace) Instructions() int64 {
 	return n
 }
 
-// Append adds a record to the trace and clears the cached validation.
+// Append adds a record to the trace, clearing the cached validation and the
+// cached columnar form.
 func (t *Trace) Append(r Record) {
 	t.Records = append(t.Records, r)
 	t.validated = false
+	if t.cols != nil {
+		t.colsMu.Lock()
+		t.cols = nil
+		t.colsMu.Unlock()
+	}
 }

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Columnar spill access: the SPL2 block format decoded straight into column
+// arrays. The wire format is unchanged — WriteSpillColumns produces bytes
+// identical to WriteSpill on the equivalent record slice, and
+// ReadSpillColumns accepts exactly the files ReadSpill accepts (including
+// the SPL1 fallback) — only the in-memory destination differs: records land
+// in a pooled Columns arena with zero per-record allocation instead of an
+// appended []Record.
+
+// WriteSpillColumns encodes c as a spill file in the current (SPL2) format,
+// byte-identical to WriteSpill on c's record-slice form. Name, Seed and
+// Instructions are taken from h; Records is computed from c.
+func WriteSpillColumns(w io.Writer, h SpillHeader, c *Columns) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeSpillHeader(bw, spillMagic, h, c.Len()); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	scratch := make([]byte, 0, spillBlockRecords*8)
+	pc, target, instr := c.pc, c.target, c.instrBefore
+	for start := 0; start < c.Len(); start += spillBlockRecords {
+		end := start + spillBlockRecords
+		if end > c.Len() {
+			end = c.Len()
+		}
+		scratch = scratch[:0]
+		var prevPC uint64
+		for i := start; i < end; i++ {
+			header := c.typ[i]
+			if c.Taken(i) {
+				header |= 1 << 3
+			}
+			scratch = append(scratch, header)
+			scratch = binary.AppendUvarint(scratch, uint64(instr[i]))
+			scratch = binary.AppendUvarint(scratch, pc[i]^prevPC)
+			scratch = binary.AppendUvarint(scratch, target[i]^pc[i])
+			prevPC = pc[i]
+		}
+		n := binary.PutUvarint(buf[:], uint64(end-start))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(len(scratch)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[:8], fnv64a(scratch))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpillColumns decodes a complete spill file of either format directly
+// into columnar form, with the same header/checksum/record validation as
+// ReadSpill. SPL2 files take the zero-copy fast path: each block is bulk-
+// decoded into pooled column arrays (pass the result to ReleaseColumns when
+// done to recycle the arena); SPL1 files fall back through ReadSpill.
+func ReadSpillColumns(r io.Reader) (SpillHeader, *Columns, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, version, err := readSpillHeader(br)
+	if err != nil {
+		return h, nil, err
+	}
+	if version == 1 {
+		t, err := readSpillPayloadV1(br, h)
+		if err != nil {
+			return h, nil, err
+		}
+		if t.Name != h.Name {
+			return h, nil, fmt.Errorf("%w: payload name %q, header says %q", ErrSpillMismatch, t.Name, h.Name)
+		}
+		return h, t.Columns(), nil
+	}
+	c, err := readSpillBlocksColumns(br, h)
+	if err != nil {
+		return h, nil, err
+	}
+	return h, c, nil
+}
+
+// readSpillBlocksColumns decodes the SPL2 block sequence into a pooled
+// Columns: blocks are length-checked and checksummed exactly as
+// readSpillBlocks does, then bulk-decoded by index into the column arrays.
+func readSpillBlocksColumns(br *bufio.Reader, h SpillHeader) (*Columns, error) {
+	// Cap the initial arena size: a corrupt record count must not commit
+	// gigabytes up front. Growth past the cap happens block by block, so
+	// decoding fails naturally at the first bad block.
+	capHint := h.Records
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	c := newPooledColumns(h.Name, int(capHint))
+	c.setLen(0)
+	var block []byte
+	var decoded int64
+	fail := func(err error) (*Columns, error) {
+		ReleaseColumns(c)
+		return nil, err
+	}
+	for decoded < h.Records {
+		nrec, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail(fmt.Errorf("trace: reading spill block record count: %w", err))
+		}
+		if nrec == 0 || int64(nrec) > h.Records-decoded {
+			return fail(fmt.Errorf("%w: block of %d records with %d remaining", ErrSpillMismatch, nrec, h.Records-decoded))
+		}
+		nbytes, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail(fmt.Errorf("trace: reading spill block size: %w", err))
+		}
+		if nbytes < nrec || nbytes > nrec*maxSpillRecordLen {
+			return fail(fmt.Errorf("%w: block of %d bytes for %d records", ErrSpillMismatch, nbytes, nrec))
+		}
+		var sumBuf [8]byte
+		if _, err := io.ReadFull(br, sumBuf[:]); err != nil {
+			return fail(fmt.Errorf("trace: reading spill block checksum: %w", err))
+		}
+		want := binary.LittleEndian.Uint64(sumBuf[:])
+		if uint64(cap(block)) < nbytes {
+			block = make([]byte, nbytes)
+		}
+		block = block[:nbytes]
+		if _, err := io.ReadFull(br, block); err != nil {
+			return fail(fmt.Errorf("trace: reading spill block payload: %w", err))
+		}
+		if got := fnv64a(block); got != want {
+			return fail(fmt.Errorf("%w: block checksum %016x, header says %016x", ErrSpillMismatch, got, want))
+		}
+		base := int(decoded)
+		c.grow(base + int(nrec))
+		c.setLen(base + int(nrec))
+		if !decodeBlockColumns(c, base, block, int(nrec)) {
+			// Malformed block contents. Re-decode through the validating
+			// record-slice decoder (cold path) for the precise diagnostic, so
+			// the columnar reader reports exactly what ReadSpill would.
+			if _, err := appendBlockRecords(nil, block, int(nrec)); err != nil {
+				return fail(err)
+			}
+			return fail(fmt.Errorf("%w: malformed block contents", ErrSpillMismatch))
+		}
+		decoded += int64(nrec)
+	}
+	c.finalize()
+	// Every record was validated during decoding; mark the columns so
+	// simulation passes skip revalidation (mirrors readSpillBlocks).
+	c.validated = true
+	return c, nil
+}
+
+// decodeBlockColumns bulk-decodes one block's records (the same per-record
+// encoding appendBlockRecords consumes, PC delta chain starting at 0)
+// straight into the column arrays at index base. data must be consumed
+// exactly. Validation is inlined — the checks are exactly Record.Validate's
+// two conditions plus the varint/overflow checks of the record-slice path —
+// and any malformation reports false: the (cold) caller re-decodes the
+// block through the validating reference decoder for the diagnostic, so no
+// error values are built on this path.
+//
+//blbp:hot
+func decodeBlockColumns(c *Columns, base int, data []byte, nrec int) bool {
+	pcs := c.pc[base : base+nrec]
+	targets := c.target[base : base+nrec]
+	instrs := c.instrBefore[base : base+nrec]
+	typs := c.typ[base : base+nrec]
+	var prevPC uint64
+	off := 0
+	for i := 0; i < nrec; i++ {
+		if off >= len(data) {
+			return false
+		}
+		header := data[off]
+		off++
+		typ := header & 0x7
+		taken := header&(1<<3) != 0
+		if typ >= numBranchTypes {
+			return false
+		}
+		if !taken && typ != uint8(CondDirect) {
+			return false
+		}
+		ib, n := uvarintFast(data, off)
+		if n <= 0 || ib > uint64(^uint32(0)) {
+			return false
+		}
+		off += n
+		pcDelta, n := uvarintFast(data, off)
+		if n <= 0 {
+			return false
+		}
+		off += n
+		pc := pcDelta ^ prevPC
+		tgtDelta, n := uvarintFast(data, off)
+		if n <= 0 {
+			return false
+		}
+		off += n
+		pcs[i] = pc
+		targets[i] = tgtDelta ^ pc
+		instrs[i] = uint32(ib)
+		typs[i] = typ
+		if taken {
+			j := uint(base + i)
+			c.taken[j>>6] |= 1 << (j & 63)
+		}
+		prevPC = pc
+	}
+	return off == len(data)
+}
+
+// uvarintFast is binary.Uvarint with an inlined single-byte fast path: spill
+// deltas are overwhelmingly one byte (XOR of consecutive loop PCs), so the
+// common case avoids the call and its loop setup entirely. Returns n <= 0
+// exactly when binary.Uvarint would (truncated or oversized varint).
+func uvarintFast(data []byte, off int) (uint64, int) {
+	if off < len(data) {
+		if b := data[off]; b < 0x80 {
+			return uint64(b), 1
+		}
+	}
+	return binary.Uvarint(data[off:])
+}
+
+// fnv64a is an allocation-free FNV-64a over data (hash/fnv's New64a forces
+// a heap allocation per hasher; the spill hot path sums one block at a
+// time).
+//
+//blbp:hot
+func fnv64a(data []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}

@@ -26,19 +26,29 @@ type siteInfo struct {
 
 // Analyze computes statistics over a trace.
 func Analyze(t *Trace) *Stats {
-	s := &Stats{Name: t.Name, targets: make(map[uint64]*siteInfo)}
-	for _, r := range t.Records {
-		s.Instructions += r.Instructions()
-		if r.Type.Valid() {
-			s.Count[r.Type]++
+	return AnalyzeColumns(t.Columns())
+}
+
+// AnalyzeColumns computes statistics over a columnar trace. Totals and
+// per-class counts come from the columns' precomputed aggregates; only the
+// indirect segments are walked for the per-site target sets.
+func AnalyzeColumns(c *Columns) *Stats {
+	s := &Stats{Name: c.Name, Instructions: c.Instructions(), targets: make(map[uint64]*siteInfo)}
+	for t := BranchType(0); t < numBranchTypes; t++ {
+		s.Count[t] = c.Count(t)
+	}
+	pc, target := c.PC(), c.Target()
+	for _, seg := range c.Segments() {
+		if !seg.Type.IsIndirect() {
+			continue
 		}
-		if r.Type.IsIndirect() {
-			site := s.targets[r.PC]
+		for i := seg.Start; i < seg.End; i++ {
+			site := s.targets[pc[i]]
 			if site == nil {
 				site = &siteInfo{targets: make(map[uint64]struct{})}
-				s.targets[r.PC] = site
+				s.targets[pc[i]] = site
 			}
-			site.targets[r.Target] = struct{}{}
+			site.targets[target[i]] = struct{}{}
 			site.execs++
 		}
 	}
@@ -77,6 +87,7 @@ func (s *Stats) StaticIndirectSites() int { return len(s.targets) }
 // indirect branches.
 func (s *Stats) PolymorphicFraction() float64 {
 	var poly, total int64
+	//blbp:allow(determinism) commutative sum over site counters; order-independent
 	for _, site := range s.targets {
 		total += site.execs
 		if len(site.targets) > 1 {
@@ -100,6 +111,7 @@ func (s *Stats) TargetCountCCDF(max int) []float64 {
 	}
 	counts := make([]int64, max+1)
 	var total int64
+	//blbp:allow(determinism) commutative histogram accumulation; order-independent
 	for _, site := range s.targets {
 		n := len(site.targets)
 		if n > max {
@@ -124,6 +136,7 @@ func (s *Stats) TargetCountCCDF(max int) []float64 {
 // indirect branch, sorted ascending.
 func (s *Stats) TargetSetSizes() []int {
 	sizes := make([]int, 0, len(s.targets))
+	//blbp:allow(determinism) collected sizes are sorted below before returning
 	for _, site := range s.targets {
 		sizes = append(sizes, len(site.targets))
 	}
@@ -134,6 +147,7 @@ func (s *Stats) TargetSetSizes() []int {
 // MaxTargets returns the largest distinct-target-set size observed, or 0.
 func (s *Stats) MaxTargets() int {
 	max := 0
+	//blbp:allow(determinism) max reduction; order-independent
 	for _, site := range s.targets {
 		if len(site.targets) > max {
 			max = len(site.targets)

@@ -56,9 +56,9 @@ func FuzzSpillDecode(f *testing.F) {
 		if vErr := got.Validate(); vErr != nil {
 			t.Fatalf("readSpillFile accepted an invalid trace: %v", vErr)
 		}
-		if got.Name != h.Name || int64(len(got.Records)) != h.Records {
+		if got.Name != h.Name || int64(got.Len()) != h.Records {
 			t.Fatalf("accepted payload disagrees with header: %q/%d vs %q/%d",
-				got.Name, len(got.Records), h.Name, h.Records)
+				got.Name, got.Len(), h.Name, h.Records)
 		}
 		// A loaded spill must be re-spillable under its header identity and
 		// reload identically through the full identity-validated path.
@@ -71,9 +71,9 @@ func FuzzSpillDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("reloading a re-spilled trace failed: %v", err)
 		}
-		if back.Name != got.Name || len(back.Records) != len(got.Records) {
+		if back.Name != got.Name || back.Len() != got.Len() {
 			t.Fatalf("spill round trip changed shape: %q/%d -> %q/%d",
-				got.Name, len(got.Records), back.Name, len(back.Records))
+				got.Name, got.Len(), back.Name, back.Len())
 		}
 	})
 }

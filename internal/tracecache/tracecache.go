@@ -20,10 +20,13 @@
 // directory and retains the files, making repeated full-suite runs warm
 // after the first.
 //
-// Each entry also memoizes the two derived artifacts every driver needs:
-// the trace's statistics (trace.Analyze, shared by the characterization
-// figures) and its simulation tape (sim.NewTape, shared by every predictor
-// pass; see internal/sim).
+// Entries hold traces in columnar form (trace.Columns — what generators
+// emit, spill files decode into, and the replay engine consumes), with
+// the record-slice view materialized lazily on first request. Each entry
+// also memoizes the two derived artifacts every driver needs: the trace's
+// statistics (trace.AnalyzeColumns, shared by the characterization
+// figures) and its simulation tape (sim.NewTapeColumns, shared by every
+// predictor pass; see internal/sim).
 package tracecache
 
 import (
@@ -153,16 +156,20 @@ func New(cfg Config) *Cache {
 	return c
 }
 
-// Entry is one cached workload: the built trace plus memoized derived
-// artifacts. Entries stay valid after eviction — eviction only drops the
-// cache's own reference.
+// Entry is one cached workload: the built trace (held in columnar form —
+// what every hot consumer replays) plus memoized derived artifacts. Entries
+// stay valid after eviction — eviction only drops the cache's own
+// reference.
 type Entry struct {
 	id    workload.Identity
 	once  sync.Once
 	build func() // bound at creation; every Get runs it through once
-	tr    *trace.Trace
+	cols  *trace.Columns
 	bytes int64
 	elem  *list.Element // LRU position, nil once evicted; under Cache.mu
+
+	trOnce sync.Once
+	tr     *trace.Trace
 
 	statsOnce sync.Once
 	stats     *trace.Stats
@@ -172,18 +179,26 @@ type Entry struct {
 	tapeErr  error
 }
 
-// Trace returns the built trace (shared; callers must not mutate it).
-func (e *Entry) Trace() *trace.Trace { return e.tr }
+// Columns returns the built trace in columnar form (shared; callers must
+// not mutate it).
+func (e *Entry) Columns() *trace.Columns { return e.cols }
+
+// Trace returns the record-slice form, materializing it from the columns on
+// first use (shared; callers must not mutate it).
+func (e *Entry) Trace() *trace.Trace {
+	e.trOnce.Do(func() { e.tr = e.cols.Trace() })
+	return e.tr
+}
 
 // Stats returns the trace's statistics, analyzing it on first use.
 func (e *Entry) Stats() *trace.Stats {
-	e.statsOnce.Do(func() { e.stats = trace.Analyze(e.tr) })
+	e.statsOnce.Do(func() { e.stats = trace.AnalyzeColumns(e.cols) })
 	return e.stats
 }
 
 // Tape returns the trace's simulation tape, building it on first use.
 func (e *Entry) Tape() (*sim.Tape, error) {
-	e.tapeOnce.Do(func() { e.tape, e.tapeErr = sim.NewTape(e.tr) })
+	e.tapeOnce.Do(func() { e.tape, e.tapeErr = sim.NewTapeColumns(e.cols) })
 	return e.tape, e.tapeErr
 }
 
@@ -253,12 +268,12 @@ func (c *Cache) Get(spec workload.Spec) *Entry {
 	fromPreload := c.preloaded[id]
 	e.build = func() {
 		if spillPath != "" {
-			if tr, err := loadSpill(spillPath, id); err == nil {
+			if cols, err := loadSpill(spillPath, id); err == nil {
 				c.spillLoads.Add(1)
 				if fromPreload {
 					c.preloadHits.Add(1)
 				}
-				e.tr = tr
+				e.cols = cols
 			} else {
 				// Wrong-identity, corrupt, or unreadable file: drop it from
 				// the index (and disk) and rebuild from the generator.
@@ -272,11 +287,11 @@ func (c *Cache) Get(spec workload.Spec) *Entry {
 				c.mu.Unlock()
 			}
 		}
-		if e.tr == nil {
+		if e.cols == nil {
 			c.builds.Add(1)
-			e.tr = spec.Build()
+			e.cols = spec.BuildColumns()
 		}
-		e.bytes = int64(len(e.tr.Records))*recordBytes + int64(len(e.tr.Name)) + entryOverheadBytes
+		e.bytes = int64(e.cols.Len())*recordBytes + int64(len(e.cols.Name)) + entryOverheadBytes
 	}
 	c.entries[id] = e
 	c.mu.Unlock()
@@ -341,7 +356,7 @@ func (c *Cache) spill(victims []*Entry) {
 			continue
 		}
 		path := filepath.Join(c.cfg.SpillDir, spillName(v.id))
-		if err := writeSpill(path, v.id, v.tr); err != nil {
+		if err := writeSpill(path, v.id, v.cols); err != nil {
 			c.spillFailure(fmt.Errorf("spilling %s: %w", v.id.Name, err))
 			continue
 		}
@@ -373,14 +388,14 @@ func spillName(id workload.Identity) string {
 // writeSpill atomically writes a self-describing spill file: the payload
 // lands under a temp name and is renamed onto path only once fully
 // written, so a crash never leaves a partial file at a canonical name.
-func writeSpill(path string, id workload.Identity, tr *trace.Trace) error {
+func writeSpill(path string, id workload.Identity, cols *trace.Columns) error {
 	f, err := os.CreateTemp(filepath.Dir(path), tempPattern)
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	h := trace.SpillHeader{Name: id.Name, Seed: id.Seed, Instructions: id.Instructions}
-	if err := trace.WriteSpill(f, h, tr); err != nil {
+	if err := trace.WriteSpillColumns(f, h, cols); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -406,30 +421,31 @@ func readSpillHeaderFile(path string) (trace.SpillHeader, error) {
 	return trace.ReadSpillHeader(f)
 }
 
-// readSpillFile reads and fully validates a spill file.
-func readSpillFile(path string) (trace.SpillHeader, *trace.Trace, error) {
+// readSpillFile reads and fully validates a spill file into columnar form.
+func readSpillFile(path string) (trace.SpillHeader, *trace.Columns, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return trace.SpillHeader{}, nil, err
 	}
 	defer f.Close()
-	return trace.ReadSpill(f)
+	return trace.ReadSpillColumns(f)
 }
 
 // loadSpill decodes the spill file at path and verifies it really is the
 // requested identity — name, seed, and instruction budget from the header,
 // with the checksum and record count checked against the payload by
-// trace.ReadSpill. A bare file-name match is never sufficient.
-func loadSpill(path string, id workload.Identity) (*trace.Trace, error) {
-	h, tr, err := readSpillFile(path)
+// trace.ReadSpillColumns. A bare file-name match is never sufficient.
+func loadSpill(path string, id workload.Identity) (*trace.Columns, error) {
+	h, cols, err := readSpillFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if h.Name != id.Name || h.Seed != id.Seed || h.Instructions != id.Instructions {
+		trace.ReleaseColumns(cols)
 		return nil, fmt.Errorf("tracecache: spill %s holds %s/%d/%d, want %s/%d/%d (stale or colliding file)",
 			filepath.Base(path), h.Name, h.Seed, h.Instructions, id.Name, id.Seed, id.Instructions)
 	}
-	return tr, nil
+	return cols, nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -460,7 +476,7 @@ func (c *Cache) Close() {
 		c.mu.Lock()
 		var flush []*Entry
 		for id, e := range c.entries {
-			if e.tr == nil {
+			if e.cols == nil {
 				continue
 			}
 			if _, done := c.spilled[id]; !done {

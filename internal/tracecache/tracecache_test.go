@@ -198,7 +198,7 @@ func TestSpillCollisionWrongIdentityRejected(t *testing.T) {
 	// Plant A's trace at B's canonical spill name — what a colliding or
 	// stale file looks like on disk.
 	path := filepath.Join(dir, spillName(idB))
-	if err := writeSpill(path, specA.Identity(), specA.Build()); err != nil {
+	if err := writeSpill(path, specA.Identity(), specA.BuildColumns()); err != nil {
 		t.Fatal(err)
 	}
 	c := New(Config{SpillDir: dir})

@@ -17,10 +17,12 @@ import (
 // PC + 4.
 const instructionSize = 4
 
-// emitter builds a trace while tracking straight-line instruction counts
-// and a call stack so call/return pairs stay balanced.
+// emitter builds a columnar trace while tracking straight-line instruction
+// counts and a call stack so call/return pairs stay balanced. Generators
+// emit columns natively (trace.Columns is what the replay engine consumes);
+// Spec.Build materializes the record-slice form for callers that want it.
 type emitter struct {
-	tr      *trace.Trace
+	cols    *trace.Columns
 	pending int64 // straight-line instructions since the last branch
 	instr   int64
 	limit   int64
@@ -28,7 +30,7 @@ type emitter struct {
 }
 
 func newEmitter(name string, limit int64) *emitter {
-	return &emitter{tr: &trace.Trace{Name: name}, limit: limit}
+	return &emitter{cols: trace.NewColumns(name, 0), limit: limit}
 }
 
 // done reports whether the instruction budget is exhausted.
@@ -48,13 +50,13 @@ func (e *emitter) emit(rec trace.Record) {
 		// zero-cost filler conditional branches; in practice generators
 		// never get here, but the guard keeps InstrBefore in uint32 range.
 		e.pending -= maxPending
-		e.tr.Append(trace.Record{PC: rec.PC - 8, Target: rec.PC - 4, InstrBefore: maxPending, Type: trace.CondDirect})
+		e.cols.Append(trace.Record{PC: rec.PC - 8, Target: rec.PC - 4, InstrBefore: maxPending, Type: trace.CondDirect})
 		e.instr += maxPending + 1
 	}
 	rec.InstrBefore = uint32(e.pending)
 	e.instr += e.pending + 1
 	e.pending = 0
-	e.tr.Append(rec)
+	e.cols.Append(rec)
 }
 
 // cond emits a conditional branch.
@@ -149,8 +151,15 @@ func (s Spec) Identity() Identity {
 	return Identity{Name: s.Name, Seed: s.Seed, Instructions: s.Instructions}
 }
 
-// Build synthesizes the trace for the spec.
+// Build synthesizes the trace for the spec in record-slice form (a
+// conversion shim over BuildColumns, kept for tests and external callers).
 func (s Spec) Build() *trace.Trace {
+	return s.BuildColumns().Trace()
+}
+
+// BuildColumns synthesizes the trace for the spec in columnar form — what
+// the replay engine and the trace cache consume directly.
+func (s Spec) BuildColumns() *trace.Columns {
 	if s.build == nil {
 		panic(fmt.Sprintf("workload: spec %q has no generator", s.Name))
 	}
@@ -164,7 +173,7 @@ func (s Spec) Build() *trace.Trace {
 	for i := len(e.stack); i > 0; i-- {
 		e.ret(0x3FF000 + uint64(i)*instructionSize)
 	}
-	return e.tr
+	return e.cols
 }
 
 // funcAddr returns the synthetic address of function index i in bank b.

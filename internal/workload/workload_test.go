@@ -329,10 +329,11 @@ func TestMixedRoundRobinFollowsWeights(t *testing.T) {
 	e := newEmitter("rr", 10_000)
 	banks := []int{}
 	for i := 0; i < 9; i++ {
-		before := len(e.tr.Records)
+		before := e.cols.Len()
 		m.step(e, rng)
 		// Identify which bank emitted by inspecting the new records' PCs.
-		for _, r := range e.tr.Records[before:] {
+		for ri := before; ri < e.cols.Len(); ri++ {
+			r := e.cols.Record(ri)
 			if r.Type == trace.IndirectCall {
 				bank := 0
 				if r.PC >= 0x40_0000+1<<24 {

@@ -17,6 +17,11 @@ go test -fuzz FuzzTraceRoundTrip -fuzztime 5s -run xxx ./internal/trace/
 go test -fuzz FuzzSpillDecode -fuzztime 5s -run xxx ./internal/tracecache/
 go test -fuzz FuzzRunPlanDecode -fuzztime 5s -run xxx ./internal/runspec/
 go test -fuzz FuzzBatchEquivalence -fuzztime 5s -run xxx ./internal/batch/
+go test -fuzz FuzzColumnarEquivalence -fuzztime 5s -run xxx ./internal/sim/
+# Columnar differential smoke: the seed-corpus differential (record-slice
+# reference vs columnar replay, tape replay, and the columnar spill round
+# trip) must hold without the fuzz engine.
+go test -run 'TestColumnarEquivalenceSeeds' -count 1 ./internal/sim/
 # Batch-engine smoke: run the cmd/bench batch section at widths 1 and 64,
 # check each width served exactly as many predictions as the serial
 # reference, and diff the batched-vs-serial prediction logs byte for byte.
@@ -31,7 +36,9 @@ diff "$bdir/preds.b64.batched.csv" "$bdir/preds.b64.serial.csv"
 rm -rf "$bdir"
 # Warm-start smoke: a second experiments run against a kept spill directory
 # must serve every trace from disk (0 generator builds) and emit
-# byte-identical CSVs.
+# byte-identical CSVs. The warm run decodes its spill files through the
+# columnar fast path (trace.ReadSpillColumns), so this also gates that
+# decoder end to end.
 spill=$(mktemp -d); cold=$(mktemp -d); warm=$(mktemp -d)
 go run ./cmd/experiments -base 4000 -csv "$cold" \
 	-cachespill "$spill" -cachekeep overall >/dev/null
