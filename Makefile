@@ -11,10 +11,13 @@ test:
 	$(GO) test ./...
 
 # Static gate: go vet plus the repo's own invariant analyzers
-# (cmd/blbplint: determinism, hwbudget, satweights, atomics, hotalloc).
+# (cmd/blbplint: determinism, hwbudget, satweights, atomics, hotalloc,
+# lanebounds, parsafe). The machine-readable findings report, suppressed
+# entries included, lands in results/lint.json for tooling to consume.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/blbplint ./...
+	@mkdir -p results
+	$(GO) run ./cmd/blbplint -jsonout results/lint.json ./...
 
 # Full CI gate: lint + build + race-enabled tests + fuzz smoke + gofmt -s.
 ci:

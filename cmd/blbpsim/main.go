@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"blbp"
@@ -39,10 +40,22 @@ type configFlags map[string]string
 
 func (c configFlags) String() string {
 	parts := make([]string, 0, len(c))
-	for name, js := range c {
-		parts = append(parts, name+"="+js)
+	for _, name := range sortedKeys(c) {
+		parts = append(parts, name+"="+c[name])
 	}
 	return strings.Join(parts, " ")
+}
+
+// sortedKeys fixes the iteration order everywhere the override set is
+// rendered or validated, keeping output and error choice deterministic.
+func sortedKeys(c configFlags) []string {
+	names := make([]string, 0, len(c))
+	//blbp:allow(determinism) collect-then-sort: the sort.Strings below erases the map iteration order
+	for name := range c {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (c configFlags) Set(s string) error {
@@ -92,7 +105,7 @@ func run(args []string) error {
 			names = append(names, name)
 		}
 	}
-	for name := range configs {
+	for _, name := range sortedKeys(configs) {
 		found := false
 		for _, n := range names {
 			found = found || n == name

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllowPositions pins the position-exact suppression semantics on the
+// testdata/allow fixture: a //blbp:allow comment matches the flagged line
+// or the line immediately above — never further — multi-analyzer lists
+// match by name, and a comment without a reason is itself a finding.
+func TestAllowPositions(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "allow"), "td/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(prog, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index determinism findings by the function they sit in (via line
+	// ranges kept simple: one finding per function in the fixture).
+	type finding struct {
+		line       int
+		suppressed bool
+	}
+	var det []finding
+	var allowMsgs []string
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "determinism":
+			det = append(det, finding{d.Pos.Line, d.Suppressed})
+		case "allow":
+			allowMsgs = append(allowMsgs, d.Message)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if len(det) != 5 {
+		t.Fatalf("want 5 determinism findings (one per fixture function), got %d: %v", len(det), det)
+	}
+	// Fixture layout: findings appear in source order — SameLine,
+	// LineAbove, TwoAbove, MultiName, MissingReason.
+	wantSuppressed := []bool{true, true, false, true, false}
+	names := []string{"SameLine", "LineAbove", "TwoAbove", "MultiName", "MissingReason"}
+	for i, f := range det {
+		if f.suppressed != wantSuppressed[i] {
+			t.Errorf("%s (line %d): suppressed = %v, want %v", names[i], f.line, f.suppressed, wantSuppressed[i])
+		}
+	}
+
+	// The two-lines-above comment must be audited as unused, and the
+	// reasonless comment as malformed.
+	var unused, malformed bool
+	for _, m := range allowMsgs {
+		if strings.Contains(m, "unused //blbp:allow(determinism)") {
+			unused = true
+		}
+		if strings.Contains(m, "malformed //blbp:allow") {
+			malformed = true
+		}
+	}
+	if !unused {
+		t.Errorf("missing unused-allow audit for the two-lines-above comment; allow diagnostics: %v", allowMsgs)
+	}
+	if !malformed {
+		t.Errorf("missing malformed-allow audit for the reasonless comment; allow diagnostics: %v", allowMsgs)
+	}
+	if len(allowMsgs) != 2 {
+		t.Errorf("want exactly 2 allow audit findings, got %v", allowMsgs)
+	}
+}

@@ -52,16 +52,17 @@ func wantsIn(t *testing.T, dir string) map[string]*regexp.Regexp {
 }
 
 // runTestdata loads testdata/<dirname> as package asPath, runs the
-// analyzer, and checks the diagnostics against the // want comments: every
-// diagnostic must match the want on its line, and every want must fire.
-func runTestdata(t *testing.T, a *Analyzer, dirname, asPath string) {
+// analyzers (facts flow between them in order), and checks the diagnostics
+// against the // want comments: every diagnostic must match the want on
+// its line, and every want must fire.
+func runTestdata(t *testing.T, analyzers []*Analyzer, dirname, asPath string) {
 	t.Helper()
 	dir := filepath.Join("testdata", dirname)
 	prog, err := LoadDir(dir, asPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run(prog, []*Analyzer{a})
+	diags, err := Run(prog, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,15 +91,50 @@ func runTestdata(t *testing.T, a *Analyzer, dirname, asPath string) {
 // The asPath values place each testdata package inside the analyzer's
 // scope (pathIn matches path suffixes at segment boundaries).
 
-func TestDeterminism(t *testing.T) { runTestdata(t, Determinism, "determinism", "td/internal/sim") }
+func TestDeterminism(t *testing.T) {
+	runTestdata(t, []*Analyzer{Determinism}, "determinism", "td/internal/sim")
+}
 
-func TestHWBudget(t *testing.T) { runTestdata(t, HWBudget, "hwbudget", "td/internal/core") }
+func TestHWBudget(t *testing.T) {
+	runTestdata(t, []*Analyzer{HWBudget}, "hwbudget", "td/internal/core")
+}
 
-func TestSatWeights(t *testing.T) { runTestdata(t, SatWeights, "satweights", "td/internal/cond") }
+func TestSatWeights(t *testing.T) {
+	runTestdata(t, []*Analyzer{SatWeights}, "satweights", "td/internal/cond")
+}
 
-func TestAtomics(t *testing.T) { runTestdata(t, Atomics, "atomics", "td/internal/tracecache") }
+func TestAtomics(t *testing.T) {
+	runTestdata(t, []*Analyzer{Atomics}, "atomics", "td/internal/tracecache")
+}
 
-func TestHotAlloc(t *testing.T) { runTestdata(t, HotAlloc, "hotalloc", "td/internal/core") }
+func TestHotAlloc(t *testing.T) {
+	runTestdata(t, []*Analyzer{HotAlloc}, "hotalloc", "td/internal/core")
+}
+
+// TestLaneBounds runs satweights and lanebounds together over a miniature
+// of the real packed-weight geometry: satweights' SatBound facts are what
+// let the transfer bound cover its sibling weight field (the fact-dependent
+// true negative), while the bad* functions violate the accumulation and
+// store disciplines (the true positives).
+func TestLaneBounds(t *testing.T) {
+	runTestdata(t, []*Analyzer{SatWeights, LaneBounds}, "lanebounds", "td/internal/core")
+}
+
+// TestLaneBoundsWide is the fact-dependent true positive: the fixture is
+// the same shape but its raw weights are int16, so the SatBound fact
+// (±32767) exceeds what the transfer bound was verified for and the proof
+// must refuse to certify the package.
+func TestLaneBoundsWide(t *testing.T) {
+	runTestdata(t, []*Analyzer{SatWeights, LaneBounds}, "laneboundswide", "td/internal/core")
+}
+
+// TestParSafe exercises the launch ownership proof. The SpawnSafe /
+// SpawnRacy pair is the fact-dependent contrast: both launch an in-package
+// method, and only the collected ParSafeFact summary (addLocked guards its
+// write, add does not) separates them.
+func TestParSafe(t *testing.T) {
+	runTestdata(t, []*Analyzer{ParSafe}, "parsafe", "td/internal/experiments")
+}
 
 // TestScopeExcludesOtherPackages checks that path-scoped analyzers skip
 // packages outside their scope: the determinism testdata (full of

@@ -35,15 +35,6 @@ type atomicFacts struct {
 	blessed map[*ast.Ident]bool
 }
 
-// objKey builds the cross-package identity key for an object.
-func objKey(obj types.Object) string {
-	pkg := ""
-	if obj.Pkg() != nil {
-		pkg = obj.Pkg().Path()
-	}
-	return pkg + ":" + obj.Name()
-}
-
 func atomicsFactsOf(pass *Pass) *atomicFacts {
 	f, _ := pass.Program.Facts[pass.Analyzer].(*atomicFacts)
 	if f == nil {

@@ -9,11 +9,12 @@ import (
 // determinismScope lists the packages whose output feeds results/*.csv and
 // must therefore be byte-reproducible at any -parallel: the simulation
 // engine, the experiment execution layer, the declarative plan layer that
-// assembles every output, the table renderer, the command front end, and
-// the multi-stream batching engine (whose bit-identical-to-serial contract
-// a nondeterministic iteration order would silently void), and the trace
-// layer whose columnar storage, stats, and spill codecs every replay and
-// cache path reads.
+// assembles every output, the table renderer, the multi-stream batching
+// engine (whose bit-identical-to-serial contract a nondeterministic
+// iteration order would silently void), the trace layer whose columnar
+// storage, stats, and spill codecs every replay and cache path reads, and
+// every command front end that emits result rows (bench timing reads are
+// individually audited in ANALYSIS_EXCEPTIONS.md).
 var determinismScope = []string{
 	"internal/trace",
 	"internal/sim",
@@ -22,6 +23,9 @@ var determinismScope = []string{
 	"internal/report",
 	"internal/batch",
 	"cmd/experiments",
+	"cmd/bench",
+	"cmd/blbpsim",
+	"cmd/tracegen",
 }
 
 // Determinism forbids the classic sources of run-to-run drift in the
@@ -30,9 +34,10 @@ var determinismScope = []string{
 // goroutines that write captured variables directly instead of routing
 // results through the Runner's index-keyed reassembly cells.
 var Determinism = &Analyzer{
-	Name: "determinism",
-	Doc:  "forbid time.Now, global math/rand, map ranges, and unkeyed goroutine writes in results-producing packages",
-	Run:  runDeterminism,
+	Name:         "determinism",
+	Doc:          "forbid time.Now, global math/rand, map ranges, and unkeyed goroutine writes in results-producing packages",
+	DefaultScope: determinismScope,
+	Run:          runDeterminism,
 }
 
 // randAllowed lists package-level math/rand functions that are
@@ -40,7 +45,7 @@ var Determinism = &Analyzer{
 var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
 func runDeterminism(pass *Pass) error {
-	if !pathIn(pass.Pkg.Path, determinismScope) {
+	if !pass.InScope() {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {

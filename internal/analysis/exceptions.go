@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The ANALYSIS_EXCEPTIONS.md contract: every live //blbp:allow suppression
+// must have a row in the file's "Live suppressions" table, and every row
+// must correspond to a live suppression. CheckExceptions machine-checks
+// both directions so the audit that used to be manual fails CI on drift.
+
+// ExceptionEntry is one row of the live-suppressions table, keyed the way
+// the cross-check matches it against findings: the suppressed file's base
+// name and the analyzer.
+type ExceptionEntry struct {
+	File     string // base name, e.g. "stats.go"
+	Analyzer string
+	Line     int // line in the exceptions file, for error messages
+}
+
+var backtickRe = regexp.MustCompile("`([^`]+)`")
+
+// ParseExceptions reads the live-suppressions table of an
+// ANALYSIS_EXCEPTIONS.md file: rows of the first markdown table whose
+// first cell carries a backticked location (the first backticked token
+// names the file) and whose second cell is the analyzer name.
+func ParseExceptions(path string) ([]ExceptionEntry, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: exceptions: %w", err)
+	}
+	var entries []ExceptionEntry
+	for i, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		if len(cells) < 3 {
+			continue
+		}
+		loc := backtickRe.FindStringSubmatch(cells[0])
+		if loc == nil {
+			continue // header or separator row
+		}
+		analyzer := strings.TrimSpace(cells[1])
+		if analyzer == "" || strings.ContainsAny(analyzer, " `-") {
+			continue
+		}
+		entries = append(entries, ExceptionEntry{
+			File:     filepath.Base(strings.TrimSpace(loc[1])),
+			Analyzer: analyzer,
+			Line:     i + 1,
+		})
+	}
+	return entries, nil
+}
+
+// CheckExceptions cross-checks the exceptions file against the live
+// suppressed findings: every suppressed finding needs a covering table row
+// (same file base name and analyzer) and every row needs a live finding.
+// It returns one human-readable problem per drift.
+func CheckExceptions(entries []ExceptionEntry, diags []Diagnostic) []string {
+	type key struct{ file, analyzer string }
+	live := map[key][]Diagnostic{}
+	for _, d := range diags {
+		if !d.Suppressed {
+			continue
+		}
+		k := key{filepath.Base(d.Pos.Filename), d.Analyzer}
+		live[k] = append(live[k], d)
+	}
+	covered := map[key]bool{}
+	var problems []string
+	for _, e := range entries {
+		k := key{e.File, e.Analyzer}
+		if len(live[k]) == 0 {
+			problems = append(problems, fmt.Sprintf(
+				"ANALYSIS_EXCEPTIONS.md:%d: entry (%s, %s) matches no live //blbp:allow suppression; remove the stale row",
+				e.Line, e.File, e.Analyzer))
+			continue
+		}
+		covered[k] = true
+	}
+	var missing []string
+	for k, ds := range live {
+		if covered[k] {
+			continue
+		}
+		missing = append(missing, fmt.Sprintf(
+			"%s: suppressed %s finding has no ANALYSIS_EXCEPTIONS.md entry (add a (%s, %s) row)",
+			ds[0].Pos, k.analyzer, k.file, k.analyzer))
+	}
+	sort.Strings(missing)
+	return append(problems, missing...)
+}

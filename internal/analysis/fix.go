@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix among diags to the files on disk,
+// returning how many fixes were applied. Edits are grouped per file,
+// sorted, and applied back to front; overlapping edits (two fixes
+// rewriting the same bytes) abort with an error rather than corrupting
+// the file, and suppressed diagnostics are never applied.
+func ApplyFixes(diags []Diagnostic) (int, error) {
+	type edit struct {
+		TextEdit
+		diag string // for overlap error messages
+	}
+	byFile := map[string][]edit{}
+	applied := 0
+	for _, d := range diags {
+		if d.Fix == nil || d.Suppressed {
+			continue
+		}
+		applied++
+		for _, e := range d.Fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], edit{e, d.String()})
+		}
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, fname := range files {
+		edits := byFile[fname]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			return 0, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		// Distinct fixes may carry byte-identical edits (two rewrites in one
+		// file each adding the same import); collapse them before the
+		// overlap check.
+		uniq := edits[:1]
+		for _, e := range edits[1:] {
+			prev := uniq[len(uniq)-1]
+			if e.TextEdit == prev.TextEdit {
+				continue
+			}
+			uniq = append(uniq, e)
+		}
+		edits = uniq
+		for i := 1; i < len(edits); i++ {
+			if edits[i].Start < edits[i-1].End {
+				return 0, fmt.Errorf("analysis: overlapping fixes in %s (%s / %s); apply and re-lint", fname, edits[i-1].diag, edits[i].diag)
+			}
+		}
+		last := edits[len(edits)-1]
+		if last.End > len(src) || last.Start < 0 {
+			return 0, fmt.Errorf("analysis: fix range [%d,%d) outside %s (%d bytes)", last.Start, last.End, fname, len(src))
+		}
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		if err := os.WriteFile(fname, src, 0o644); err != nil {
+			return 0, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+	}
+	return applied, nil
+}

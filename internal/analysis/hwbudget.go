@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
+	"go/types"
 )
 
 // hwbudgetScope lists the packages modeling hardware structures: their
@@ -72,13 +74,14 @@ var paperTables = map[string]paperConfig{
 // default configurations stay bit-for-bit on the paper's configuration
 // table so every reported MPKI is measured inside the declared budget.
 var HWBudget = &Analyzer{
-	Name: "hwbudget",
-	Doc:  "table indices must be masks (no %) and default configs must match the paper's configuration table",
-	Run:  runHWBudget,
+	Name:         "hwbudget",
+	Doc:          "table indices must be masks (no %) and default configs must match the paper's configuration table",
+	DefaultScope: hwbudgetScope,
+	Run:          runHWBudget,
 }
 
 func runHWBudget(pass *Pass) error {
-	if !pathIn(pass.Pkg.Path, hwbudgetScope) {
+	if !pass.InScope() {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {
@@ -89,7 +92,7 @@ func runHWBudget(pass *Pass) error {
 			}
 			ast.Inspect(idx.Index, func(m ast.Node) bool {
 				if b, ok := m.(*ast.BinaryExpr); ok && b.Op == token.REM {
-					pass.Reportf(b.Pos(), "table index computed with %%; size the structure to a power of two and mask (or reduce through hashing.Index)")
+					pass.ReportFix(b.Pos(), remFix(pass, b), "table index computed with %%; size the structure to a power of two and mask (or reduce through hashing.Index)")
 				}
 				return true
 			})
@@ -155,6 +158,39 @@ func checkPaperConfig(pass *Pass, cfg paperConfig) {
 			}
 			return
 		}
+	}
+}
+
+// remFix builds the x % N -> x & (N - 1) rewrite when it is provably
+// equivalent: N a compile-time constant power of two and x unsigned (a
+// negative signed remainder is negative, the mask is not). Anything else
+// gets the finding with no fix — resizing a table is a design decision.
+func remFix(pass *Pass, b *ast.BinaryExpr) *SuggestedFix {
+	n, ok := constInt(pass, b.Y)
+	if !ok || n <= 0 || n&(n-1) != 0 {
+		return nil
+	}
+	t := pass.TypeOf(b.X)
+	if t == nil {
+		return nil
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsUnsigned == 0 {
+		return nil
+	}
+	divisor := pass.Render(b.Y)
+	if divisor == "" {
+		return nil
+	}
+	// % and & share a precedence level and associate left, so swapping the
+	// operator in place and parenthesizing the new mask operand preserves
+	// the grouping of any enclosing expression.
+	return &SuggestedFix{
+		Message: fmt.Sprintf("replace %% %s with & (%s - 1)", divisor, divisor),
+		Edits: []TextEdit{
+			pass.Edit(b.OpPos, b.OpPos+1, "&"),
+			pass.Edit(b.Y.Pos(), b.Y.End(), fmt.Sprintf("(%s - 1)", divisor)),
+		},
 	}
 }
 

@@ -1,0 +1,917 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// LaneBounds proves the packed-lane arithmetic of the bit-sliced weight
+// image cannot overflow: every 16-bit lane of a table word holds
+// transfer(weight) + laneBias, and the prediction kernels sum one row per
+// sub-predictor into lane accumulators with no inter-lane carry
+// suppression, so the whole scheme is correct only while
+//
+//	maxRows * laneCellMax <= laneMask
+//
+// The analyzer derives that inequality from verified source facts instead
+// of trusting comments: satweights' SatBound facts bound the raw weights,
+// //blbp:bound directives (checked against the transfer-table builder, the
+// Validate guards, and the max-abs loop that computes laneBias) bound the
+// lane cells, and the Validate guard on SubPredictors bounds the row
+// count. Run then walks every function of the scope proving each store
+// into a //blbp:lanes slice and each lane accumulation stays inside the
+// derived bounds, flagging any lane add, store, or SWAR reduction it
+// cannot bound.
+//
+// Declaration directives:
+//
+//	//blbp:lanes(table)  packed weight words; lanes hold at most cellMax
+//	//blbp:lanes(acc)    lane accumulators; lanes hold at most accMax
+//	//blbp:rows          per-item packed-row offset slices (maxRows apiece)
+//	//blbp:bound(lo,hi)  integer range of a field, func result, or var
+var LaneBounds = &Analyzer{
+	Name:         "lanebounds",
+	Doc:          "prove 16-bit packed lanes cannot overflow under any reachable weight value",
+	DefaultScope: []string{"internal/core", "internal/batch"},
+	Collect:      collectLaneBounds,
+	Run:          runLaneBounds,
+}
+
+// LaneTag is the object fact a //blbp:lanes, //blbp:rows, or //blbp:bound
+// directive exports after verification. Kind is "table", "acc", "rows", or
+// "bound"; Lo/Hi carry the bound range; AbsOf names the object key whose
+// element magnitudes this bound is the verified maximum of (the laneBias
+// field's relation to the transfer table); Arena marks rows slices sized
+// batch*n that must be consumed through n-sized windows.
+type LaneTag struct {
+	Kind   string
+	Lo, Hi int64
+	AbsOf  string
+	Arena  bool
+}
+
+func (*LaneTag) AFact() {}
+
+// Merge keeps the widest range; structural kinds must agree (they come
+// from directives, so a disagreement means two same-named objects with
+// different roles — keep the first, the checker stays conservative).
+func (t *LaneTag) Merge(other Fact) {
+	o, ok := other.(*LaneTag)
+	if !ok || o.Kind != t.Kind {
+		return
+	}
+	if o.Lo < t.Lo {
+		t.Lo = o.Lo
+	}
+	if o.Hi > t.Hi {
+		t.Hi = o.Hi
+	}
+	t.Arena = t.Arena || o.Arena
+}
+
+// NSub marks a field or variable verified to hold SubPredictors(): rows
+// windows sliced by such a value are maxRows-bounded.
+type NSub struct{}
+
+func (*NSub) AFact() {}
+
+// laneFacts is lanebounds' program-wide state, built by the Collect pass
+// over the geometry-defining package (the one declaring laneBits).
+type laneFacts struct {
+	ok           bool // geometry verified; Run is gated on it
+	laneBits     int64
+	lanesPerWord int64
+	laneMask     int64
+	transferHi   int64 // verified max |transfer(w)|
+	cellMax      int64 // max lane value of a table word
+	accMax       int64 // max lane value of an accumulator
+	maxRows      int64 // Validate-guarded SubPredictors bound
+}
+
+func laneFactsOf(pass *Pass) *laneFacts {
+	f, _ := pass.Program.Facts[pass.Analyzer].(*laneFacts)
+	if f == nil {
+		f = &laneFacts{}
+		pass.Program.Facts[pass.Analyzer] = f
+	}
+	return f
+}
+
+// pow2Mask rounds v up to the next all-ones value (2^k - 1 >= v): the
+// conservative bound of a lane-wise OR, whose result bits are the union of
+// its operands' bits.
+func pow2Mask(v int64) int64 {
+	m := int64(1)
+	for m-1 < v {
+		m <<= 1
+	}
+	return m - 1
+}
+
+// collectLaneBounds harvests and verifies the lane directives of one
+// package: geometry constants, bound directives (cross-checked against the
+// declarations they summarize and against satweights' SatBound facts), the
+// SubPredictors guard, and the rows/lanes tags. Verification failures are
+// reported here; a package with no lane geometry (the consumer side of the
+// scope) only exports its tags.
+func collectLaneBounds(pass *Pass) {
+	if !pass.InScope() {
+		return
+	}
+	facts := laneFactsOf(pass)
+	guards := collectGuards(pass)
+	collectNSub(pass, guards)
+	tags := collectLaneTags(pass)
+
+	geomOK := harvestGeometry(pass, facts)
+	transferKey := verifyBounds(pass, tags, guards)
+	if !geomOK {
+		return // consumer package: tags exported, geometry owned elsewhere
+	}
+	if transferKey == "" {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "package defines lane geometry but no //blbp:bound directive names the transfer table; lane cells are unbounded")
+		return
+	}
+	maxRows, ok := guards["SubPredictors"]
+	if !ok {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "no Validate guard bounds SubPredictors; the packed row count is unbounded")
+		return
+	}
+	facts.maxRows = maxRows
+	// A lane cell is transfer(w) + laneBias, inserted by masked OR:
+	// 2*transferHi rounded to the OR bound.
+	facts.cellMax = pow2Mask(2 * facts.transferHi)
+	facts.accMax = facts.maxRows * facts.cellMax
+	if facts.accMax > facts.laneMask {
+		pass.Reportf(pass.Pkg.Files[0].Pos(),
+			"packed column sums can overflow a lane: maxRows(%d) * cellMax(%d) = %d > laneMask(%d)",
+			facts.maxRows, facts.cellMax, facts.accMax, facts.laneMask)
+		return
+	}
+	facts.ok = true
+}
+
+// harvestGeometry reads the lane layout constants; absent constants mean
+// the package consumes lane facts rather than defining them.
+func harvestGeometry(pass *Pass, facts *laneFacts) bool {
+	scope := pass.Pkg.Types.Scope()
+	geom := map[string]*int64{
+		"laneBits":     &facts.laneBits,
+		"lanesPerWord": &facts.lanesPerWord,
+		"laneMask":     &facts.laneMask,
+	}
+	found := 0
+	for name, dst := range geom {
+		c, _ := scope.Lookup(name).(*types.Const)
+		if c == nil {
+			continue
+		}
+		if v, ok := constant64(c); ok {
+			*dst = v
+			found++
+		}
+	}
+	if found == 0 {
+		return false
+	}
+	if found < len(geom) || facts.laneBits <= 0 ||
+		facts.lanesPerWord*facts.laneBits != 64 ||
+		facts.laneMask != 1<<uint(facts.laneBits)-1 {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "lane geometry constants are inconsistent: need laneBits*lanesPerWord == 64 and laneMask == 1<<laneBits - 1")
+		return false
+	}
+	return true
+}
+
+// collectGuards scans error-returning functions for range guards of the
+// shape `if X > C { ... return ... }`, keyed by the guarded field or
+// method name. The smallest constant per key wins (the binding guard).
+func collectGuards(pass *Pass) map[string]int64 {
+	guards := map[string]int64{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !returnsError(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ifs, ok := n.(*ast.IfStmt)
+				if !ok || !containsReturn(ifs.Body) {
+					return true
+				}
+				for _, cond := range orTerms(ifs.Cond) {
+					b, ok := cond.(*ast.BinaryExpr)
+					if !ok {
+						continue
+					}
+					var key ast.Expr
+					var limit int64
+					switch {
+					case b.Op == token.GTR:
+						c, ok := constInt(pass, b.Y)
+						if !ok {
+							continue
+						}
+						key, limit = b.X, c
+					case b.Op == token.GEQ:
+						c, ok := constInt(pass, b.Y)
+						if !ok {
+							continue
+						}
+						key, limit = b.X, c-1
+					default:
+						continue
+					}
+					name := guardKey(key)
+					if name == "" {
+						continue
+					}
+					if old, ok := guards[name]; !ok || limit < old {
+						guards[name] = limit
+					}
+				}
+				return true
+			})
+		}
+	}
+	return guards
+}
+
+// guardKey names the guarded quantity: the selected field of c.Field or
+// the method of c.Method().
+func guardKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// orTerms flattens a ||-chain into its terms.
+func orTerms(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LOR {
+		return append(orTerms(b.X), orTerms(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+func returnsError(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		if id, ok := r.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func containsReturn(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectNSub exports an NSub fact for every field initialized to
+// SubPredictors() in a composite literal and every method returning it —
+// the values rows windows may legally be sized by. Only meaningful when a
+// SubPredictors guard exists.
+func collectNSub(pass *Pass, guards map[string]int64) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			st, ok := pass.TypeOf(lit).(*types.Named)
+			if !ok {
+				return true
+			}
+			str, ok := st.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !isSubPredictorsCall(kv.Value) {
+					continue
+				}
+				for i := 0; i < str.NumFields(); i++ {
+					if str.Field(i).Name() == key.Name {
+						pass.ExportObjectFact(str.Field(i), &NSub{})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isSubPredictorsCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	return ok && guardKey(call) == "SubPredictors"
+}
+
+// laneDirectives maps the directive argument of //blbp:lanes to a tag kind.
+var laneDirectives = map[string]string{"table": "table", "acc": "acc"}
+
+// collectLaneTags walks the package's declarations for lane directives,
+// exporting a LaneTag fact per tagged object and returning the tagged
+// declarations for bound verification.
+type taggedDecl struct {
+	obj  types.Object
+	tag  *LaneTag
+	node ast.Node // the FuncDecl or Field carrying the directive
+}
+
+func collectLaneTags(pass *Pass) []taggedDecl {
+	var tags []taggedDecl
+	add := func(obj types.Object, tag *LaneTag, node ast.Node) {
+		if obj == nil {
+			return
+		}
+		pass.ExportObjectFact(obj, tag)
+		tags = append(tags, taggedDecl{obj, tag, node})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if tag := parseLaneTag(pass, n.Doc, n.Pos()); tag != nil {
+					add(pass.ObjectOf(n.Name), tag, n)
+				}
+				return true
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					tag := parseLaneTag(pass, field.Doc, field.Pos())
+					if tag == nil {
+						continue
+					}
+					for _, name := range field.Names {
+						add(pass.ObjectOf(name), tag, field)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tags
+}
+
+// parseLaneTag reads the //blbp:lanes, //blbp:rows, or //blbp:bound
+// directive off a doc comment, reporting malformed ones.
+func parseLaneTag(pass *Pass, doc *ast.CommentGroup, pos token.Pos) *LaneTag {
+	if arg, ok := directiveArg(doc, "blbp:lanes"); ok {
+		if kind := laneDirectives[arg]; kind != "" {
+			return &LaneTag{Kind: kind}
+		}
+		pass.Reportf(pos, "malformed //blbp:lanes(%s): want table or acc", arg)
+		return nil
+	}
+	if _, ok := directiveArg(doc, "blbp:rows"); ok {
+		return &LaneTag{Kind: "rows"}
+	}
+	if arg, ok := directiveArg(doc, "blbp:bound"); ok {
+		parts := strings.SplitN(arg, ",", 2)
+		if len(parts) == 2 {
+			lo, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+			hi, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+			if err1 == nil && err2 == nil && lo <= hi {
+				return &LaneTag{Kind: "bound", Lo: lo, Hi: hi}
+			}
+		}
+		pass.Reportf(pos, "malformed //blbp:bound(%s): want //blbp:bound(lo,hi)", arg)
+	}
+	return nil
+}
+
+func constant64(c *types.Const) (int64, bool) {
+	v := constant.ToInt(c.Val())
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+// verifyBounds checks every //blbp:bound directive against the
+// declaration it summarizes and wires the verified transfer bound into the
+// program facts. It returns the object key of the transfer table (the
+// bound-tagged slice field), or "" when none verified.
+//
+// Three bound shapes are recognized:
+//
+//   - a function building the transfer table: its bound must cover both
+//     the largest magnitude in any integer-literal table the body reads
+//     and the widest 1<<(w-1)-1 range the Validate guard on the matching
+//     parameter admits;
+//   - a slice field holding the built table: its bound must equal the
+//     builder's and cover the SatBound fact of every narrow-element
+//     sibling field (the satweights link: the raw weights indexing the
+//     table can never select a value outside the verified range);
+//   - an int field assigned from a max-abs loop over the built table: its
+//     bound is [0, builderHi] and carries the AbsOf relation that proves
+//     transfer(w) + laneBias is non-negative.
+func verifyBounds(pass *Pass, tags []taggedDecl, guards map[string]int64) string {
+	facts := laneFactsOf(pass)
+	var builderHi int64 = -1
+	var builderObj types.Object
+	// Pass 1: function bounds.
+	for _, t := range tags {
+		fd, ok := t.node.(*ast.FuncDecl)
+		if !ok || t.tag.Kind != "bound" {
+			continue
+		}
+		need := literalTableMax(pass, fd)
+		w, sawShift, guarded := shiftRangeMax(fd, guards)
+		if sawShift && !guarded {
+			pass.Reportf(fd.Pos(), "%s derives a range from a shift by a parameter no Validate guard bounds; //blbp:bound cannot be verified", fd.Name.Name)
+			continue
+		}
+		if w > need {
+			need = w
+		}
+		if need > t.tag.Hi || -need < t.tag.Lo {
+			pass.Reportf(fd.Pos(), "//blbp:bound(%d,%d) on %s does not cover the value range ±%d the body can produce", t.tag.Lo, t.tag.Hi, fd.Name.Name, need)
+			continue
+		}
+		builderHi = maxAbs64(t.tag.Lo, t.tag.Hi)
+		builderObj = pass.ObjectOf(fd.Name)
+	}
+	// Pass 2: field bounds.
+	transferKey := ""
+	for _, t := range tags {
+		field, ok := t.node.(*ast.Field)
+		if !ok || t.tag.Kind != "bound" {
+			continue
+		}
+		if _, isSlice := t.obj.Type().Underlying().(*types.Slice); isSlice {
+			if builderHi >= 0 && maxAbs64(t.tag.Lo, t.tag.Hi) != builderHi {
+				pass.Reportf(field.Pos(), "//blbp:bound on %s disagrees with the verified builder bound ±%d", t.obj.Name(), builderHi)
+				continue
+			}
+			if bad, hi := uncoveredSibling(pass, t.obj, t.tag); bad != "" {
+				pass.Reportf(field.Pos(), "//blbp:bound(%d,%d) on %s cannot cover sibling weight field %s (satweights proves only ±%d); widen the bound or narrow the weights", t.tag.Lo, t.tag.Hi, t.obj.Name(), bad, hi)
+				continue
+			}
+			transferKey = objKey(t.obj)
+			facts.transferHi = maxAbs64(t.tag.Lo, t.tag.Hi)
+			continue
+		}
+		// Int field: must be computed by a max-abs loop over a value the
+		// builder bound covers.
+		if t.tag.Lo != 0 {
+			pass.Reportf(field.Pos(), "//blbp:bound on int field %s must start at 0 (it is a verified maximum of magnitudes)", t.obj.Name())
+			continue
+		}
+		if builderObj == nil || !maxAbsLoopFeeds(pass, t.obj, builderObj) {
+			pass.Reportf(field.Pos(), "cannot verify //blbp:bound on %s: no max-abs loop over the builder's result assigns it", t.obj.Name())
+			continue
+		}
+		if t.tag.Hi < builderHi {
+			pass.Reportf(field.Pos(), "//blbp:bound(0,%d) on %s is narrower than the builder bound ±%d it maximizes over", t.tag.Hi, t.obj.Name(), builderHi)
+			continue
+		}
+		t.tag.AbsOf = "pending" // patched to transferKey below
+	}
+	for _, t := range tags {
+		if t.tag.Kind == "bound" && t.tag.AbsOf == "pending" {
+			t.tag.AbsOf = transferKey
+			pass.ExportObjectFact(t.obj, t.tag)
+		}
+	}
+	verifyRowsMakes(pass, tags)
+	return transferKey
+}
+
+func maxAbs64(lo, hi int64) int64 {
+	if -lo > hi {
+		return -lo
+	}
+	return hi
+}
+
+// literalTableMax returns the largest magnitude among integer-literal
+// composite tables (package-level vars) the function body reads.
+func literalTableMax(pass *Pass, fd *ast.FuncDecl) int64 {
+	var max int64
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.ObjectOf(id).(*types.Var)
+		if !ok || v.Parent() != pass.Pkg.Types.Scope() {
+			return true
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(m ast.Node) bool {
+				vs, ok := m.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for i, name := range vs.Names {
+					if pass.ObjectOf(name) != v || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range lit.Elts {
+						if c, ok := constInt(pass, elt); ok {
+							if c < 0 {
+								c = -c
+							}
+							if c > max {
+								max = c
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return max
+}
+
+// shiftRangeMax recognizes `1<<uint(p-1) - 1` in the body, where p is a
+// parameter. It reports whether the pattern occurred and, when a Validate
+// guard bounds the matching configuration field, the widest value the
+// guard admits.
+func shiftRangeMax(fd *ast.FuncDecl, guards map[string]int64) (out int64, sawShift, guarded bool) {
+	params := map[string]bool{}
+	for _, p := range fd.Type.Params.List {
+		for _, name := range p.Names {
+			params[name.Name] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.SUB {
+			return true
+		}
+		one, ok := b.Y.(*ast.BasicLit)
+		if !ok || one.Value != "1" {
+			return true
+		}
+		shl, ok := b.X.(*ast.BinaryExpr)
+		if !ok || shl.Op != token.SHL {
+			return true
+		}
+		pname := ""
+		ast.Inspect(shl.Y, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && params[id.Name] {
+				pname = id.Name
+			}
+			return true
+		})
+		if pname == "" {
+			return true
+		}
+		sawShift = true
+		for key, limit := range guards {
+			if strings.EqualFold(key, pname) {
+				v := int64(1)<<uint(limit-1) - 1
+				if v > out {
+					out = v
+				}
+				guarded = true
+			}
+		}
+		return true
+	})
+	return out, sawShift, guarded
+}
+
+// uncoveredSibling returns the name and proven magnitude of a sibling
+// narrow-element slice/array field whose SatBound fact exceeds the
+// transfer bound — the weights that index the transfer table must be
+// provably inside the range the table was built for.
+func uncoveredSibling(pass *Pass, transfer types.Object, tag *LaneTag) (string, int64) {
+	v, ok := transfer.(*types.Var)
+	if !ok || !v.IsField() {
+		return "", 0
+	}
+	owner := fieldOwner(pass, v)
+	if owner == nil {
+		return "", 0
+	}
+	for i := 0; i < owner.NumFields(); i++ {
+		f := owner.Field(i)
+		if f == v {
+			continue
+		}
+		var sb SatBound
+		if !pass.ImportObjectFact(f, &sb) {
+			continue
+		}
+		switch f.Type().Underlying().(type) {
+		case *types.Slice, *types.Array:
+			if sb.MaxAbs() > maxAbs64(tag.Lo, tag.Hi) {
+				return f.Name(), sb.MaxAbs()
+			}
+		}
+	}
+	return "", 0
+}
+
+// fieldOwner finds the struct type containing field v.
+func fieldOwner(pass *Pass, v *types.Var) *types.Struct {
+	var owner *types.Struct
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				owner = st
+			}
+		}
+	}
+	return owner
+}
+
+// maxAbsLoopFeeds reports whether some function computes field's value by
+// a max-abs loop over the builder's result: a local assigned from a call
+// of builder, ranged with `if v < 0 { v = -v }` and `if v > m { m = v }`,
+// with m then keyed to field in a composite literal or assigned through a
+// selector.
+func maxAbsLoopFeeds(pass *Pass, field, builder types.Object) bool {
+	ok := false
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, isFn := n.(*ast.FuncDecl)
+			if !isFn || fd.Body == nil {
+				return true
+			}
+			if m := maxAbsResult(pass, fd, builder); m != nil && feedsField(pass, fd, m, field) {
+				ok = true
+			}
+			return true
+		})
+	}
+	return ok
+}
+
+// maxAbsResult finds the variable holding the max-abs of the builder's
+// result inside fd, or nil.
+func maxAbsResult(pass *Pass, fd *ast.FuncDecl, builder types.Object) types.Object {
+	// Locals assigned from a builder call.
+	fromBuilder := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if callee := calleeFunc(pass, call); callee != nil && callee == builder {
+				fromBuilder[pass.ObjectOf(id)] = true
+			}
+		}
+		return true
+	})
+	var result types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		xid, ok := rng.X.(*ast.Ident)
+		if !ok || !fromBuilder[pass.ObjectOf(xid)] {
+			return true
+		}
+		vid, ok := rng.Value.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := pass.ObjectOf(vid)
+		var sawAbs bool
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			ifs, ok := m.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			lhsObj := identObj(pass, cond.X)
+			switch {
+			case cond.Op == token.LSS && lhsObj == v && isZeroLit(cond.Y):
+				// if v < 0 { v = -v }
+				sawAbs = true
+			case cond.Op == token.GTR && lhsObj == v && sawAbs:
+				// if v > m { m = v }
+				result = identObj(pass, cond.Y)
+			}
+			return true
+		})
+		return true
+	})
+	return result
+}
+
+// feedsField reports whether m's value reaches field: via a composite
+// literal key or a selector assignment in fd.
+func feedsField(pass *Pass, fd *ast.FuncDecl, m, field types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok &&
+				key.Name == field.Name() && identObj(pass, n.Value) == m {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if pass.ObjectOf(sel.Sel) == field && identObj(pass, n.Rhs[i]) == m {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return pass.ObjectOf(id)
+	}
+	return nil
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// verifyRowsMakes classifies every //blbp:rows declaration by the shape of
+// the make calls sizing it: a product length (batch*n) marks an arena that
+// must be consumed through n-sized windows; a single SubPredictors-derived
+// length marks a unit slice rangeable whole. A rows slice whose length
+// cannot be connected to SubPredictors is reported — its iteration count
+// is unbounded.
+func verifyRowsMakes(pass *Pass, tags []taggedDecl) {
+	rows := map[types.Object]*LaneTag{}
+	for _, t := range tags {
+		if t.tag.Kind == "rows" {
+			rows[t.obj] = t.tag
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	verified := map[types.Object]bool{}
+	checkMake := func(obj types.Object, rhs ast.Expr) {
+		tag := rows[obj]
+		if tag == nil {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || calleeName(call) != "make" || len(call.Args) < 2 {
+			return
+		}
+		if prod, okP := productLen(call.Args[1]); okP {
+			if subDerivedExpr(pass, prod) {
+				tag.Arena = true
+				pass.ExportObjectFact(obj, tag)
+				verified[obj] = true
+			}
+		} else if subDerivedExpr(pass, call.Args[1]) {
+			verified[obj] = true
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						checkMake(rowsTargetObj(pass, lhs), n.Rhs[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				// Composite-literal field initializers (the constructor path).
+				if key, ok := n.Key.(*ast.Ident); ok {
+					checkMake(pass.ObjectOf(key), n.Value)
+				}
+			}
+			return true
+		})
+	}
+	for _, t := range tags {
+		if t.tag.Kind == "rows" && !verified[t.obj] {
+			pass.Reportf(t.node.Pos(), "cannot connect the length of //blbp:rows slice %s to a SubPredictors-derived make; its row count is unbounded", t.obj.Name())
+		}
+	}
+}
+
+// rowsTargetObj resolves the assigned object of a rows make: plain ident
+// or selector field.
+func rowsTargetObj(pass *Pass, lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(lhs)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(lhs.Sel)
+	}
+	return nil
+}
+
+// productLen unwraps a b*n length expression, returning the n factor.
+func productLen(e ast.Expr) (ast.Expr, bool) {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.MUL {
+		return nil, false
+	}
+	return b.Y, true
+}
+
+// subDerivedExpr reports whether e resolves to SubPredictors(): a direct
+// call, an NSub-tagged field or variable, or a local whose single
+// definition is one of those.
+func subDerivedExpr(pass *Pass, e ast.Expr) bool {
+	if isSubPredictorsCall(e) {
+		return true
+	}
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = pass.ObjectOf(e)
+	case *ast.SelectorExpr:
+		obj = pass.ObjectOf(e.Sel)
+	default:
+		return false
+	}
+	if obj == nil {
+		return false
+	}
+	var tag NSub
+	if pass.ImportObjectFact(obj, &tag) {
+		return true
+	}
+	// Local defined once from SubPredictors() or an NSub value.
+	derived := false
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if identObj(pass, lhs) != obj || i >= len(as.Rhs) {
+					continue
+				}
+				rhs := as.Rhs[i]
+				if isSubPredictorsCall(rhs) {
+					derived = true
+				} else if sel, ok := rhs.(*ast.SelectorExpr); ok {
+					if pass.ImportObjectFact(pass.ObjectOf(sel.Sel), &tag) {
+						derived = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}

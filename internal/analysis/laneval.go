@@ -1,0 +1,538 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is lanebounds' Run phase: a small abstract interpreter over
+// the kernels of the scope. Every expression evaluates to a laneVal —
+// scalar interval, packed 16-bit lanes with a per-lane maximum, packed
+// 32-bit fields (the SWAR reduction's intermediate shape), a reference to
+// a tagged table/accumulator/rows slice, or opaque. Stores into tagged
+// slices and lane-valued accumulations are then checked against the
+// verified geometry; anything the rules cannot bound is a finding.
+
+type laneKind int
+
+const (
+	lvOpaque    laneKind = iota
+	lvScalar             // integer interval [lo, hi]
+	lvLanes              // 16-bit lanes, each in [0, hi]
+	lvFields32           // 32-bit fields, each in [0, hi]
+	lvLaneShift          // shift amount that is a multiple of laneBits
+	lvTableRef           // //blbp:lanes(table) slice
+	lvAccRef             // //blbp:lanes(acc) slice
+	lvRowsRef            // //blbp:rows slice
+	lvBoundRef           // slice of //blbp:bound ints (the transfer table)
+)
+
+type laneVal struct {
+	kind   laneKind
+	lo, hi int64
+	src    string // provenance: "elem:<key>" or "abs:<key>"
+	arena  bool   // rowsRef sized batch*n
+	window bool   // rowsRef narrowed to one n-sized window
+	chain  []types.Object
+}
+
+func opaque() laneVal                { return laneVal{kind: lvOpaque} }
+func scalarV(lo, hi int64) laneVal   { return laneVal{kind: lvScalar, lo: lo, hi: hi} }
+func lanesV(hi int64) laneVal        { return laneVal{kind: lvLanes, hi: hi} }
+func fields32V(hi int64) laneVal     { return laneVal{kind: lvFields32, hi: hi} }
+func (v laneVal) isRef() bool        { return v.kind >= lvTableRef }
+func (v laneVal) rowsIterable() bool { return v.kind == lvRowsRef && (!v.arena || v.window) }
+
+type loopFrame struct {
+	rows   bool
+	keyObj types.Object
+}
+
+type laneChecker struct {
+	pass  *Pass
+	facts *laneFacts
+	fd    *ast.FuncDecl
+
+	vals        map[types.Object]laneVal
+	fresh       map[types.Object]bool      // zero-valued local declarations
+	zeroed      map[types.Object]token.Pos // roots cleared by a zero loop
+	accumulated map[types.Object]bool      // roots already accumulated into
+	depth       map[types.Object]int       // loop depth at declaration
+	params      map[types.Object]int       // parameter -> index
+	resolving   map[types.Object]bool      // paramBound recursion guard
+	loops       []loopFrame
+}
+
+func runLaneBounds(pass *Pass) error {
+	if !pass.InScope() {
+		return nil
+	}
+	facts := laneFactsOf(pass)
+	if !facts.ok {
+		// Either the geometry package had verification findings (already
+		// reported) or it is outside this load; nothing sound to check.
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &laneChecker{
+				pass: pass, facts: facts, fd: fd,
+				vals:        map[types.Object]laneVal{},
+				fresh:       map[types.Object]bool{},
+				zeroed:      map[types.Object]token.Pos{},
+				accumulated: map[types.Object]bool{},
+				depth:       map[types.Object]int{},
+				params:      map[types.Object]int{},
+				resolving:   map[types.Object]bool{},
+			}
+			c.bindParams(fd)
+			c.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+// bindParams seeds parameter values: slice parameters carrying a LaneTag
+// fact (exported for the same-named field they alias) become references;
+// integer parameters resolve lazily from call sites.
+func (c *laneChecker) bindParams(fd *ast.FuncDecl) {
+	idx := 0
+	for _, p := range fd.Type.Params.List {
+		for _, name := range p.Names {
+			obj := c.pass.ObjectOf(name)
+			if obj == nil {
+				idx++
+				continue
+			}
+			c.params[obj] = idx
+			if v, ok := c.taggedVal(obj); ok {
+				v.chain = append(v.chain, obj)
+				c.vals[obj] = v
+			}
+			idx++
+		}
+	}
+}
+
+// taggedVal converts an object's LaneTag fact into a reference value.
+func (c *laneChecker) taggedVal(obj types.Object) (laneVal, bool) {
+	var tag LaneTag
+	if !c.pass.ImportObjectFact(obj, &tag) {
+		return laneVal{}, false
+	}
+	switch tag.Kind {
+	case "table":
+		return laneVal{kind: lvTableRef, hi: c.facts.cellMax, chain: []types.Object{obj}}, true
+	case "acc":
+		return laneVal{kind: lvAccRef, hi: c.facts.accMax, chain: []types.Object{obj}}, true
+	case "rows":
+		return laneVal{kind: lvRowsRef, arena: tag.Arena, chain: []types.Object{obj}}, true
+	case "bound":
+		src := "elem:" + objKey(obj)
+		if tag.AbsOf != "" {
+			src = "abs:" + tag.AbsOf
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+			return laneVal{kind: lvBoundRef, lo: tag.Lo, hi: tag.Hi, src: src, chain: []types.Object{obj}}, true
+		}
+		return laneVal{kind: lvScalar, lo: tag.Lo, hi: tag.Hi, src: src}, true
+	}
+	return laneVal{}, false
+}
+
+func (c *laneChecker) bind(obj types.Object, v laneVal) {
+	if obj == nil {
+		return
+	}
+	if v.isRef() {
+		v.chain = append(append([]types.Object(nil), v.chain...), obj)
+	}
+	c.vals[obj] = v
+	c.depth[obj] = len(c.loops)
+}
+
+func (c *laneChecker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+func (c *laneChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				obj := c.pass.ObjectOf(name)
+				if i < len(vs.Values) {
+					c.bind(obj, c.value(vs.Values[i]))
+				} else {
+					c.bind(obj, scalarV(0, 0))
+					if obj != nil {
+						c.fresh[obj] = true
+					}
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		if base, _ := c.refTarget(s.X); base.isRef() {
+			c.pass.Reportf(s.Pos(), "++/-- on an element of a packed %s slice cannot be bounded; lanes change only through proven stores", refName(base.kind))
+		}
+	case *ast.RangeStmt:
+		c.rangeStmt(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		frame := loopFrame{}
+		if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE && len(init.Lhs) == 1 {
+			frame.keyObj = identObj(c.pass, init.Lhs[0])
+		}
+		c.loops = append(c.loops, frame)
+		c.block(s.Body)
+		c.loops = c.loops[:len(c.loops)-1]
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.block(s.Body)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		c.block(s)
+	case *ast.SwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					c.stmt(st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.exprStmt(s)
+	}
+}
+
+// rangeStmt classifies the ranged collection, recognizes the zero-loop
+// idiom, binds the iteration variables, and pushes the loop frame.
+func (c *laneChecker) rangeStmt(s *ast.RangeStmt) {
+	xv := c.value(s.X)
+
+	// Zero loop: `for i := range X { X[i] = 0 }` clears X for accumulation.
+	if xv.isRef() && len(s.Body.List) == 1 {
+		if as, ok := s.Body.List[0].(*ast.AssignStmt); ok && as.Tok == token.ASSIGN &&
+			len(as.Lhs) == 1 && isZeroLit(as.Rhs[0]) {
+			if idx, ok := as.Lhs[0].(*ast.IndexExpr); ok {
+				if key := identObj(c.pass, s.Key); key != nil && identObj(c.pass, idx.Index) == key {
+					for _, obj := range xv.chain {
+						c.zeroed[obj] = s.Pos()
+						delete(c.accumulated, obj)
+					}
+				}
+			}
+		}
+	}
+
+	frame := loopFrame{rows: xv.rowsIterable()}
+	if key := identObj(c.pass, s.Key); key != nil {
+		frame.keyObj = key
+		c.bind(key, opaque())
+	}
+	if val := identObj(c.pass, s.Value); val != nil {
+		c.bind(val, c.elemVal(xv))
+	}
+	c.loops = append(c.loops, frame)
+	c.block(s.Body)
+	c.loops = c.loops[:len(c.loops)-1]
+}
+
+// elemVal is the value of one element of a reference.
+func (c *laneChecker) elemVal(v laneVal) laneVal {
+	switch v.kind {
+	case lvTableRef:
+		return lanesV(c.facts.cellMax)
+	case lvAccRef:
+		return lanesV(c.facts.accMax)
+	case lvBoundRef:
+		return laneVal{kind: lvScalar, lo: v.lo, hi: v.hi, src: v.src}
+	}
+	return opaque()
+}
+
+func refName(k laneKind) string {
+	switch k {
+	case lvTableRef:
+		return "table"
+	case lvAccRef:
+		return "accumulator"
+	case lvRowsRef:
+		return "rows"
+	}
+	return "lane"
+}
+
+// refTarget resolves an assignment target to (base reference, index expr):
+// base is non-ref when the target is not a tagged slice element.
+func (c *laneChecker) refTarget(lhs ast.Expr) (laneVal, ast.Expr) {
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		return c.value(idx.X), idx.Index
+	}
+	return opaque(), nil
+}
+
+func (c *laneChecker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.DEFINE:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				c.bind(identObj(c.pass, lhs), c.value(s.Rhs[i]))
+			}
+		} else {
+			for _, lhs := range s.Lhs {
+				c.bind(identObj(c.pass, lhs), opaque())
+			}
+		}
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if i < len(s.Rhs) {
+				c.store(lhs, s.Rhs[i])
+			}
+		}
+	case token.ADD_ASSIGN:
+		c.accumulate(s)
+	default:
+		// Other compound updates: fold into a local's value, or reject on
+		// tagged elements (no rule proves them).
+		if base, _ := c.refTarget(s.Lhs[0]); base.isRef() {
+			c.pass.Reportf(s.Pos(), "compound %s on an element of a packed %s slice cannot be bounded; use a proven store", s.Tok, refName(base.kind))
+			return
+		}
+		if obj := identObj(c.pass, s.Lhs[0]); obj != nil {
+			old := c.vals[obj]
+			rhs := c.value(s.Rhs[0])
+			c.vals[obj] = c.binop(s.Pos(), compoundOp(s.Tok), old, rhs)
+		}
+	}
+}
+
+func compoundOp(t token.Token) token.Token {
+	switch t {
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}
+
+// store checks a plain `=` whose target is (an element of) a tagged slice;
+// untagged local targets just update the environment.
+func (c *laneChecker) store(lhs, rhs ast.Expr) {
+	// Whole-slice stores: X = make(...) re-arms a tagged slice; matching
+	// references re-seat one (tabs[i] = p.BatchTable()).
+	if obj := targetObj(c.pass, lhs); obj != nil {
+		if tagged, ok := c.taggedVal(obj); ok && tagged.isRef() {
+			if isMakeCall(rhs) {
+				return
+			}
+			rv := c.value(rhs)
+			if rv.kind == tagged.kind {
+				return
+			}
+			c.pass.Reportf(lhs.Pos(), "%s is a packed %s slice; it may only be re-made or assigned another %s reference", obj.Name(), refName(tagged.kind), refName(tagged.kind))
+			return
+		}
+	}
+	base, _ := c.refTarget(lhs)
+	switch base.kind {
+	case lvTableRef:
+		// Element type []uint64 means a [][]uint64 per-item slot.
+		if _, isSlice := c.pass.TypeOf(lhs).Underlying().(*types.Slice); isSlice {
+			if rv := c.value(rhs); rv.kind != lvTableRef {
+				c.pass.Reportf(lhs.Pos(), "slot of a packed table set from a value that is not a proven table reference")
+			}
+			return
+		}
+		c.checkLaneStore(lhs.Pos(), rhs, c.facts.cellMax, "table")
+	case lvAccRef:
+		c.checkLaneStore(lhs.Pos(), rhs, c.facts.accMax, "accumulator")
+	default:
+		if obj := identObj(c.pass, lhs); obj != nil {
+			if _, isLocal := c.vals[obj]; isLocal {
+				c.vals[obj] = c.value(rhs)
+			}
+		}
+	}
+}
+
+// checkLaneStore proves the stored value's lanes stay under limit.
+func (c *laneChecker) checkLaneStore(pos token.Pos, rhs ast.Expr, limit int64, what string) {
+	v := c.value(rhs)
+	lv, ok := c.asLanes(v)
+	if !ok {
+		c.pass.Reportf(pos, "cannot bound the lanes of the value stored into the packed %s", what)
+		return
+	}
+	if lv > limit {
+		c.pass.Reportf(pos, "store into the packed %s may hold lanes up to %d, above the proven bound %d", what, lv, limit)
+	}
+}
+
+// accumulate checks `T += E` under the rows-loop discipline: the target
+// must be zeroed (or a fresh local), every enclosing loop must be the one
+// rows loop, a loop whose key indexes the target, or a loop the target is
+// declared in, and the addend's lanes must fit cellMax so that maxRows
+// additions stay under the lane mask.
+func (c *laneChecker) accumulate(s *ast.AssignStmt) {
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	rv := c.value(rhs)
+	base, idx := c.refTarget(lhs)
+	obj := identObj(c.pass, lhs)
+
+	if rv.kind != lvLanes {
+		if base.isRef() {
+			c.pass.Reportf(s.Pos(), "cannot bound the lanes of the value accumulated into the packed %s", refName(base.kind))
+		} else if obj != nil {
+			old := c.vals[obj]
+			c.vals[obj] = c.binop(s.Pos(), token.ADD, old, rv)
+		}
+		return
+	}
+	if base.kind == lvTableRef {
+		c.pass.Reportf(s.Pos(), "lane accumulation into the packed table itself; tables change only through proven stores")
+		return
+	}
+
+	// Identify the root being accumulated into and check it starts at zero.
+	var root types.Object
+	switch {
+	case base.kind == lvAccRef:
+		zeroOK := false
+		for _, o := range base.chain {
+			if p, ok := c.zeroed[o]; ok && p < s.Pos() {
+				zeroOK = true
+			}
+		}
+		if !zeroOK {
+			c.pass.Reportf(s.Pos(), "lane accumulation into an accumulator window that is not provably zeroed in this function")
+			return
+		}
+		root = base.chain[len(base.chain)-1]
+	case obj != nil && c.fresh[obj]:
+		root = obj
+	default:
+		c.pass.Reportf(s.Pos(), "lane accumulation into a target that is neither a zeroed accumulator nor a fresh local")
+		return
+	}
+	if c.accumulated[root] {
+		c.pass.Reportf(s.Pos(), "second lane accumulation into %s without re-zeroing cannot be bounded", root.Name())
+		return
+	}
+	c.accumulated[root] = true
+
+	// Loop discipline.
+	rows := 0
+	for i, fr := range c.loops {
+		if fr.rows {
+			rows++
+			continue
+		}
+		if fr.keyObj != nil && idx != nil && usesObj(c.pass, idx, fr.keyObj) {
+			continue
+		}
+		if c.depth[root] > i {
+			continue
+		}
+		c.pass.Reportf(s.Pos(), "enclosing loop multiplies this lane accumulation beyond the rows bound; hoist it or accumulate into a loop-local")
+		return
+	}
+	if rows != 1 {
+		c.pass.Reportf(s.Pos(), "lane accumulation must sit inside exactly one //blbp:rows loop (found %d); the row count is otherwise unbounded", rows)
+		return
+	}
+	if rv.hi > c.facts.cellMax {
+		c.pass.Reportf(s.Pos(), "accumulated lanes reach %d per row, above cellMax %d; maxRows rows would overflow", rv.hi, c.facts.cellMax)
+		return
+	}
+	if obj != nil && root == obj {
+		c.vals[obj] = lanesV(c.facts.maxRows * rv.hi)
+		delete(c.fresh, obj)
+	}
+}
+
+// exprStmt checks copy() into tagged slices.
+func (c *laneChecker) exprStmt(s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok || calleeName(call) != "copy" || len(call.Args) != 2 {
+		return
+	}
+	dst := c.value(call.Args[0])
+	if dst.kind != lvTableRef && dst.kind != lvAccRef {
+		return
+	}
+	limit, what := c.facts.cellMax, "table"
+	if dst.kind == lvAccRef {
+		limit, what = c.facts.accMax, "accumulator"
+	}
+	src := c.value(call.Args[1])
+	if src.kind == dst.kind {
+		return
+	}
+	if lv, ok := c.asLanes(src); ok && lv <= limit {
+		return
+	}
+	c.pass.Reportf(s.Pos(), "copy into the packed %s from a source whose lanes cannot be bounded by %d", what, limit)
+}
+
+func targetObj(pass *Pass, lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(lhs)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(lhs.Sel)
+	}
+	return nil
+}
+
+func isMakeCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	return ok && calleeName(call) == "make"
+}
+
+func usesObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

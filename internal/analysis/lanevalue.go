@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the expression evaluator behind laneval.go's checker: it
+// maps an expression to the abstract laneVal domain using the environment
+// built during the walk plus the LaneTag facts on package objects.
+
+// value evaluates e to an abstract lane value.
+func (c *laneChecker) value(e ast.Expr) laneVal {
+	// Compile-time constants short-circuit everything: laneMask, shift
+	// amounts like 2*laneBits, literal masks.
+	if cv, ok := constInt(c.pass, e); ok {
+		return scalarV(cv, cv)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.value(e.X)
+	case *ast.Ident:
+		obj := c.pass.ObjectOf(e)
+		if obj == nil {
+			return opaque()
+		}
+		if v, ok := c.vals[obj]; ok {
+			return v
+		}
+		if v, ok := c.taggedVal(obj); ok {
+			return v
+		}
+		if _, isParam := c.params[obj]; isParam {
+			return c.paramBound(obj)
+		}
+		return opaque()
+	case *ast.SelectorExpr:
+		obj := c.pass.ObjectOf(e.Sel)
+		if obj == nil {
+			return opaque()
+		}
+		if v, ok := c.taggedVal(obj); ok {
+			return v
+		}
+		return opaque()
+	case *ast.IndexExpr:
+		base := c.value(e.X)
+		if base.kind == lvTableRef {
+			// [][]uint64 per-item slots index to a table reference; []uint64
+			// indexes to one packed word.
+			if _, isSlice := c.pass.TypeOf(e).Underlying().(*types.Slice); isSlice {
+				return base
+			}
+		}
+		return c.elemVal(base)
+	case *ast.SliceExpr:
+		base := c.value(e.X)
+		if base.kind == lvRowsRef && base.arena && !base.window && c.isRowsWindow(e) {
+			base.window = true
+		}
+		return base
+	case *ast.CallExpr:
+		return c.callValue(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			if v := c.value(e.X); v.kind == lvScalar {
+				return laneVal{kind: lvScalar, lo: -v.hi, hi: -v.lo, src: v.src}
+			}
+		}
+		return opaque()
+	case *ast.BinaryExpr:
+		return c.binop(e.Pos(), e.Op, c.value(e.X), c.value(e.Y))
+	}
+	return opaque()
+}
+
+// callValue handles type conversions, tagged builders/methods, and
+// everything else (opaque).
+func (c *laneChecker) callValue(call *ast.CallExpr) laneVal {
+	// Integer type conversion: preserves the abstract value when it cannot
+	// truncate or sign-wrap what we rely on.
+	if tv, ok := c.pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		v := c.value(call.Args[0])
+		switch v.kind {
+		case lvScalar:
+			if v.lo >= 0 {
+				return v
+			}
+			return opaque() // a negative value converted to unsigned wraps
+		case lvLanes, lvFields32, lvLaneShift:
+			return v
+		}
+		return opaque()
+	}
+	// Calls to tagged functions/methods: buildTransferTable (bound),
+	// Predictor.BatchTable (lanes(table)).
+	if fn := calleeFunc(c.pass, call); fn != nil {
+		if v, ok := c.taggedVal(fn); ok {
+			return v
+		}
+	}
+	return opaque()
+}
+
+// binop combines two abstract values under op, reporting when a lane-typed
+// combination cannot be bounded.
+func (c *laneChecker) binop(pos token.Pos, op token.Token, a, b laneVal) laneVal {
+	switch op {
+	case token.ADD:
+		if a.kind == lvScalar && b.kind == lvScalar {
+			// abs(K) + elem(K) is nonnegative by construction: the bias is
+			// the maximum |transfer value|, so the interval floor is 0.
+			if absPair(a, b) {
+				return scalarV(0, a.hi+b.hi)
+			}
+			return scalarV(a.lo+b.lo, a.hi+b.hi)
+		}
+		if a.kind == lvLanes || b.kind == lvLanes {
+			la, okA := c.asLanes(a)
+			lb, okB := c.asLanes(b)
+			if !okA || !okB {
+				c.pass.Reportf(pos, "lane-wise add with an operand whose lanes cannot be bounded")
+				return opaque()
+			}
+			if la+lb > c.facts.laneMask {
+				c.pass.Reportf(pos, "lane-wise add can reach %d, overflowing the %d-bit lane", la+lb, c.facts.laneBits)
+				return opaque()
+			}
+			return lanesV(la + lb)
+		}
+		if a.kind == lvFields32 || b.kind == lvFields32 {
+			fa, okA := asFields32(a)
+			fb, okB := asFields32(b)
+			if !okA || !okB {
+				c.pass.Reportf(pos, "32-bit field-wise add with an operand whose fields cannot be bounded")
+				return opaque()
+			}
+			if fa+fb > (1<<32)-1 {
+				c.pass.Reportf(pos, "32-bit field-wise add can reach %d, overflowing the field", fa+fb)
+				return opaque()
+			}
+			return fields32V(fa + fb)
+		}
+		return opaque()
+	case token.SUB:
+		if a.kind == lvScalar && b.kind == lvScalar {
+			return scalarV(a.lo-b.hi, a.hi-b.lo)
+		}
+		if a.kind == lvLanes || b.kind == lvLanes || a.kind == lvFields32 || b.kind == lvFields32 {
+			c.pass.Reportf(pos, "lane-wise subtract cannot be bounded (lanes are unsigned and may borrow)")
+		}
+		return opaque()
+	case token.OR:
+		if a.kind == lvLanes || b.kind == lvLanes {
+			la, okA := c.asLanes(a)
+			lb, okB := c.asLanes(b)
+			if !okA || !okB {
+				c.pass.Reportf(pos, "lane-wise or with an operand whose lanes cannot be bounded")
+				return opaque()
+			}
+			return lanesV(pow2Mask(max64(la, lb)))
+		}
+		if a.kind == lvScalar && b.kind == lvScalar && a.lo >= 0 && b.lo >= 0 {
+			return scalarV(0, pow2Mask(max64(a.hi, b.hi)))
+		}
+		return opaque()
+	case token.XOR:
+		return opaque()
+	case token.AND:
+		// Normalize a constant on the left.
+		if a.kind == lvScalar && a.lo == a.hi && b.kind != lvScalar {
+			a, b = b, a
+		}
+		isConst := b.kind == lvScalar && b.lo == b.hi
+		switch a.kind {
+		case lvLanes:
+			if isConst {
+				switch b.hi {
+				case c.facts.laneMask:
+					return scalarV(0, min64(a.hi, c.facts.laneMask))
+				case c.altMask():
+					return fields32V(a.hi)
+				}
+			}
+			return lanesV(a.hi)
+		case lvFields32:
+			if isConst && b.hi == (1<<32)-1 {
+				return scalarV(0, min64(a.hi, (1<<32)-1))
+			}
+			return fields32V(a.hi)
+		case lvScalar:
+			if isConst {
+				return scalarV(0, min64(max64(a.hi, 0), b.hi))
+			}
+			return scalarV(0, max64(a.hi, 0))
+		default:
+			if isConst {
+				return scalarV(0, b.hi)
+			}
+			return opaque()
+		}
+	case token.AND_NOT:
+		switch a.kind {
+		case lvLanes:
+			return lanesV(a.hi)
+		case lvFields32:
+			return fields32V(a.hi)
+		case lvScalar:
+			return scalarV(0, max64(a.hi, 0))
+		}
+		return opaque()
+	case token.SHL:
+		switch a.kind {
+		case lvLanes:
+			if c.laneAligned(b, c.facts.laneBits) {
+				return lanesV(a.hi)
+			}
+			c.pass.Reportf(pos, "lane value shifted by an amount not provably a multiple of %d; lanes would smear", c.facts.laneBits)
+			return opaque()
+		case lvFields32:
+			if c.laneAligned(b, 32) {
+				return fields32V(a.hi)
+			}
+			c.pass.Reportf(pos, "32-bit field value shifted by an amount not provably a multiple of 32")
+			return opaque()
+		case lvScalar:
+			if a.lo >= 0 && a.hi <= c.facts.laneMask && c.laneAligned(b, c.facts.laneBits) {
+				return lanesV(a.hi) // one lane's worth placed at a lane boundary
+			}
+		}
+		return opaque()
+	case token.SHR:
+		switch a.kind {
+		case lvLanes:
+			if c.laneAligned(b, c.facts.laneBits) {
+				return lanesV(a.hi)
+			}
+			c.pass.Reportf(pos, "lane value shifted by an amount not provably a multiple of %d; lanes would smear", c.facts.laneBits)
+			return opaque()
+		case lvFields32:
+			if c.laneAligned(b, 32) {
+				return fields32V(a.hi)
+			}
+			c.pass.Reportf(pos, "32-bit field value shifted by an amount not provably a multiple of 32")
+			return opaque()
+		case lvScalar:
+			if a.lo >= 0 {
+				return scalarV(0, a.hi)
+			}
+		}
+		return opaque()
+	case token.MUL:
+		// sh := uint(k%lanesPerWord) * laneBits: a runtime multiple of the
+		// lane width is a valid shift amount.
+		if (a.kind == lvScalar && a.lo == a.hi && a.hi == c.facts.laneBits) ||
+			(b.kind == lvScalar && b.lo == b.hi && b.hi == c.facts.laneBits) {
+			return laneVal{kind: lvLaneShift}
+		}
+		if a.kind == lvLanes || b.kind == lvLanes || a.kind == lvFields32 || b.kind == lvFields32 {
+			c.pass.Reportf(pos, "lane value multiplied; per-lane products cannot be bounded")
+		}
+		return opaque()
+	default:
+		if a.kind == lvLanes || b.kind == lvLanes {
+			c.pass.Reportf(pos, "operator %s on a lane value cannot be bounded", op)
+		}
+		return opaque()
+	}
+}
+
+// asLanes coerces v to a per-lane maximum: lanes directly, or a
+// nonnegative scalar that fits one lane (it occupies lane 0).
+func (c *laneChecker) asLanes(v laneVal) (int64, bool) {
+	switch v.kind {
+	case lvLanes:
+		return v.hi, true
+	case lvScalar:
+		if v.lo >= 0 && v.hi <= c.facts.laneMask {
+			return v.hi, true
+		}
+	}
+	return 0, false
+}
+
+func asFields32(v laneVal) (int64, bool) {
+	switch v.kind {
+	case lvFields32:
+		return v.hi, true
+	case lvScalar:
+		if v.lo >= 0 && v.hi <= (1<<32)-1 {
+			return v.hi, true
+		}
+	}
+	return 0, false
+}
+
+// altMask is the alternating mask selecting the low lane of every 32-bit
+// pair — the SWAR reduction's first widening step.
+func (c *laneChecker) altMask() int64 {
+	return c.facts.laneMask | c.facts.laneMask<<32
+}
+
+// laneAligned reports whether shift-amount value v is provably a multiple
+// of width bits.
+func (c *laneChecker) laneAligned(v laneVal, width int64) bool {
+	if v.kind == lvLaneShift {
+		return width == c.facts.laneBits
+	}
+	return v.kind == lvScalar && v.lo == v.hi && v.hi%width == 0
+}
+
+// absPair recognizes elem(K) + abs(K): a bound-tagged table element plus
+// the bias proven to be the maximum absolute element of the same table.
+func absPair(a, b laneVal) bool {
+	return pairSrc(a, b, "elem:", "abs:") || pairSrc(b, a, "elem:", "abs:")
+}
+
+func pairSrc(a, b laneVal, ap, bp string) bool {
+	return len(a.src) > len(ap) && len(b.src) > len(bp) &&
+		a.src[:len(ap)] == ap && b.src[:len(bp)] == bp &&
+		a.src[len(ap):] == b.src[len(bp):]
+}
+
+// isRowsWindow checks the structural shape rows[i*n : i*n+n] where n is
+// derived from SubPredictors(): the high bound is the low bound plus the
+// per-item row count, so the window covers exactly one item's rows.
+func (c *laneChecker) isRowsWindow(e *ast.SliceExpr) bool {
+	if e.Low == nil || e.High == nil {
+		return false
+	}
+	add, ok := e.High.(*ast.BinaryExpr)
+	if !ok || add.Op != token.ADD {
+		return false
+	}
+	if c.pass.Render(add.X) != c.pass.Render(e.Low) {
+		return false
+	}
+	return subDerivedExpr(c.pass, add.Y)
+}
+
+// paramBound derives an integer parameter's interval from every static
+// call site in the package: the join of the argument values, with src
+// provenance preserved only when all sites agree.
+func (c *laneChecker) paramBound(obj types.Object) laneVal {
+	if c.resolving[obj] {
+		return opaque()
+	}
+	c.resolving[obj] = true
+	defer delete(c.resolving, obj)
+
+	idx := c.params[obj]
+	fnObj := c.pass.ObjectOf(c.fd.Name)
+	if fnObj == nil {
+		return opaque()
+	}
+	var out laneVal
+	found := false
+	for _, f := range c.pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeFunc(c.pass, call) != fnObj || idx >= len(call.Args) {
+				return true
+			}
+			// Arguments are evaluated fact-only (fresh environment): a
+			// call-site local we cannot see is simply opaque.
+			site := &laneChecker{
+				pass: c.pass, facts: c.facts, fd: c.fd,
+				vals:      map[types.Object]laneVal{},
+				params:    map[types.Object]int{},
+				resolving: c.resolving,
+				fresh:     map[types.Object]bool{},
+				zeroed:    map[types.Object]token.Pos{},
+				depth:     map[types.Object]int{},
+			}
+			v := site.value(call.Args[idx])
+			if v.kind != lvScalar {
+				out = opaque()
+				found = true
+				return false
+			}
+			if !found {
+				out, found = v, true
+				return true
+			}
+			if out.kind != lvScalar {
+				return false
+			}
+			if v.src != out.src {
+				out.src = ""
+			}
+			out.lo = min64(out.lo, v.lo)
+			out.hi = max64(out.hi, v.hi)
+			return true
+		})
+		if found && out.kind != lvScalar {
+			break
+		}
+	}
+	if !found {
+		return opaque()
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,525 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// parsafeScope lists the packages that launch or feed concurrent work: the
+// experiment execution layer (worker pool and its task literals), the
+// multi-stream batching engine (documented as shard-across-engines; any
+// goroutine appearing there must justify itself), and every command front
+// end that could drive them concurrently.
+var parsafeScope = []string{
+	"internal/experiments",
+	"internal/batch",
+	"cmd/bench",
+	"cmd/blbplint",
+	"cmd/blbpsim",
+	"cmd/experiments",
+	"cmd/tracegen",
+}
+
+// ParSafe proves the ownership discipline of every goroutine launch in the
+// concurrent packages: a launched function may write only state it owns —
+// its parameters and locals, variables declared in the launch's own loop
+// iteration (each task's index-keyed cell), and anything reached through
+// them — unless a mutex is provably held. Functions marked //blbp:locked
+// (their doc comments say "caller holds mu") export that contract as a
+// fact, and every call site is checked to hold a lock; in-package callees
+// that write shared state without an internal lock are summarized in the
+// Collect phase and flagged when reached from concurrent context.
+var ParSafe = &Analyzer{
+	Name:         "parsafe",
+	Doc:          "goroutines and pool tasks may write only owned state; //blbp:locked callees require a held lock",
+	DefaultScope: parsafeScope,
+	Collect:      collectParSafe,
+	Run:          runParSafe,
+}
+
+// ParSafeFact summarizes one function for concurrent callers: Locked means
+// the function's contract is "caller holds the lock" (//blbp:locked);
+// WritesShared means its body writes non-local state before taking any
+// lock itself, so reaching it from a goroutine without synchronization is
+// a race.
+type ParSafeFact struct {
+	Locked       bool
+	WritesShared bool
+}
+
+func (*ParSafeFact) AFact() {}
+
+func (f *ParSafeFact) Merge(other Fact) {
+	o, ok := other.(*ParSafeFact)
+	if !ok {
+		return
+	}
+	f.Locked = f.Locked || o.Locked
+	f.WritesShared = f.WritesShared || o.WritesShared
+}
+
+func collectParSafe(pass *Pass) {
+	if !pass.InScope() {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.ObjectOf(fd.Name)
+			if obj == nil {
+				continue
+			}
+			fact := &ParSafeFact{
+				Locked:       hasDirective(fd.Doc, "blbp:locked"),
+				WritesShared: writesSharedState(pass, fd),
+			}
+			if fact.Locked || fact.WritesShared {
+				pass.ExportObjectFact(obj, fact)
+			}
+		}
+	}
+}
+
+// writesSharedState reports whether fd writes state it does not own —
+// receiver fields, globals, captured variables, or elements reached
+// through its parameters — before acquiring a lock. A function that locks
+// first (submit, close) owns its critical section; writes to plain locals
+// (including rebinding a parameter variable itself) are private.
+func writesSharedState(pass *Pass, fd *ast.FuncDecl) bool {
+	shared := false
+	check := func(target ast.Expr) {
+		root, deref := writeRoot(target)
+		if root == nil || shared {
+			return
+		}
+		if !declaredWithin(pass, root, fd) {
+			shared = true // global or captured
+			return
+		}
+		if deref && boundByHeader(pass, root, fd) {
+			shared = true // receiver field or element behind a parameter
+		}
+	}
+	lw := &lockWalker{pass: pass}
+	lw.walk(fd.Body, func(n ast.Node, locked bool) {
+		if locked {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return
+			}
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		}
+	})
+	return shared
+}
+
+// boundByHeader reports whether id's object is the receiver or a parameter
+// of fd — state whose pointees the caller shares with fd.
+func boundByHeader(pass *Pass, id *ast.Ident, fd *ast.FuncDecl) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	within := func(n ast.Node) bool {
+		return n != nil && obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+	}
+	if fd.Recv != nil && within(fd.Recv) {
+		return true
+	}
+	return fd.Type.Params != nil && within(fd.Type.Params)
+}
+
+// lockWalker walks statements in source order, tracking whether a mutex
+// Lock is textually live (a Lock call seen, no Unlock since). This is a
+// straight-line approximation: it is exactly how the pool's worker loop
+// and every critical section in the tree are written.
+type lockWalker struct {
+	pass   *Pass
+	locked bool
+}
+
+func (lw *lockWalker) walk(body *ast.BlockStmt, visit func(n ast.Node, locked bool)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate execution context
+		case *ast.CallExpr:
+			if recv, name := syncRecvCall(lw.pass, n); recv {
+				switch name {
+				case "Lock", "RLock":
+					lw.locked = true
+				case "Unlock", "RUnlock":
+					lw.locked = false
+				}
+			}
+			visit(n, lw.locked)
+			return true
+		case ast.Node:
+			visit(n, lw.locked)
+		}
+		return true
+	})
+}
+
+// syncRecvCall reports whether call's callee is a method on a sync-package
+// type (Mutex, RWMutex, WaitGroup, Cond, Once ...), and its name.
+func syncRecvCall(pass *Pass, call *ast.CallExpr) (bool, string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false, ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false, ""
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false, ""
+	}
+	return true, fn.Name()
+}
+
+// writeRoot unwraps an assignment target to the identifier whose ownership
+// decides whether the write is safe: *p -> p, c.f -> c, s[i] -> s. deref
+// reports whether the path crossed a field or element access — a write
+// into structure the root points at rather than to the variable itself.
+func writeRoot(e ast.Expr) (root *ast.Ident, deref bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, deref
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+			deref = true
+		case *ast.IndexExpr:
+			e = x.X
+			deref = true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// declaredWithin reports whether id's object is declared inside node's
+// source span (parameters, receivers, and locals all are).
+func declaredWithin(pass *Pass, id *ast.Ident, node ast.Node) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return true // unresolved: give the benefit of the doubt
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return true // writes to non-variables are not data
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+func runParSafe(pass *Pass) error {
+	if !pass.InScope() {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedCallers(pass, fd)
+			checkLaunches(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkLockedCallers verifies every call to a //blbp:locked function is
+// made with a lock textually held — the fact-backed half of the "caller
+// holds mu" comment.
+func checkLockedCallers(pass *Pass, fd *ast.FuncDecl) {
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true // launches are checkLaunches' business
+		}
+		return true
+	})
+	lw := &lockWalker{pass: pass}
+	lw.walk(fd.Body, func(n ast.Node, locked bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || locked || goCalls[call] {
+			return
+		}
+		if fn := calleeFunc(pass, call); fn != nil {
+			var fact ParSafeFact
+			if pass.ImportObjectFact(fn, &fact) && fact.Locked {
+				pass.Reportf(call.Pos(), "call to %s requires the caller to hold the lock (//blbp:locked), but no Lock is in scope here", fn.Name())
+			}
+		}
+	})
+}
+
+// launch describes one goroutine-creation site: a go statement or a
+// function literal handed to a worker pool's submit/Go.
+type launch struct {
+	lit    *ast.FuncLit // nil for `go method(...)`
+	callee *types.Func  // nil for literals
+	pos    token.Pos
+}
+
+// checkLaunches finds every launch in fd and proves its body writes only
+// owned state.
+func checkLaunches(pass *Pass, fd *ast.FuncDecl) {
+	// Map every launch to its innermost enclosing loop (whose per-iteration
+	// declarations the launched task owns).
+	var walk func(n ast.Node, loops []ast.Node)
+	visitLaunch := func(l launch, loops []ast.Node) {
+		if l.lit != nil {
+			checkLaunchLit(pass, l.lit, loops)
+			return
+		}
+		var fact ParSafeFact
+		if l.callee != nil && pass.ImportObjectFact(l.callee, &fact) {
+			if fact.Locked {
+				pass.Reportf(l.pos, "go %s: a goroutine cannot inherit the caller's lock that //blbp:locked requires", l.callee.Name())
+			} else if fact.WritesShared {
+				pass.Reportf(l.pos, "go %s: callee writes shared state without synchronization", l.callee.Name())
+			}
+		}
+	}
+	walk = func(n ast.Node, loops []ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				walk(m.Body, append(loops, m))
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, append(loops, m))
+				return false
+			case *ast.GoStmt:
+				if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					visitLaunch(launch{lit: lit, pos: m.Pos()}, loops)
+				} else {
+					visitLaunch(launch{callee: calleeFunc(pass, m.Call), pos: m.Pos()}, loops)
+				}
+				return false // launches nested inside a task are out of scope
+			case *ast.CallExpr:
+				if name := calleeName(m); name == "submit" || name == "Go" {
+					found := false
+					for _, arg := range m.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							visitLaunch(launch{lit: lit, pos: m.Pos()}, loops)
+							found = true
+						}
+					}
+					if found {
+						return false
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body, nil)
+}
+
+// checkLaunchLit proves one launched literal's writes: every target's root
+// must be owned — declared inside the literal, or declared in the launch's
+// own loop iteration (Go 1.22 per-iteration variables: each task owns the
+// cell pointer its iteration took). It also flags captured variables a
+// later iteration of the launching loop overwrites.
+func checkLaunchLit(pass *Pass, lit *ast.FuncLit, loops []ast.Node) {
+	owned := map[types.Object]bool{}
+	var innermost ast.Node
+	if len(loops) > 0 {
+		innermost = loops[len(loops)-1]
+		body := loopBody(innermost)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.ObjectOf(id); obj != nil {
+							owned[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		// Range/for key variables of the innermost loop are per-iteration.
+		for _, obj := range loopVars(pass, innermost) {
+			owned[obj] = true
+		}
+	}
+
+	lw := &lockWalker{pass: pass}
+	lw.walk(lit.Body, func(n ast.Node, locked bool) {
+		if locked {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return
+			}
+			verb := "writes"
+			if n.Tok != token.ASSIGN {
+				verb = "read-modify-writes"
+			}
+			for _, lhs := range n.Lhs {
+				reportSharedWrite(pass, lit, owned, lhs, verb)
+			}
+		case *ast.IncDecStmt:
+			reportSharedWrite(pass, lit, owned, n.X, "non-atomically updates")
+		case *ast.CallExpr:
+			if recv, _ := syncRecvCall(pass, n); recv {
+				return
+			}
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path {
+				return // dynamic or cross-package: outside this proof
+			}
+			var fact ParSafeFact
+			if pass.ImportObjectFact(fn, &fact) {
+				if fact.Locked {
+					pass.Reportf(n.Pos(), "task calls %s, which requires the caller to hold the lock (//blbp:locked), without a Lock in scope", fn.Name())
+				} else if fact.WritesShared {
+					pass.Reportf(n.Pos(), "task calls %s, which writes shared state without synchronization", fn.Name())
+				}
+			}
+		}
+	})
+
+	// Cross-iteration capture: a variable declared before the launching
+	// loop, read by the task, and overwritten by later iterations of that
+	// loop is a race between the task and its own launcher.
+	if innermost == nil {
+		return
+	}
+	captured := map[types.Object]*ast.Ident{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, isVar := pass.ObjectOf(id).(*types.Var)
+		if !isVar || owned[obj] {
+			return true
+		}
+		if obj.Pos() < innermost.Pos() {
+			captured[obj] = id
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	ast.Inspect(loopBody(innermost), func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if n.Pos() >= lit.Pos() && n.End() <= lit.End() {
+			return false // the task itself
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil {
+						if use, ok := captured[obj]; ok {
+							pass.Reportf(use.Pos(), "task captures %s, which a later iteration of the launching loop overwrites; copy it into a per-iteration variable", id.Name)
+							delete(captured, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportSharedWrite flags a write whose root is neither declared inside
+// the literal nor owned by the launch's loop iteration.
+func reportSharedWrite(pass *Pass, lit *ast.FuncLit, owned map[types.Object]bool, target ast.Expr, verb string) {
+	root, _ := writeRoot(target)
+	if root == nil {
+		return
+	}
+	obj, isVar := pass.ObjectOf(root).(*types.Var)
+	if !isVar || owned[obj] {
+		return
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+		return // parameter or local of the task itself
+	}
+	pass.Reportf(target.Pos(), "task %s shared %s without synchronization; tasks own only their locals and their iteration's variables", verb, root.Name)
+}
+
+// loopBody returns the body block of a for or range statement.
+func loopBody(loop ast.Node) *ast.BlockStmt {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// loopVars returns the per-iteration variables a loop declares in its
+// header: range key/value, or the for-init definition.
+func loopVars(pass *Pass, loop ast.Node) []types.Object {
+	var out []types.Object
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		if l.Key != nil {
+			add(l.Key)
+		}
+		if l.Value != nil {
+			add(l.Value)
+		}
+	case *ast.ForStmt:
+		if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			for _, lhs := range init.Lhs {
+				add(lhs)
+			}
+		}
+	}
+	return out
+}

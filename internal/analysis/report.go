@@ -1,0 +1,82 @@
+package analysis
+
+import "sort"
+
+// JSONVersion is the schema version of blbplint's -json output. Bump it
+// when a field changes meaning or is removed; adding fields is
+// backward-compatible and does not bump it.
+const JSONVersion = 1
+
+// JSONReport is the machine-readable findings artifact blbplint -json
+// emits (and make lint writes to results/lint.json).
+type JSONReport struct {
+	Version  int           `json:"version"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// JSONFinding is one diagnostic in stable machine-readable form.
+type JSONFinding struct {
+	File       string   `json:"file"`
+	Line       int      `json:"line"`
+	Col        int      `json:"col"`
+	Analyzer   string   `json:"analyzer"`
+	Message    string   `json:"message"`
+	Suppressed bool     `json:"suppressed"`
+	Fix        *JSONFix `json:"fix,omitempty"`
+}
+
+// JSONFix describes a suggested fix attached to a finding.
+type JSONFix struct {
+	Message string     `json:"message"`
+	Edits   []JSONEdit `json:"edits"`
+}
+
+// JSONEdit is one byte-range replacement of a suggested fix.
+type JSONEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// SortDiagnostics orders diags by (file, line, column, analyzer) — the
+// stable order both the text and JSON outputs use.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Report converts sorted diagnostics into the JSON artifact form.
+func Report(diags []Diagnostic) JSONReport {
+	rep := JSONReport{Version: JSONVersion, Findings: []JSONFinding{}}
+	for _, d := range diags {
+		f := JSONFinding{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+		if d.Fix != nil {
+			jf := &JSONFix{Message: d.Fix.Message, Edits: []JSONEdit{}}
+			for _, e := range d.Fix.Edits {
+				jf.Edits = append(jf.Edits, JSONEdit{File: e.Filename, Start: e.Start, End: e.End, NewText: e.NewText})
+			}
+			f.Fix = jf
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -22,6 +23,41 @@ var satweightsScope = []string{
 	"internal/region",
 }
 
+// SatBound is the fact satweights exports for every narrow integer field
+// (and every field whose slice/array elements are narrow integers) in its
+// scope: the value range the saturation discipline keeps the field inside.
+// Signed widths use the symmetric sign/magnitude range [-(2^(w-1)-1),
+// 2^(w-1)-1] the predictors clamp to; unsigned use [0, 2^w-1]. lanebounds
+// imports these facts to bound what can ever flow into a packed lane.
+type SatBound struct {
+	Min, Max int64
+}
+
+func (*SatBound) AFact() {}
+
+// Merge widens to the union range: when two same-named fields share a fact
+// key, consumers must see the weaker (wider) statement.
+func (b *SatBound) Merge(other Fact) {
+	o, ok := other.(*SatBound)
+	if !ok {
+		return
+	}
+	if o.Min < b.Min {
+		b.Min = o.Min
+	}
+	if o.Max > b.Max {
+		b.Max = o.Max
+	}
+}
+
+// MaxAbs returns the largest magnitude the bound admits.
+func (b *SatBound) MaxAbs() int64 {
+	if -b.Min > b.Max {
+		return -b.Min
+	}
+	return b.Max
+}
+
 // SatWeights forbids raw +=, -=, ++ and -- on narrow (<= 16-bit) integer
 // fields and table elements in the predictor packages: every such value
 // models a saturating hardware counter or perceptron weight, and an
@@ -29,14 +65,75 @@ var satweightsScope = []string{
 // inside the declared bit budget. Updates must go through a clamp helper —
 // a function carrying the //blbp:clamp directive (the saturating helpers
 // in internal/threshold and internal/cond) — whose body is exempt.
+//
+// The Collect phase exports a SatBound fact for every narrow field in
+// scope, publishing the range the clamp discipline guarantees so that
+// lanebounds can prove the packed-lane arithmetic downstream of the
+// weights can never overflow.
 var SatWeights = &Analyzer{
-	Name: "satweights",
-	Doc:  "narrow counter/weight fields must be updated through //blbp:clamp saturating helpers, never raw +=/-=/++/--",
-	Run:  runSatWeights,
+	Name:         "satweights",
+	Doc:          "narrow counter/weight fields must be updated through //blbp:clamp saturating helpers, never raw +=/-=/++/--",
+	DefaultScope: satweightsScope,
+	Collect:      collectSatWeights,
+	Run:          runSatWeights,
+}
+
+// satBoundForType returns the saturation range fact for a narrow integer
+// type (or the narrow element type of a slice/array), or nil.
+func satBoundForType(t types.Type) *SatBound {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		t = u.Elem()
+	case *types.Array:
+		t = u.Elem()
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return &SatBound{Min: -127, Max: 127}
+	case types.Int16:
+		return &SatBound{Min: -32767, Max: 32767}
+	case types.Uint8:
+		return &SatBound{Min: 0, Max: 255}
+	case types.Uint16:
+		return &SatBound{Min: 0, Max: 65535}
+	}
+	return nil
+}
+
+// collectSatWeights exports SatBound facts for the narrow struct fields of
+// every in-scope package.
+func collectSatWeights(pass *Pass) {
+	if !pass.InScope() {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					obj := pass.ObjectOf(name)
+					if obj == nil {
+						continue
+					}
+					if b := satBoundForType(obj.Type()); b != nil {
+						pass.ExportObjectFact(obj, b)
+					}
+				}
+			}
+			return true
+		})
+	}
 }
 
 func runSatWeights(pass *Pass) error {
-	if !pathIn(pass.Pkg.Path, satweightsScope) {
+	if !pass.InScope() {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {
@@ -55,10 +152,10 @@ func runSatWeights(pass *Pass) error {
 						return true
 					}
 					for _, lhs := range n.Lhs {
-						checkSatTarget(pass, lhs, n.Tok.String())
+						checkSatTarget(pass, f, n, lhs, n.Tok)
 					}
 				case *ast.IncDecStmt:
-					checkSatTarget(pass, n.X, n.Tok.String())
+					checkSatTarget(pass, f, n, n.X, n.Tok)
 				}
 				return true
 			})
@@ -68,9 +165,10 @@ func runSatWeights(pass *Pass) error {
 }
 
 // checkSatTarget flags op applied to a narrow-integer field or table
-// element. Plain local variables are exempt: loop counters and scratch
-// sums are not hardware state.
-func checkSatTarget(pass *Pass, lhs ast.Expr, op string) {
+// element, attaching a threshold.Sat* rewrite as a suggested fix for the
+// ±1 updates of 8-bit state. Plain local variables are exempt: loop
+// counters and scratch sums are not hardware state.
+func checkSatTarget(pass *Pass, file *ast.File, stmt ast.Stmt, lhs ast.Expr, op token.Token) {
 	switch lhs.(type) {
 	case *ast.SelectorExpr, *ast.IndexExpr:
 	default:
@@ -80,7 +178,82 @@ func checkSatTarget(pass *Pass, lhs ast.Expr, op string) {
 	if t == nil || !isNarrowInt(t) {
 		return
 	}
-	pass.Reportf(lhs.Pos(), "raw %s on %s-typed hardware state wraps instead of saturating; use a //blbp:clamp helper (threshold.SatInc8 and friends)", op, t.String())
+	fix := satFix(pass, file, stmt, lhs, op, t)
+	pass.ReportFix(lhs.Pos(), fix, "raw %s on %s-typed hardware state wraps instead of saturating; use a //blbp:clamp helper (threshold.SatInc8 and friends)", op.String(), t.String())
+}
+
+// satFix builds the mechanical rewrite for a ±1 update of an 8-bit target:
+//
+//	x++  ->  x = threshold.SatInc8(x, 127)
+//
+// saturating at the type's symmetric (signed) or full (unsigned) range —
+// the widest bound the declared width admits; narrower modeled counters
+// should tighten it by hand. Wider types and non-unit steps have no
+// helper, so they get no fix. The import of blbp/internal/threshold is
+// added when the file lacks it.
+func satFix(pass *Pass, file *ast.File, stmt ast.Stmt, lhs ast.Expr, op token.Token, t types.Type) *SuggestedFix {
+	inc := op == token.INC || op == token.ADD_ASSIGN
+	if as, ok := stmt.(*ast.AssignStmt); ok {
+		lit, okLit := as.Rhs[0].(*ast.BasicLit)
+		if !okLit || lit.Value != "1" {
+			return nil
+		}
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	var helper, bound string
+	switch {
+	case b.Kind() == types.Int8 && inc:
+		helper, bound = "SatInc8", "127"
+	case b.Kind() == types.Int8:
+		helper, bound = "SatDec8", "-127"
+	case b.Kind() == types.Uint8 && inc:
+		helper, bound = "SatIncU8", "255"
+	case b.Kind() == types.Uint8:
+		helper, bound = "SatDecU8", "0"
+	default:
+		return nil
+	}
+	target := pass.Render(lhs)
+	if target == "" {
+		return nil
+	}
+	edits := []TextEdit{pass.Edit(stmt.Pos(), stmt.End(),
+		fmt.Sprintf("%s = threshold.%s(%s, %s)", target, helper, target, bound))}
+	imp, ok := ensureImportEdit(pass, file, "blbp/internal/threshold")
+	if !ok {
+		return nil
+	}
+	if imp != nil {
+		edits = append(edits, *imp)
+	}
+	return &SuggestedFix{
+		Message: fmt.Sprintf("replace with threshold.%s at the %s type bound (tighten by hand if the field models a narrower counter)", helper, t.String()),
+		Edits:   edits,
+	}
+}
+
+// ensureImportEdit returns the edit adding the import to the file's
+// parenthesized import block (nil when already imported, ok=false when
+// there is no block to extend).
+func ensureImportEdit(pass *Pass, file *ast.File, path string) (*TextEdit, bool) {
+	for _, im := range file.Imports {
+		if im.Path.Value == `"`+path+`"` {
+			return nil, true
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() || len(gd.Specs) == 0 {
+			continue
+		}
+		last := gd.Specs[len(gd.Specs)-1]
+		e := pass.Edit(last.End(), last.End(), fmt.Sprintf("\n\t%q", path))
+		return &e, true
+	}
+	return nil, false
 }
 
 // isNarrowInt reports whether t's underlying type is an integer of 16 bits

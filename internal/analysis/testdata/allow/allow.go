@@ -1,0 +1,42 @@
+// Package allow exercises the position-exact //blbp:allow matching rules.
+// Every finding here is a determinism time.Now violation; what varies is
+// where (and how well-formed) the suppression comment is. The assertions
+// live in TestAllowPositions, not in // want comments, because the test
+// checks Suppressed flags rather than diagnostic presence.
+package allow
+
+import "time"
+
+// SameLine is suppressed by a comment on the flagged line itself.
+func SameLine() time.Time {
+	return time.Now() //blbp:allow(determinism) fixture: same-line comment
+}
+
+// LineAbove is suppressed by a comment on the line immediately above.
+func LineAbove() time.Time {
+	//blbp:allow(determinism) fixture: line-above comment
+	return time.Now()
+}
+
+// TwoAbove is NOT suppressed: the comment sits two lines up, outside the
+// position-exact window, so the finding stays live and the comment is
+// flagged as unused.
+func TwoAbove() time.Time {
+	//blbp:allow(determinism) fixture: two lines above, must not match
+
+	return time.Now()
+}
+
+// MultiName lists several analyzers in one comment; the determinism name
+// must match out of the list.
+func MultiName() time.Time {
+	//blbp:allow(determinism,hwbudget) fixture: multi-analyzer comment
+	return time.Now()
+}
+
+// MissingReason has no justification text; the comment itself is a
+// malformed-allow finding and suppresses nothing.
+func MissingReason() time.Time {
+	//blbp:allow(determinism)
+	return time.Now()
+}

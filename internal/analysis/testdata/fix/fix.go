@@ -1,0 +1,44 @@
+// Package fixme carries one instance of each autofixable finding class:
+// a modulo table index (hwbudget rewrites it to a mask) and raw wrapping
+// updates of 8-bit predictor state (satweights rewrites them to
+// threshold.Sat* calls, adding the import). blbplint -fix must leave the
+// package finding-free and compiling; ci.sh smoke-tests exactly that on a
+// scratch copy.
+package fixme
+
+import (
+	"fmt"
+)
+
+type counters struct {
+	conf int8
+	hits []uint8
+}
+
+type table struct {
+	entries []uint64
+	n       uint32
+}
+
+// Lookup indexes the table with % on a power-of-two size; the fix masks
+// instead.
+func (t *table) Lookup(pc uint32) uint64 {
+	return t.entries[pc%1024]
+}
+
+// Bump does raw ±1 updates of 8-bit state; the fixes saturate them at the
+// type bounds.
+func (c *counters) Bump(i int) {
+	c.conf++
+	c.hits[i] += 1
+}
+
+// Drop is the decrement side.
+func (c *counters) Drop() {
+	c.conf--
+}
+
+// Describe keeps the fmt import load-bearing before and after fixing.
+func (t *table) Describe() string {
+	return fmt.Sprintf("%d entries", t.n)
+}

@@ -1,0 +1,189 @@
+// Package lanes is a miniature of the real packed-weight geometry: the
+// same lane constants, a Validate-guarded configuration, a bound-verified
+// transfer builder, and tagged table/accumulator/rows fields. The good
+// functions mirror the shapes lanebounds proves in internal/core; the bad*
+// functions violate one discipline each.
+package lanes
+
+import "errors"
+
+const (
+	laneBits     = 16
+	lanesPerWord = 64 / laneBits
+	laneMask     = 1<<laneBits - 1
+)
+
+// Config mirrors the guarded geometry: Validate bounds both the weight
+// width (and with it the transfer range) and the sub-predictor count.
+type Config struct {
+	WeightBits int
+	Iv         []int
+}
+
+func (c Config) SubPredictors() int { return 1 + len(c.Iv) }
+
+func (c Config) Validate() error {
+	if c.WeightBits < 2 || c.WeightBits > 8 {
+		return errors.New("weight bits out of range")
+	}
+	if c.SubPredictors() > 16 {
+		return errors.New("too many sub-predictors")
+	}
+	return nil
+}
+
+var mags = [4]int{0, 1, 5, 13}
+
+// buildTransfer covers both the literal magnitude table and the widest
+// 1<<(WeightBits-1)-1 range the Validate guard admits.
+//
+//blbp:bound(-127,127)
+func buildTransfer(weightBits int, use bool) []int {
+	max := 1<<uint(weightBits-1) - 1
+	t := make([]int, 2*max+1)
+	for w := -max; w <= max; w++ {
+		v := w
+		if use {
+			m := w
+			if m < 0 {
+				m = -m
+			}
+			if m > 3 {
+				m = 3
+			}
+			v = mags[m]
+			if w < 0 {
+				v = -v
+			}
+		}
+		t[w+max] = v
+	}
+	return t
+}
+
+type P struct {
+	// weights is the raw narrow store; satweights proves ±127, which the
+	// transfer bound covers (the fact-dependent true negative).
+	weights []int8
+
+	//blbp:bound(-127,127)
+	transfer []int
+
+	//blbp:lanes(table)
+	pweights []uint64
+
+	//blbp:bound(0,127)
+	laneBias int
+
+	//blbp:rows
+	pRowOff []int
+
+	//blbp:lanes(acc)
+	acc [4]uint64
+}
+
+func New(cfg Config) *P {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.SubPredictors()
+	tr := buildTransfer(cfg.WeightBits, true)
+	bias := 0
+	for _, v := range tr {
+		if v < 0 {
+			v = -v
+		}
+		if v > bias {
+			bias = v
+		}
+	}
+	return &P{
+		weights:  make([]int8, n*8),
+		transfer: tr,
+		pweights: make([]uint64, n*2),
+		laneBias: bias,
+		pRowOff:  make([]int, n),
+	}
+}
+
+// fill seeds every lane with the bias (the all-zero-weights image).
+func (p *P) fill() {
+	w := uint64(p.laneBias)
+	w |= w << laneBits
+	w |= w << (2 * laneBits)
+	for i := range p.pweights {
+		p.pweights[i] = w
+	}
+}
+
+// set is the masked lane insert: transfer element plus bias is provably
+// non-negative and fits the cell bound.
+func (p *P) set(i, k, tv int) {
+	sh := uint(k%lanesPerWord) * laneBits
+	p.pweights[i] = p.pweights[i]&^(uint64(laneMask)<<sh) | uint64(tv+p.laneBias)<<sh
+}
+
+func (p *P) train(w int8) {
+	p.set(0, 1, p.transfer[int(w)+127])
+}
+
+// sum is the proven accumulation shape: zeroed window, one rows loop,
+// word loop keyed by the target index.
+func (p *P) sum() {
+	acc := p.acc[:2]
+	for w := range acc {
+		acc[w] = 0
+	}
+	for _, base := range p.pRowOff {
+		row := p.pweights[base : base+2]
+		for w, v := range row {
+			acc[w] += v
+		}
+	}
+}
+
+// read extracts one lane: aligned shift then mask, all bounded.
+func (p *P) read(k int) int {
+	v := int(p.acc[k/lanesPerWord] >> (uint(k%lanesPerWord) * laneBits) & laneMask)
+	return v - p.laneBias
+}
+
+// badStore adds two packed words: per-lane 255+255 exceeds the cell bound.
+func (p *P) badStore() {
+	p.pweights[0] = p.pweights[0] + p.pweights[1] // want `above the proven bound`
+}
+
+// badNoZero accumulates into a window never cleared in this function.
+func (p *P) badNoZero() {
+	acc := p.acc[:2]
+	for _, base := range p.pRowOff {
+		row := p.pweights[base : base+2]
+		for w, v := range row {
+			acc[w] += v // want `not provably zeroed`
+		}
+	}
+}
+
+// badNoRows accumulates outside any rows loop: nothing bounds how often
+// a caller could repeat it.
+func (p *P) badNoRows() {
+	acc := p.acc[:2]
+	for w := range acc {
+		acc[w] = 0
+	}
+	acc[0] += p.pweights[0] // want `exactly one //blbp:rows loop \(found 0\)`
+}
+
+// badHoist wraps a proven accumulation in an extra loop that multiplies it
+// past the rows bound.
+func (p *P) badHoist() {
+	acc := p.acc[:2]
+	for w := range acc {
+		acc[w] = 0
+	}
+	for i := 0; i < 8; i++ {
+		for _, base := range p.pRowOff {
+			acc[0] += p.pweights[base] // want `enclosing loop multiplies`
+		}
+	}
+}

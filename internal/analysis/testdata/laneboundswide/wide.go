@@ -1,0 +1,17 @@
+package wide // want `no //blbp:bound directive names the transfer table`
+
+const (
+	laneBits     = 16
+	lanesPerWord = 64 / laneBits
+	laneMask     = 1<<laneBits - 1
+)
+
+// P packs transferred weights whose raw source is int16: satweights proves
+// only ±32767 for the sibling, so the transfer bound cannot cover every
+// weight that may index the table and the proof refuses to certify it.
+type P struct {
+	weights []int16
+
+	//blbp:bound(-127,127)
+	transfer []int // want `cannot cover sibling weight field weights \(satweights proves only ±32767\)`
+}

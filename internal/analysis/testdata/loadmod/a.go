@@ -1,0 +1,7 @@
+// Package loadmod is the loader-coverage fixture: one always-built file,
+// one file behind a build tag, one in-package test file, and a vendor
+// tree — each exercising a selection rule Load must honor.
+package loadmod
+
+// A is the symbol every load must see.
+func A() int { return 1 }

@@ -1,0 +1,11 @@
+package loadmod
+
+import "testing"
+
+// TestA is in-package test code: part of the analysis only under
+// LoadOptions.Tests.
+func TestA(t *testing.T) {
+	if A() != 1 {
+		t.Fatal("A")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build loadmodextra
+
+package loadmod
+
+// Tagged exists only under the loadmodextra build tag; a default load
+// must not see this file.
+func Tagged() int { return 2 }

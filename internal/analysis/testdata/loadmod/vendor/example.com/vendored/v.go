@@ -1,0 +1,6 @@
+// Package vendored must never be matched by a path pattern: the go tool
+// excludes vendor trees from ./... expansion.
+package vendored
+
+// V would trip every analyzer scope check if it leaked into a Program.
+func V() int { return 3 }

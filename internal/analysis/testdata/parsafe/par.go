@@ -1,0 +1,119 @@
+// Package par exercises the parsafe ownership proof: launched tasks may
+// write only their own locals and their launch iteration's variables, a
+// //blbp:locked callee needs a held lock at every call site, and whether a
+// goroutine may call a method depends on the ParSafeFact summary collected
+// for it — addLocked (locks internally) is launchable, add (bare counter
+// write) is not.
+package par
+
+import "sync"
+
+type server struct {
+	mu   sync.Mutex
+	n    int
+	hits []int
+}
+
+// addLocked guards its counter update itself, so its summary carries no
+// WritesShared flag and launching it is proven safe (the fact-dependent
+// true negative).
+func (s *server) addLocked() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// add writes the shared counter with no lock; its summary marks it
+// WritesShared.
+func (s *server) add() {
+	s.n++
+}
+
+// addUnderLock documents the caller-holds-mu contract as a fact.
+//
+//blbp:locked
+func (s *server) addUnderLock() {
+	s.n++
+}
+
+func (s *server) SpawnSafe() {
+	go s.addLocked()
+}
+
+func (s *server) SpawnRacy() {
+	go s.add() // want `writes shared state without synchronization`
+}
+
+func (s *server) SpawnLocked() {
+	go s.addUnderLock() // want `cannot inherit the caller's lock`
+}
+
+func (s *server) CallNoLock() {
+	s.addUnderLock() // want `requires the caller to hold the lock`
+}
+
+func (s *server) CallWithLock() {
+	s.mu.Lock()
+	s.addUnderLock()
+	s.mu.Unlock()
+}
+
+// SpawnGuarded's task takes the lock before touching shared state.
+func (s *server) SpawnGuarded() {
+	go func() {
+		s.mu.Lock()
+		s.hits = append(s.hits, 1)
+		s.mu.Unlock()
+	}()
+}
+
+// Collect is the proven fan-out shape: each task owns the cell pointer its
+// iteration took, so its writes stay inside owned state.
+func Collect(src []int) []int {
+	cells := make([]int, len(src))
+	var wg sync.WaitGroup
+	wg.Add(len(src))
+	for i, v := range src {
+		c := &cells[i]
+		v := v
+		go func() {
+			defer wg.Done()
+			*c = v * 2
+		}()
+	}
+	wg.Wait()
+	return cells
+}
+
+// Sum accumulates into a captured variable from every task: a lost-update
+// race.
+func Sum(src []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(len(src))
+	for _, v := range src {
+		v := v
+		go func() {
+			defer wg.Done()
+			total += v // want `read-modify-writes shared total`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Broadcast reuses one variable across launch iterations: by the time a
+// task reads cur, the loop may have overwritten it.
+func Broadcast(msgs []string, send func(string)) {
+	var cur string
+	var wg sync.WaitGroup
+	wg.Add(len(msgs))
+	for _, m := range msgs {
+		cur = m
+		go func() {
+			defer wg.Done()
+			send(cur) // want `captures cur, which a later iteration`
+		}()
+	}
+	wg.Wait()
+}

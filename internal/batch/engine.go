@@ -42,11 +42,21 @@ type Engine struct {
 	stamp []uint64
 	epoch uint64
 
-	n    int        // SubPredictors()
-	wpr  int        // lane words per packed row
-	rows []int      // batch scratch: per-item packed-row offsets, n apiece
-	tabs [][]uint64 // batch scratch: per-item packed weight image
-	accs []uint64   // batch scratch: per-item lane accumulators, wpr apiece
+	n   int // SubPredictors()
+	wpr int // lane words per packed row
+	// rows is the batch scratch of per-item packed-row offsets, n apiece:
+	// an arena whose n-sized windows bound one item's lane accumulation.
+	//
+	//blbp:rows
+	rows []int
+	// tabs is the batch scratch of per-item packed weight images.
+	//
+	//blbp:lanes(table)
+	tabs [][]uint64
+	// accs is the batch scratch of per-item lane accumulators, wpr apiece.
+	//
+	//blbp:lanes(acc)
+	accs []uint64
 }
 
 // NewEngine returns an engine with capacity stream slots, all free, each
@@ -170,11 +180,9 @@ func (e *Engine) PredictBatch(slots []int, pcs, targets []uint64, oks []bool) {
 	}
 
 	// Phase B: one sweep accumulates the whole batch's per-bit sums from
-	// the packed weight images.
+	// the packed weight images (the sweep owns the zeroing of its
+	// accumulator window).
 	accs := e.accs[:b*e.wpr]
-	for i := range accs {
-		accs[i] = 0
-	}
 	e.sweep(b)
 
 	// Phase C: finish each item's prediction on its own predictor.
@@ -189,6 +197,12 @@ func (e *Engine) PredictBatch(slots []int, pcs, targets []uint64, oks []bool) {
 // independent, and consecutive items share nothing, so the batch's
 // scattered loads overlap in the memory pipeline; the per-item lane
 // accumulators live in registers for the whole inner sweep.
+//
+// The kernel owns zeroing the accumulator window: keeping the clear next
+// to the accumulation makes the no-overflow argument local (every sum
+// starts from zero and adds at most SubPredictors() bounded rows). The
+// unrolled branch overwrites every word it is responsible for, so only the
+// generic branch clears explicitly.
 //
 //blbp:hot
 func (e *Engine) sweep(b int) {
@@ -212,10 +226,14 @@ func (e *Engine) sweep(b int) {
 		}
 		return
 	}
+	accs := e.accs[:b*wpr]
+	for i := range accs {
+		accs[i] = 0
+	}
 	for i := 0; i < b; i++ {
 		tab := e.tabs[i]
 		rows := e.rows[i*n : i*n+n]
-		acc := e.accs[i*wpr : i*wpr+wpr]
+		acc := accs[i*wpr : i*wpr+wpr]
 		for _, base := range rows {
 			row := tab[base : base+wpr]
 			for w, v := range row {

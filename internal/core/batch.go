@@ -18,13 +18,20 @@ package core
 // phase plus the batch lane accumulators. It grows to the largest batch
 // seen and is reused, so steady-state batches allocate nothing.
 type lookahead struct {
-	rows     []int    // per-item packed-row offsets, SubPredictors() apiece
+	// rows holds per-item packed-row offsets, SubPredictors() apiece: an
+	// arena whose n-sized windows bound one item's lane accumulation.
+	//
+	//blbp:rows
+	rows     []int
 	wrows    []int    // per-item weight-row offsets, same indexing
 	cands    []uint64 // all items' candidate targets, contiguous
 	bits     []uint64 // candidates pre-shifted by BitOffset, same indexing
 	start    []int    // item i's candidates span cands[start[i]:start[i+1]]
 	suppress []uint64 // per-item selective-training masks
-	accs     []uint64 // per-item lane accumulators, wordsPerRow apiece
+	// accs holds per-item lane accumulators, wordsPerRow apiece.
+	//
+	//blbp:lanes(acc)
+	accs []uint64
 }
 
 // ensureLookahead returns the lookahead scratch sized for a b-item batch.
@@ -85,11 +92,9 @@ func (p *BLBP) PredictBatch(pcs, targets []uint64, oks []bool) {
 	}
 	la.start[b] = len(la.cands)
 
-	// Phase B: one sweep accumulates every item's lane sums.
+	// Phase B: one sweep accumulates every item's lane sums (the sweep owns
+	// the zeroing of its accumulator window).
 	accs := la.accs[:b*wpr]
-	for i := range accs {
-		accs[i] = 0
-	}
 	p.sweepLookahead(la.rows[:b*n], accs, b)
 
 	// Phase C: restore each item's prepared state and finish its
@@ -113,6 +118,12 @@ func (p *BLBP) PredictBatch(pcs, targets []uint64, oks []bool) {
 // the whole batch's scattered loads overlap in the memory pipeline; each
 // item's lane accumulators stay in registers for its entire sweep.
 //
+// The kernel owns zeroing accs: keeping the clear next to the accumulation
+// is what makes the no-overflow argument local (every sum starts from zero
+// and adds at most SubPredictors() bounded rows). The unrolled branch
+// overwrites every word it is responsible for, so only the generic branch
+// clears explicitly.
+//
 //blbp:hot
 func (p *BLBP) sweepLookahead(rows []int, accs []uint64, b int) {
 	n := p.cfg.SubPredictors()
@@ -134,6 +145,9 @@ func (p *BLBP) sweepLookahead(rows []int, accs []uint64, b int) {
 			accs[j+2] = a2
 		}
 		return
+	}
+	for i := range accs {
+		accs[i] = 0
 	}
 	for i := 0; i < b; i++ {
 		acc := accs[i*wpr : i*wpr+wpr]

@@ -41,7 +41,12 @@ type BLBP struct {
 	tableStride int // TableEntries * K
 	wMax        int8
 
-	transfer []int // transfer-function lookup, indexed by weight - wMin
+	// transfer is the transfer-function lookup, indexed by weight - wMin.
+	// The bound is what lanebounds verifies the builder can produce and what
+	// every packed-lane proof below rests on.
+	//
+	//blbp:bound(-127,127)
+	transfer []int
 
 	// pweights is the bit-sliced image of the transferred weights: row
 	// (i*TableEntries + r) spans wordsPerRow uint64s whose 16-bit lanes hold
@@ -50,10 +55,15 @@ type BLBP struct {
 	// word adds per sub-predictor (sumRows) instead of K byte loads — and a
 	// whole batch of predictions can be summed in one sweep over the tables
 	// (PredictBatch, internal/batch).
+	//
+	//blbp:lanes(table)
 	pweights    []uint64
 	wordsPerRow int // ceil(K / lanesPerWord)
-	laneBias    int // max |transfer| value: biases lanes non-negative
-	sumBias     int // SubPredictors() * laneBias, subtracted on unpack
+	// laneBias is the max |transfer| value: it biases lanes non-negative.
+	//
+	//blbp:bound(0,127)
+	laneBias int
+	sumBias  int // SubPredictors() * laneBias, subtracted on unpack
 
 	buffer     ibtb.Buffer
 	ghist      *history.FoldedSet
@@ -62,10 +72,15 @@ type BLBP struct {
 	thetas     []*threshold.Adaptive
 
 	// Prediction-time state cached for the matching Update call.
-	lastPC        uint64
-	lastOK        bool
-	rowOff        []int // absolute weight offset of each sub-predictor's active row
-	pRowOff       []int // absolute pweights offset of the same rows
+	lastPC uint64
+	lastOK bool
+	rowOff []int // absolute weight offset of each sub-predictor's active row
+	// pRowOff holds the absolute pweights offset of the same rows, one per
+	// sub-predictor: ranging over it is what bounds a lane accumulation.
+	//
+	//blbp:rows
+	pRowOff []int
+	//blbp:lanes(acc)
 	acc           [8]uint64
 	yout          [64]int // per-bit summed confidence (first K entries live)
 	suppressMask  uint64  // bit k set = selective training suppresses bit k
@@ -411,6 +426,8 @@ func (p *BLBP) BatchGather(pc uint64) { p.gather(pc) }
 func (p *BLBP) BatchRows() []int { return p.pRowOff }
 
 // BatchTable returns the packed weight image summed by the batched sweeps.
+//
+//blbp:lanes(table)
 func (p *BLBP) BatchTable() []uint64 { return p.pweights }
 
 // LaneWordsPerRow returns how many uint64s one packed row spans.

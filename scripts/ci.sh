@@ -1,11 +1,30 @@
 #!/bin/sh
-# CI gate: lint (vet + blbplint), build, race-enabled tests, fuzz smoke,
-# batch-engine smoke, warm-start and run-plan round-trip smokes, and a
-# strict gofmt -s check.
+# CI gate: lint (vet + blbplint), suppression/exceptions audit, autofix
+# smoke, build, race-enabled tests, fuzz smoke, batch-engine smoke,
+# warm-start and run-plan round-trip smokes, and a strict gofmt -s check.
 # Run from the repository root (or `make ci`).
 set -eux
 
 make lint
+# Suppression audit: every //blbp:allow comment must have a row in
+# ANALYSIS_EXCEPTIONS.md and vice versa; drift in either direction fails.
+# Because all seven analyzers run here (lanebounds and parsafe included),
+# this is also the repo-clean gate for the two fact-based provers.
+go run ./cmd/blbplint -suppressed -exceptions ANALYSIS_EXCEPTIONS.md ./...
+# Autofix smoke: -fix on a scratch copy of the fixture must apply every
+# suggested fix (1 modulo->mask + 3 saturations), the result must re-lint
+# clean, and the committed fixture must be untouched. The copy lives in a
+# dot-directory inside the module so the inserted threshold import
+# resolves while every ./... walk stays blind to it.
+fixdir=internal/analysis/testdata/.fixsmoke
+rm -rf "$fixdir"
+mkdir -p "$fixdir"
+cp internal/analysis/testdata/fix/fix.go "$fixdir/"
+go run ./cmd/blbplint -fix -aspath tdfix/internal/cond "$fixdir" |
+	grep -q 'applied 4 fixes'
+go run ./cmd/blbplint -aspath tdfix/internal/cond "$fixdir"
+git diff --exit-code -- internal/analysis/testdata/fix
+rm -rf "$fixdir"
 go build ./...
 go test -race ./...
 # Bench smoke: every benchmark must run once without failing (catches rot in
