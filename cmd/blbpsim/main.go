@@ -79,8 +79,18 @@ func run(args []string) error {
 	configs := configFlags{}
 	fs.Var(configs, "config", "name=JSON config overrides for one predictor (repeatable)")
 	list := fs.Bool("list", false, "list available workloads and predictors, then exit")
+	snapPath := fs.String("snapshot", "", "pause at -snapat and write a BLBPSNP1 run snapshot to FILE, then exit")
+	snapAt := fs.Int("snapat", 0, "record index at which -snapshot pauses the run")
+	restorePath := fs.String("restore", "", "resume a run from a snapshot written by -snapshot")
+	csvPath := fs.String("csv", "", "also write the result table as CSV to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *snapPath != "" && *restorePath != "" {
+		return fmt.Errorf("use either -snapshot or -restore, not both")
+	}
+	if *snapAt != 0 && *snapPath == "" {
+		return fmt.Errorf("-snapat only applies with -snapshot")
 	}
 
 	suites := [][]blbp.WorkloadSpec{blbp.Workloads(*base), blbp.HoldoutWorkloads(*base)}
@@ -120,26 +130,61 @@ func run(args []string) error {
 		return err
 	}
 
+	if *snapPath != "" {
+		return snapshotRun(tr, names, configs, *snapPath, *snapAt)
+	}
+
+	var results []passResult
+	if *restorePath != "" {
+		results, err = resumeRun(tr, names, configs, *restorePath)
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, name := range names {
+			res, bits, err := simulateOne(tr, name, []byte(configs[name]))
+			if err != nil {
+				return err
+			}
+			results = append(results, passResult{name: name, res: res, bits: bits})
+		}
+	}
+
 	tb := report.NewTable(
 		fmt.Sprintf("Simulation of %s (%d instructions)", tr.Name, tr.Instructions()),
 		"predictor", "indirect MPKI", "indirect mis/total", "no-prediction",
 		"cond accuracy", "return accuracy", "budget (KB)",
 	)
-	for _, name := range names {
-		res, bits, err := simulateOne(tr, name, []byte(configs[name]))
-		if err != nil {
-			return err
-		}
-		returnAcc := 1.0
-		if res.Returns > 0 {
-			returnAcc = 1 - float64(res.ReturnMispredicts)/float64(res.Returns)
-		}
-		tb.AddRowf(name, res.IndirectMPKI(),
-			fmt.Sprintf("%d/%d", res.IndirectMispredicts, res.IndirectBranches),
-			res.NoPrediction, res.CondAccuracy(), returnAcc,
-			fmt.Sprintf("%.1f", float64(bits)/8192))
+	for _, r := range results {
+		addRow(tb, r)
 	}
-	return tb.WriteText(os.Stdout)
+	if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		return writeCSV(*csvPath, tb.WriteCSV)
+	}
+	return nil
+}
+
+// passResult is one finished pass's row: rendered identically whether the
+// pass ran uninterrupted or was resumed from a snapshot, so restored output
+// stays byte-for-byte comparable.
+type passResult struct {
+	name string
+	res  blbp.Result
+	bits int
+}
+
+func addRow(tb *report.Table, r passResult) {
+	returnAcc := 1.0
+	if r.res.Returns > 0 {
+		returnAcc = 1 - float64(r.res.ReturnMispredicts)/float64(r.res.Returns)
+	}
+	tb.AddRowf(r.name, r.res.IndirectMPKI(),
+		fmt.Sprintf("%d/%d", r.res.IndirectMispredicts, r.res.IndirectBranches),
+		r.res.NoPrediction, r.res.CondAccuracy(), returnAcc,
+		fmt.Sprintf("%.1f", float64(r.bits)/8192))
 }
 
 func loadTrace(workloadName, traceFile string, suites [][]blbp.WorkloadSpec) (*blbp.Trace, error) {
@@ -167,19 +212,19 @@ func loadTrace(workloadName, traceFile string, suites [][]blbp.WorkloadSpec) (*b
 	}
 }
 
-// simulateOne runs a single named predictor, built from its registered
-// default configuration plus the given JSON overrides, over the trace.
-// Cond-bound predictors (VPC) share a fresh hashed perceptron; consolidated
-// predictors (combined) serve as their own conditional predictor.
-func simulateOne(tr *blbp.Trace, name string, overrides []byte) (blbp.Result, int, error) {
+// buildPass constructs a single named predictor pass from its registered
+// default configuration plus the given JSON overrides. Cond-bound
+// predictors (VPC) share a fresh hashed perceptron; consolidated predictors
+// (combined) serve as their own conditional predictor.
+func buildPass(name string, overrides []byte) (*pass, error) {
 	e, ok := predictor.Lookup(name)
 	if !ok {
 		_, err := predictor.New(name) // canonical unknown-name error with -list hint
-		return blbp.Result{}, 0, err
+		return nil, err
 	}
 	cfg, err := e.Config(overrides)
 	if err != nil {
-		return blbp.Result{}, 0, err
+		return nil, err
 	}
 	var (
 		cp blbp.ConditionalPredictor
@@ -197,15 +242,24 @@ func simulateOne(tr *blbp.Trace, name string, overrides []byte) (blbp.Result, in
 		cp = blbp.NewHashedPerceptron()
 	}
 	if err != nil {
-		return blbp.Result{}, 0, err
-	}
-	res, err := blbp.SimulateWith(tr, cp, []blbp.IndirectPredictor{p}, blbp.SimOptions{})
-	if err != nil {
-		return blbp.Result{}, 0, err
+		return nil, err
 	}
 	bits := p.StorageBits()
 	if e.NewProvider != nil {
 		bits = cp.StorageBits() // the consolidated structure is the budget
 	}
-	return res[0], bits, nil
+	return &pass{cp: cp, p: p, bits: bits}, nil
+}
+
+// simulateOne runs a single named predictor over the whole trace.
+func simulateOne(tr *blbp.Trace, name string, overrides []byte) (blbp.Result, int, error) {
+	ps, err := buildPass(name, overrides)
+	if err != nil {
+		return blbp.Result{}, 0, err
+	}
+	res, err := blbp.SimulateWith(tr, ps.cp, []blbp.IndirectPredictor{ps.p}, blbp.SimOptions{})
+	if err != nil {
+		return blbp.Result{}, 0, err
+	}
+	return res[0], ps.bits, nil
 }

@@ -85,3 +85,74 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotRestoreCSV is the CLI face of the snapshot differential: a
+// run snapshotted mid-trace and resumed by a separate invocation must emit
+// a CSV byte-identical to the uninterrupted run's.
+func TestSnapshotRestoreCSV(t *testing.T) {
+	dir := t.TempDir()
+	fullCSV := filepath.Join(dir, "full.csv")
+	resumedCSV := filepath.Join(dir, "resumed.csv")
+	snap := filepath.Join(dir, "run.snp")
+	base := []string{"-workload", "252.eon", "-base", "30000", "-predictors", "blbp,ittage,combined"}
+
+	if err := run(append(base, "-csv", fullCSV)); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if err := run(append(base, "-snapshot", snap, "-snapat", "700")); err != nil {
+		t.Fatalf("snapshot run: %v", err)
+	}
+	if err := run(append(base, "-restore", snap, "-csv", resumedCSV)); err != nil {
+		t.Fatalf("restored run: %v", err)
+	}
+	full, err := os.ReadFile(fullCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(resumedCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(full) != string(resumed) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\nfull:\n%s\nresumed:\n%s", full, resumed)
+	}
+	// The published snapshot must carry the world-readable mode of the
+	// atomic writer, not CreateTemp's private 0600.
+	fi, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Errorf("snapshot file mode %o, want 644", perm)
+	}
+}
+
+func TestSnapshotFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "run.snp")
+	if err := run([]string{"-workload", "252.eon", "-base", "20000", "-predictors", "blbp",
+		"-snapshot", snap, "-snapat", "100"}); err != nil {
+		t.Fatalf("snapshot run: %v", err)
+	}
+	cases := [][]string{
+		// -snapshot and -restore together
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "blbp", "-snapshot", snap, "-restore", snap},
+		// -snapat without -snapshot
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "blbp", "-snapat", "5"},
+		// snapshotting a predictor without warm-state support
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "btb", "-snapshot", snap, "-snapat", "5"},
+		// restoring with a different predictor list
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "ittage", "-restore", snap},
+		// restoring with different config overrides
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "blbp", "-config", `blbp={"ThetaInit":9}`, "-restore", snap},
+		// restoring against a different trace
+		{"-workload", "252.eon", "-base", "21000", "-predictors", "blbp", "-restore", snap},
+		// restoring a file that is not a snapshot
+		{"-workload", "252.eon", "-base", "20000", "-predictors", "blbp", "-restore", "/nonexistent/run.snp"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

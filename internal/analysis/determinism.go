@@ -12,12 +12,14 @@ import (
 // assembles every output, the table renderer, the multi-stream batching
 // engine (whose bit-identical-to-serial contract a nondeterministic
 // iteration order would silently void), the trace layer whose columnar
-// storage, stats, and spill codecs every replay and cache path reads, and
+// storage, stats, and spill codecs every replay and cache path reads, the
+// snapshot codec whose encodings double as state fingerprints, and
 // every command front end that emits result rows (bench timing reads are
 // individually audited in ANALYSIS_EXCEPTIONS.md).
 var determinismScope = []string{
 	"internal/trace",
 	"internal/sim",
+	"internal/snapshot",
 	"internal/experiments",
 	"internal/runspec",
 	"internal/report",

@@ -14,6 +14,7 @@ import (
 var parsafeScope = []string{
 	"internal/experiments",
 	"internal/batch",
+	"internal/snapshot",
 	"cmd/bench",
 	"cmd/blbplint",
 	"cmd/blbpsim",

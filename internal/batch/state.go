@@ -1,0 +1,38 @@
+package batch
+
+import (
+	"fmt"
+	"io"
+)
+
+// CheckpointStream serializes the trained state of the stream in slot to w
+// as a BLBPSNP1 snapshot (the slot predictor's own container). Unlike the
+// event entry points it returns an error instead of panicking on a bad
+// slot, because checkpointing is a management-plane operation driven by
+// external requests (drain, migration) rather than the hot loop's internal
+// contract.
+func (e *Engine) CheckpointStream(slot int, w io.Writer) error {
+	if slot < 0 || slot >= len(e.slots) {
+		return fmt.Errorf("batch: checkpoint of slot %d outside pool of %d", slot, len(e.slots))
+	}
+	if !e.live[slot] {
+		return fmt.Errorf("batch: checkpoint of non-live slot %d", slot)
+	}
+	return e.slots[slot].EncodeState(w)
+}
+
+// RestoreStream reinstates a checkpoint into the live stream in slot,
+// replacing its state wholesale — the warm-rebuild path: Admit a slot on
+// the new engine, then RestoreStream the drained stream's checkpoint into
+// it. The engine's configuration must equal the checkpointing engine's
+// (the snapshot's config fingerprint enforces it). On error the slot's
+// predictor state is unspecified; Retire the slot or restore again.
+func (e *Engine) RestoreStream(slot int, r io.Reader) error {
+	if slot < 0 || slot >= len(e.slots) {
+		return fmt.Errorf("batch: restore into slot %d outside pool of %d", slot, len(e.slots))
+	}
+	if !e.live[slot] {
+		return fmt.Errorf("batch: restore into non-live slot %d", slot)
+	}
+	return e.slots[slot].RestoreState(r)
+}

@@ -1,0 +1,97 @@
+package batch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// drive pushes n random predict/update pairs (with interleaved conditional
+// outcomes) through the stream in slot, deterministically from seed.
+func drive(eng *Engine, slot int, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		eng.OnCond(slot, 0xC000+uint64(rng.Intn(4))*4, rng.Intn(2) == 0)
+		pc := 0x400000 + uint64(rng.Intn(4))*0x40
+		eng.Stream(slot).Predict(pc)
+		eng.Stream(slot).Update(pc, 0x500000+uint64(rng.Intn(8))*8)
+	}
+}
+
+// A pool can be drained to checkpoints and rebuilt warm: restored streams
+// must be bit-identical to streams that were never interrupted.
+func TestCheckpointRestoreRebuildsWarmPool(t *testing.T) {
+	cfg := smallConfig()
+	old := NewEngine(cfg, 3)
+	ref := NewEngine(cfg, 3)
+	var oldSlots, refSlots []int
+	for i := 0; i < 3; i++ {
+		s, _ := old.Admit()
+		oldSlots = append(oldSlots, s)
+		s, _ = ref.Admit()
+		refSlots = append(refSlots, s)
+	}
+	for i := 0; i < 3; i++ {
+		drive(old, oldSlots[i], int64(100+i), 800)
+		drive(ref, refSlots[i], int64(100+i), 800)
+	}
+
+	// Drain the old pool into checkpoints.
+	checkpoints := make([]bytes.Buffer, 3)
+	for i, s := range oldSlots {
+		if err := old.CheckpointStream(s, &checkpoints[i]); err != nil {
+			t.Fatalf("checkpoint slot %d: %v", s, err)
+		}
+		old.Retire(s)
+	}
+
+	// Rebuild warm on a fresh engine.
+	fresh := NewEngine(cfg, 3)
+	var newSlots []int
+	for i := range checkpoints {
+		s, ok := fresh.Admit()
+		if !ok {
+			t.Fatalf("admission %d refused", i)
+		}
+		if err := fresh.RestoreStream(s, bytes.NewReader(checkpoints[i].Bytes())); err != nil {
+			t.Fatalf("restore slot %d: %v", s, err)
+		}
+		newSlots = append(newSlots, s)
+	}
+
+	// Continue both pools identically; every stream must stay bit-identical
+	// to its uninterrupted reference.
+	for i := 0; i < 3; i++ {
+		drive(fresh, newSlots[i], int64(200+i), 400)
+		drive(ref, refSlots[i], int64(200+i), 400)
+	}
+	for i := 0; i < 3; i++ {
+		got := fresh.Stream(newSlots[i]).Fingerprint()
+		want := ref.Stream(refSlots[i]).Fingerprint()
+		if got != want {
+			t.Errorf("stream %d fingerprint %#x after warm rebuild, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestCheckpointRestoreErrors(t *testing.T) {
+	eng := NewEngine(smallConfig(), 2)
+	var buf bytes.Buffer
+	if err := eng.CheckpointStream(0, &buf); err == nil {
+		t.Errorf("checkpoint of non-live slot succeeded")
+	}
+	if err := eng.CheckpointStream(-1, &buf); err == nil {
+		t.Errorf("checkpoint of negative slot succeeded")
+	}
+	if err := eng.RestoreStream(5, &buf); err == nil {
+		t.Errorf("restore into out-of-range slot succeeded")
+	}
+	s, _ := eng.Admit()
+	if err := eng.CheckpointStream(s, &buf); err != nil {
+		t.Fatalf("checkpoint of live slot: %v", err)
+	}
+	eng.Retire(s)
+	if err := eng.RestoreStream(s, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Errorf("restore into retired slot succeeded")
+	}
+}

@@ -1,5 +1,7 @@
 package ibtb
 
+import "blbp/internal/snapshot"
+
 // The paper's future work (§6) proposes avoiding the IBTB's costly 64-way
 // associative search "perhaps using a hierarchy of structures". Hierarchy
 // implements that idea as an inclusive two-level buffer: a cheap
@@ -21,6 +23,11 @@ type Buffer interface {
 	StorageBits() int
 	// Reset invalidates the buffer.
 	Reset()
+	// EncodeState serializes the buffer into a snapshot section and
+	// RestoreState reinstates it into a buffer of the same geometry
+	// (see internal/snapshot and state.go).
+	EncodeState(e *snapshot.Enc)
+	RestoreState(d *snapshot.Dec) error
 }
 
 var (

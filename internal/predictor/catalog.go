@@ -14,6 +14,21 @@ import (
 	"blbp/internal/vpc"
 )
 
+// The snapshottable predictors (tentpole of the warm-state work): BLBP,
+// ITTAGE, the consolidated combined structure (either view), and the
+// conditional TAGE/hashed-perceptron predictors. The remaining catalog
+// entries (btb, btb2bit, targetcache, cascaded, vpc) intentionally do not
+// implement Snapshotter yet; tools probing with AsSnapshotter must report
+// that clearly rather than silently skipping state.
+var (
+	_ Snapshotter = (*core.BLBP)(nil)
+	_ Snapshotter = (*ittage.ITTAGE)(nil)
+	_ Snapshotter = (*combined.Predictor)(nil)
+	_ Snapshotter = (*combined.IndirectView)(nil)
+	_ Snapshotter = (*cond.TAGE)(nil)
+	_ Snapshotter = (*cond.HashedPerceptron)(nil)
+)
+
 // cfgAs narrows the registry's opaque config value back to the predictor's
 // own config type; a mismatch indicates a caller bypassing Entry.Config.
 func cfgAs[T any](name string, cfg any) (T, error) {

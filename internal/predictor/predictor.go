@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"reflect"
 	"sort"
 	"strings"
@@ -56,6 +57,35 @@ type SpanFeeder interface {
 	// OnOtherSpan observes records [start, end) of a direct-jump, direct-
 	// call, or return segment of type bt.
 	OnOtherSpan(c *trace.Columns, start, end int, bt trace.BranchType)
+}
+
+// Snapshotter is the optional warm-state persistence interface: a predictor
+// implementing it can serialize its trained state as a BLBPSNP1 snapshot
+// (internal/snapshot) and reinstate it into a fresh instance built from the
+// same configuration. The differential contract is strict: after
+// EncodeState on a trained predictor and RestoreState into an identically
+// configured one, every subsequent Predict/Update/OnCond sequence must be
+// bit-identical between the two. Conditional predictors (cond.Predictor)
+// and indirect predictors alike may implement it; use AsSnapshotter to
+// probe a built instance.
+type Snapshotter interface {
+	// EncodeState writes the predictor's trained state to w. It must not
+	// perturb the predictor (lazy state may be flushed, but only in ways
+	// no later call can observe).
+	EncodeState(w io.Writer) error
+	// RestoreState reinstates state written by EncodeState on a predictor
+	// of the same type and configuration. On error (corrupt, truncated, or
+	// mismatched snapshot) the receiver's state is unspecified: discard it
+	// or reset it before reuse.
+	RestoreState(r io.Reader) error
+}
+
+// AsSnapshotter reports whether a built predictor instance (indirect or
+// conditional) supports warm-state snapshots, unwrapping nothing: the
+// instance itself must implement Snapshotter.
+func AsSnapshotter(v any) (Snapshotter, bool) {
+	s, ok := v.(Snapshotter)
+	return s, ok
 }
 
 // Entry describes one registered predictor: its default configuration and

@@ -1,0 +1,46 @@
+package region
+
+import (
+	"fmt"
+
+	"blbp/internal/snapshot"
+)
+
+// EncodeState serializes the region array: bases, generation counters,
+// valid bits, and the LRU recency state.
+func (a *Array) EncodeState(e *snapshot.Enc) {
+	e.U64s(a.bases)
+	e.U32s(a.gens)
+	e.Bools(a.valid)
+	a.lru.EncodeState(e)
+	e.I64(a.evictions)
+}
+
+// RestoreState reinstates state captured by EncodeState into an array of
+// the same capacity.
+func (a *Array) RestoreState(d *snapshot.Dec) error {
+	bases := make([]uint64, len(a.bases))
+	gens := make([]uint32, len(a.gens))
+	valid := make([]bool, len(a.valid))
+	d.U64sInto(bases)
+	d.U32sInto(gens)
+	d.BoolsInto(valid)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := a.lru.RestoreState(d); err != nil {
+		return err
+	}
+	evictions := d.I64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if evictions < 0 {
+		return fmt.Errorf("%w: negative eviction count", snapshot.ErrCorrupt)
+	}
+	copy(a.bases, bases)
+	copy(a.gens, gens)
+	copy(a.valid, valid)
+	a.evictions = evictions
+	return nil
+}

@@ -1,0 +1,55 @@
+package replacement
+
+import (
+	"fmt"
+
+	"blbp/internal/snapshot"
+)
+
+// EncodeState serializes the RRIP prediction values.
+func (r *RRIP) EncodeState(e *snapshot.Enc) {
+	e.U8s(r.rrpv)
+}
+
+// RestoreState reinstates RRPVs captured by EncodeState into a policy of
+// the same geometry, rejecting values above the configured maximum.
+func (r *RRIP) RestoreState(d *snapshot.Dec) error {
+	saved := make([]uint8, len(r.rrpv))
+	d.U8sInto(saved)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i, v := range saved {
+		if v > r.max {
+			return fmt.Errorf("%w: RRPV %d at way %d exceeds max %d", snapshot.ErrCorrupt, v, i, r.max)
+		}
+	}
+	copy(r.rrpv, saved)
+	return nil
+}
+
+// EncodeState serializes the LRU recency stamps and clock.
+func (l *LRU) EncodeState(e *snapshot.Enc) {
+	e.U64(l.clock)
+	e.U64s(l.stamp)
+}
+
+// RestoreState reinstates recency state captured by EncodeState into a
+// policy of the same geometry. Stamps must not run ahead of the clock, or
+// future touches would fail to be most-recent.
+func (l *LRU) RestoreState(d *snapshot.Dec) error {
+	clock := d.U64()
+	saved := make([]uint64, len(l.stamp))
+	d.U64sInto(saved)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i, s := range saved {
+		if s > clock {
+			return fmt.Errorf("%w: LRU stamp %d at way %d ahead of clock %d", snapshot.ErrCorrupt, s, i, clock)
+		}
+	}
+	l.clock = clock
+	copy(l.stamp, saved)
+	return nil
+}

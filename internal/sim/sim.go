@@ -110,109 +110,16 @@ func Run(tr *trace.Trace, cp cond.Predictor, indirects []predictor.Indirect, opt
 // conditional segments the per-record call sequence (predict, train, update
 // history, feed indirects) is preserved verbatim: VPC and the consolidated
 // predictor share state between the conditional and indirect sides, so the
-// relative order of those calls is observable.
+// relative order of those calls is observable. The segment loop lives in
+// runRange (resume.go), shared with the checkpoint/resume entry points so
+// the interrupted and uninterrupted paths cannot drift.
 func RunColumns(cols *trace.Columns, cp cond.Predictor, indirects []predictor.Indirect, opts Options) ([]Result, error) {
-	if cols == nil {
-		return nil, fmt.Errorf("sim: nil trace")
+	if err := validateRun(cols, cp, indirects); err != nil {
+		return nil, err
 	}
-	if cp == nil {
-		return nil, fmt.Errorf("sim: nil conditional predictor")
-	}
-	if len(indirects) == 0 {
-		return nil, fmt.Errorf("sim: no indirect predictors")
-	}
-	if err := cols.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	stack := ras.New(opts.rasDepth())
-	var shared Result
-	perPred := make([]Result, len(indirects))
-	pc, target := cols.PC(), cols.Target()
-	tt, hasTT := cp.(cond.TargetTrainer)
-
-	for _, seg := range cols.Segments() {
-		switch seg.Type {
-		case trace.CondDirect:
-			shared.CondBranches += int64(seg.End - seg.Start)
-			for i := seg.Start; i < seg.End; i++ {
-				taken := cols.Taken(i)
-				if cp.Predict(pc[i]) != taken {
-					shared.CondMispredicts++
-				}
-				if hasTT {
-					tt.TrainWithTarget(pc[i], taken, target[i])
-				} else {
-					cp.Train(pc[i], taken)
-				}
-				cp.UpdateHistory(pc[i], taken)
-				for _, ip := range indirects {
-					ip.OnCond(pc[i], taken)
-				}
-			}
-
-		case trace.IndirectJump, trace.IndirectCall:
-			isCall := seg.Type == trace.IndirectCall
-			for i := seg.Start; i < seg.End; i++ {
-				for j := range indirects {
-					ip := indirects[j]
-					perPred[j].IndirectBranches++
-					pred, ok := ip.Predict(pc[i])
-					if !ok {
-						perPred[j].NoPrediction++
-						perPred[j].IndirectMispredicts++
-					} else if pred != target[i] {
-						perPred[j].IndirectMispredicts++
-					}
-					ip.Update(pc[i], target[i])
-				}
-				if isCall {
-					stack.Push(pc[i] + instructionSize)
-				}
-				cp.OnOther(pc[i], target[i], seg.Type)
-			}
-
-		case trace.Return:
-			shared.Returns += int64(seg.End - seg.Start)
-			for i := seg.Start; i < seg.End; i++ {
-				if !stack.Predict(target[i]) {
-					shared.ReturnMispredicts++
-				}
-				cp.OnOther(pc[i], target[i], trace.Return)
-				for _, ip := range indirects {
-					ip.OnOther(pc[i], target[i], trace.Return)
-				}
-			}
-
-		case trace.DirectCall:
-			for i := seg.Start; i < seg.End; i++ {
-				stack.Push(pc[i] + instructionSize)
-				cp.OnOther(pc[i], target[i], trace.DirectCall)
-				for _, ip := range indirects {
-					ip.OnOther(pc[i], target[i], trace.DirectCall)
-				}
-			}
-
-		case trace.UncondDirect:
-			for i := seg.Start; i < seg.End; i++ {
-				cp.OnOther(pc[i], target[i], trace.UncondDirect)
-				for _, ip := range indirects {
-					ip.OnOther(pc[i], target[i], trace.UncondDirect)
-				}
-			}
-		}
-	}
-	shared.Instructions = cols.Instructions()
-
-	for i, ip := range indirects {
-		perPred[i].Trace = cols.Name
-		perPred[i].Predictor = ip.Name()
-		perPred[i].Instructions = shared.Instructions
-		perPred[i].CondBranches = shared.CondBranches
-		perPred[i].CondMispredicts = shared.CondMispredicts
-		perPred[i].Returns = shared.Returns
-		perPred[i].ReturnMispredicts = shared.ReturnMispredicts
-	}
-	return perPred, nil
+	pr := &PausedRun{stack: ras.New(opts.rasDepth()), perPred: make([]Result, len(indirects))}
+	runRange(cols, cp, indirects, pr, cols.Len())
+	return finalize(cols, indirects, pr), nil
 }
 
 // RunRecords is the record-slice reference engine: the original per-record

@@ -1,0 +1,53 @@
+package snapshot
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic durably publishes a file at path: the payload is written
+// to a temp file in the same directory (named after tmpPattern, so crash
+// leftovers are recognizable), fsynced, chmodded to the conventional 0644
+// shared-read mode (os.CreateTemp's private 0600 must not leak through the
+// rename), closed, renamed onto path, and the directory is fsynced so the
+// rename itself survives power loss. A crash at any point leaves either the
+// old file, the new file, or a stray temp file — never a partial payload
+// under the canonical name. The spill tier (internal/tracecache) and the
+// snapshot writers share this discipline; see DESIGN.md §7.
+func WriteFileAtomic(path, tmpPattern string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tmpPattern)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

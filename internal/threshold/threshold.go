@@ -5,6 +5,8 @@
 // mispredictions.
 package threshold
 
+import "fmt"
+
 // Adaptive is one adaptive threshold. BLBP keeps one per predicted target
 // bit; the hashed perceptron keeps a single one.
 type Adaptive struct {
@@ -54,6 +56,25 @@ func (a *Adaptive) Observe(mispredicted, lowConfidence bool) {
 			}
 		}
 	}
+}
+
+// State returns the serializable adaptation state: the current threshold
+// and the net-event counter. The speed/min/max parameters are configuration,
+// not state, and are reconstructed by New on restore.
+func (a *Adaptive) State() (theta, tc int) { return a.theta, a.tc }
+
+// SetState reinstates a (theta, tc) pair captured by State, validating it
+// against this threshold's configured bounds.
+func (a *Adaptive) SetState(theta, tc int) error {
+	if theta < a.min || theta > a.max {
+		return fmt.Errorf("threshold: theta %d outside [%d,%d]", theta, a.min, a.max)
+	}
+	if tc <= -a.speed || tc >= a.speed {
+		return fmt.Errorf("threshold: counter %d outside (%d,%d)", tc, -a.speed, a.speed)
+	}
+	a.theta = theta
+	a.tc = tc
+	return nil
 }
 
 // Reset restores the threshold to the given value and clears the counter.

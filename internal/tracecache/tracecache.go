@@ -33,6 +33,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"blbp/internal/sim"
+	"blbp/internal/snapshot"
 	"blbp/internal/trace"
 	"blbp/internal/workload"
 )
@@ -227,6 +229,11 @@ func (c *Cache) Preload(dir string) int {
 		path := filepath.Join(dir, de.Name())
 		h, err := readSpillHeaderFile(path)
 		if err != nil {
+			// Surface the damage instead of silently skipping the file: the
+			// operator sees the first failure on stderr and the rest in
+			// Stats.SpillErrors, while the file is still remembered as stale
+			// so Close can prune it.
+			c.spillFailure(fmt.Errorf("preloading %s: %w", path, err))
 			c.mu.Lock()
 			c.stale = append(c.stale, path)
 			c.mu.Unlock()
@@ -385,30 +392,16 @@ func spillName(id workload.Identity) string {
 	return fmt.Sprintf("%016x%s", h.Sum64(), spillExt)
 }
 
-// writeSpill atomically writes a self-describing spill file: the payload
-// lands under a temp name and is renamed onto path only once fully
-// written, so a crash never leaves a partial file at a canonical name.
+// writeSpill atomically and durably writes a self-describing spill file
+// through snapshot.WriteFileAtomic: the payload lands under a temp name,
+// is fsynced, republished at mode 0644, renamed onto path, and the
+// directory is fsynced — so a crash never leaves a partial (or silently
+// empty) file at a canonical name. See DESIGN.md §7.
 func writeSpill(path string, id workload.Identity, cols *trace.Columns) error {
-	f, err := os.CreateTemp(filepath.Dir(path), tempPattern)
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
 	h := trace.SpillHeader{Name: id.Name, Seed: id.Seed, Instructions: id.Instructions}
-	if err := trace.WriteSpillColumns(f, h, cols); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return snapshot.WriteFileAtomic(path, tempPattern, func(w io.Writer) error {
+		return trace.WriteSpillColumns(w, h, cols)
+	})
 }
 
 // readSpillHeaderFile reads just the header of a spill file.

@@ -393,3 +393,42 @@ func TestEntryMemoizesDerivedArtifacts(t *testing.T) {
 		t.Errorf("tape instructions = %d", tp1.Instructions())
 	}
 }
+
+// TestSpillFilePublishedMode covers the private-file bug: spill files used
+// to inherit CreateTemp's 0600 mode through the rename, so a cache shared
+// across users could never warm-start from them. The atomic writer must
+// republish at 0644.
+func TestSpillFilePublishedMode(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{SpillDir: dir, KeepSpill: true})
+	spec := testSpec("mode", 4_000)
+	c.Get(spec)
+	c.Close()
+	fi, err := os.Stat(filepath.Join(dir, spillName(spec.Identity())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o644 {
+		t.Errorf("published spill file mode %o, want 644", perm)
+	}
+}
+
+// TestPreloadSurfacesCorruptFiles covers the swallowed-error bug: Preload
+// used to silently skip files whose header failed to read or decode, so a
+// wiped-out warm-start directory looked like a cold cache. The failures
+// must count in Stats.SpillErrors (and log once) while the files are still
+// remembered as stale for pruning.
+func TestPreloadSurfacesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "garbage"+spillExt), []byte("not a spill"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "empty"+spillExt), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{SpillDir: dir})
+	defer c.Close()
+	if st := c.Stats(); st.SpillErrors != 2 {
+		t.Errorf("SpillErrors = %d after preloading 2 corrupt files, want 2", st.SpillErrors)
+	}
+}

@@ -37,6 +37,7 @@ go test -fuzz FuzzSpillDecode -fuzztime 5s -run xxx ./internal/tracecache/
 go test -fuzz FuzzRunPlanDecode -fuzztime 5s -run xxx ./internal/runspec/
 go test -fuzz FuzzBatchEquivalence -fuzztime 5s -run xxx ./internal/batch/
 go test -fuzz FuzzColumnarEquivalence -fuzztime 5s -run xxx ./internal/sim/
+go test -fuzz FuzzSnapshotRoundTrip -fuzztime 5s -run xxx ./internal/sim/
 # Columnar differential smoke: the seed-corpus differential (record-slice
 # reference vs columnar replay, tape replay, and the columnar spill round
 # trip) must hold without the fuzz engine.
@@ -53,6 +54,19 @@ grep -q 'batch_b64 check: batched=\([0-9]*\) serial=\1 predictions, outputs iden
 diff "$bdir/preds.b1.batched.csv" "$bdir/preds.b1.serial.csv"
 diff "$bdir/preds.b64.batched.csv" "$bdir/preds.b64.serial.csv"
 rm -rf "$bdir"
+# Snapshot smoke: a run paused mid-trace by -snapshot and resumed by
+# -restore in a fresh process must emit a CSV byte-identical to the
+# uninterrupted run's (the tentpole's end-to-end differential gate).
+sdir=$(mktemp -d)
+go run ./cmd/blbpsim -workload 400.perlbench-1 -base 40000 \
+	-predictors blbp,ittage,combined -csv "$sdir/full.csv" >/dev/null
+go run ./cmd/blbpsim -workload 400.perlbench-1 -base 40000 \
+	-predictors blbp,ittage,combined -snapshot "$sdir/run.snp" -snapat 900 >/dev/null
+go run ./cmd/blbpsim -workload 400.perlbench-1 -base 40000 \
+	-predictors blbp,ittage,combined -restore "$sdir/run.snp" \
+	-csv "$sdir/resumed.csv" >/dev/null
+diff "$sdir/full.csv" "$sdir/resumed.csv"
+rm -rf "$sdir"
 # Warm-start smoke: a second experiments run against a kept spill directory
 # must serve every trace from disk (0 generator builds) and emit
 # byte-identical CSVs. The warm run decodes its spill files through the
