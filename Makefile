@@ -40,6 +40,7 @@ micro:
 	$(GO) test -run xxx -bench 'BenchmarkFolded|BenchmarkFoldFromScratch' -benchmem ./internal/history/
 	$(GO) test -run xxx -bench 'BenchmarkServing|BenchmarkPoolDrain' -benchmem ./internal/batch/
 	$(GO) test -run xxx -bench 'BenchmarkSimRun' -benchmem ./internal/sim/
+	$(GO) test -run xxx -bench 'BenchmarkDrawCDF' -benchmem ./internal/workload/
 	$(GO) test -run xxx -bench 'Throughput|EndToEnd' -benchmem .
 
 # Regenerate the committed results (full-scale instruction base). The

@@ -17,13 +17,14 @@ import (
 	"blbp/internal/experiments"
 	"blbp/internal/runspec"
 	"blbp/internal/workload"
+	"blbp/internal/wspec"
 )
 
 // benchBase is the instruction base for macro benchmarks (full runs use
 // 400k+; see cmd/experiments).
 const benchBase = 60_000
 
-func benchSuite() []workload.Spec { return workload.Suite(benchBase) }
+func benchSuite() []workload.Spec { return wspec.Suite(benchBase) }
 
 // benchRunner is the execution layer shared by every macro benchmark in
 // this file: its trace cache means each workload is synthesized once for

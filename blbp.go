@@ -27,6 +27,7 @@ import (
 	"blbp/internal/trace"
 	"blbp/internal/vpc"
 	"blbp/internal/workload"
+	"blbp/internal/wspec"
 )
 
 // Trace model -------------------------------------------------------------
@@ -162,11 +163,11 @@ type WorkloadSpec = workload.Spec
 // Workloads returns the paper-mirroring 88-workload suite; base scales
 // trace lengths (SHORT = base, LONG = 2x, SPEC = 1.5x; 0 applies the
 // 400k-instruction default).
-func Workloads(base int64) []WorkloadSpec { return workload.Suite(base) }
+func Workloads(base int64) []WorkloadSpec { return wspec.Suite(base) }
 
 // HoldoutWorkloads returns the 12-workload cross-validation suite (the
 // paper's CBP-4 analog).
-func HoldoutWorkloads(base int64) []WorkloadSpec { return workload.SuiteHoldout(base) }
+func HoldoutWorkloads(base int64) []WorkloadSpec { return wspec.SuiteHoldout(base) }
 
 // Workload generator parameter types, for building custom workloads.
 type (

@@ -11,12 +11,14 @@
 //	bench [-out BENCH_6.json] [-base 60000] [-reps 3] [-parallel N]
 //	      [-batch] [-batchsizes 1,8,64,256] [-batchshards 1,2,4]
 //	      [-batchevents 2048] [-batchdump PREFIX]
-//	      [-cpuprofile F] [-memprofile F]
+//	      [-workload-spec FILE] [-cpuprofile F] [-memprofile F]
 //
 // -base sets the per-workload instruction budget for the suite wall-clock
 // measurement (the full-scale experiment runs use 400k+; the default keeps
 // the tool interactive). -reps controls how many times each measurement is
 // repeated; the fastest repetition is reported, minimizing scheduler noise.
+// -workload-spec substitutes the workload specs compiled from a JSON file
+// (see internal/wspec) for the built-in suite in the suite measurements.
 //
 // The batch section (batch.go) measures the internal/batch multi-stream
 // engine: the single-stream serial contract, the batched prediction-serving
@@ -58,7 +60,7 @@ import (
 	"blbp/internal/sim"
 	"blbp/internal/trace"
 	"blbp/internal/tracecache"
-	"blbp/internal/workload"
+	"blbp/internal/wspec"
 )
 
 // Report is the serialized benchmark result.
@@ -348,10 +350,34 @@ func measureSuiteStart(name string, specs []blbp.WorkloadSpec, instr int64, reps
 	}, last, nil
 }
 
+// suiteSpecs resolves the population the suite measurements run over: the
+// built-in suite at base, or the workload specs compiled from specFile
+// (-workload-spec), so custom populations get the same throughput numbers.
+func suiteSpecs(base int64, specFile string) ([]blbp.WorkloadSpec, error) {
+	if specFile == "" {
+		return wspec.Suite(base), nil
+	}
+	data, err := os.ReadFile(specFile)
+	if err != nil {
+		return nil, err
+	}
+	wss, err := wspec.DecodeAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("workload spec %s: %v", specFile, err)
+	}
+	specs := make([]blbp.WorkloadSpec, len(wss))
+	for i, ws := range wss {
+		if specs[i], err = wspec.Compile(ws); err != nil {
+			return nil, fmt.Errorf("workload spec %s: %v", specFile, err)
+		}
+	}
+	return specs, nil
+}
+
 // run executes every measurement and assembles the report; with batchOnly
 // it runs just the header and the batch section. It returns the report and
 // the batch verification lines.
-func run(base int64, reps, parallel int, batchOnly bool, bo batchOpts) (*Report, []string, error) {
+func run(base int64, reps, parallel int, batchOnly bool, specFile string, bo batchOpts) (*Report, []string, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -412,7 +438,10 @@ func run(base int64, reps, parallel int, batchOnly bool, bo batchOpts) (*Report,
 	}
 	rep.Results = append(rep.Results, spillV1, spillV2, spillCols)
 
-	specs := workload.Suite(base)
+	specs, err := suiteSpecs(base, specFile)
+	if err != nil {
+		return nil, nil, err
+	}
 	// The shared cache doubles as the spill-tier seeder: KeepSpill makes
 	// its Close flush every built trace into spillDir for the warm
 	// measurement below.
@@ -473,6 +502,7 @@ func main() {
 	batchShards := flag.String("batchshards", "1,2,4", "shard counts for the full-drain entries")
 	batchEvents := flag.Int("batchevents", 2048, "events per stream in the batch workload")
 	batchDump := flag.String("batchdump", "", "prefix for batched/serial CSV prediction logs")
+	specFile := flag.String("workload-spec", "", "workload spec file (JSON) to benchmark instead of the built-in suite")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -515,7 +545,7 @@ func main() {
 			f.Close()
 		}()
 	}
-	rep, checks, err := run(*base, *reps, *parallel, *batchOnly, bo)
+	rep, checks, err := run(*base, *reps, *parallel, *batchOnly, *specFile, bo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)

@@ -9,7 +9,7 @@ import (
 // instruction base and checks every entry is populated and positive.
 func TestRunProducesCompleteReport(t *testing.T) {
 	bo := batchOpts{sizes: []int{1, 8}, shards: []int{1, 2}, events: 128}
-	rep, checks, err := run(2_000, 1, 2, false, bo)
+	rep, checks, err := run(2_000, 1, 2, false, "", bo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestRunProducesCompleteReport(t *testing.T) {
 // section.
 func TestRunBatchOnly(t *testing.T) {
 	bo := batchOpts{sizes: []int{1}, shards: []int{1}, events: 64}
-	rep, checks, err := run(2_000, 1, 0, true, bo)
+	rep, checks, err := run(2_000, 1, 0, true, "", bo)
 	if err != nil {
 		t.Fatal(err)
 	}

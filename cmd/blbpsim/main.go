@@ -6,12 +6,16 @@
 //
 //	blbpsim -workload 400.perlbench-1 [-base N] [-predictors blbp,ittage,btb,vpc]
 //	blbpsim -trace file.trc [-predictors ...]
+//	blbpsim -workload-spec myspec.json [-predictors ...]
 //	blbpsim -workload 403.gcc-1 -config 'blbp={"GlobalTargetBits":0}'
 //	blbpsim -list
 //
 // -config name=JSON (repeatable) overrides fields of the named predictor's
 // default configuration; the JSON object merges field-for-field onto the
 // default, exactly as a run plan's "config" would (see cmd/experiments).
+// -workload-spec compiles a declarative workload spec file (one JSON object
+// or an array; see internal/wspec) and simulates it instead of a built-in
+// workload — with an array, -workload selects which spec by name.
 // -list prints the available workloads and every registered predictor with
 // its default-config JSON, the baseline the overrides apply to.
 package main
@@ -26,6 +30,7 @@ import (
 	"blbp"
 	"blbp/internal/predictor"
 	"blbp/internal/report"
+	"blbp/internal/wspec"
 )
 
 func main() {
@@ -74,6 +79,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("blbpsim", flag.ContinueOnError)
 	workloadName := fs.String("workload", "", "workload name from the built-in suite")
 	traceFile := fs.String("trace", "", "trace file (from tracegen) instead of a workload")
+	specFile := fs.String("workload-spec", "", "workload spec file (JSON) to compile and simulate instead of a built-in")
 	base := fs.Int64("base", 400_000, "instruction base for suite workloads")
 	preds := fs.String("predictors", "blbp,ittage,btb,vpc", "comma-separated predictors to run")
 	configs := configFlags{}
@@ -125,7 +131,7 @@ func run(args []string) error {
 		}
 	}
 
-	tr, err := loadTrace(*workloadName, *traceFile, suites)
+	tr, err := loadTrace(*workloadName, *traceFile, *specFile, suites)
 	if err != nil {
 		return err
 	}
@@ -187,8 +193,12 @@ func addRow(tb *report.Table, r passResult) {
 		fmt.Sprintf("%.1f", float64(r.bits)/8192))
 }
 
-func loadTrace(workloadName, traceFile string, suites [][]blbp.WorkloadSpec) (*blbp.Trace, error) {
+func loadTrace(workloadName, traceFile, specFile string, suites [][]blbp.WorkloadSpec) (*blbp.Trace, error) {
 	switch {
+	case specFile != "" && traceFile != "":
+		return nil, fmt.Errorf("use either -workload-spec or -trace, not both")
+	case specFile != "":
+		return specTrace(specFile, workloadName)
 	case workloadName != "" && traceFile != "":
 		return nil, fmt.Errorf("use either -workload or -trace, not both")
 	case traceFile != "":
@@ -210,6 +220,42 @@ func loadTrace(workloadName, traceFile string, suites [][]blbp.WorkloadSpec) (*b
 	default:
 		return nil, fmt.Errorf("one of -workload or -trace is required (or -list)")
 	}
+}
+
+// specTrace compiles a workload spec file into its trace. A file holding
+// several specs needs -workload to pick one by name; a single-spec file
+// needs no selector.
+func specTrace(path, name string) (*blbp.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := wspec.DecodeAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("workload spec %s: %v", path, err)
+	}
+	var pick *wspec.WorkloadSpec
+	switch {
+	case name != "":
+		for i := range specs {
+			if specs[i].Name == name {
+				pick = &specs[i]
+				break
+			}
+		}
+		if pick == nil {
+			return nil, fmt.Errorf("workload spec %s: no spec named %q", path, name)
+		}
+	case len(specs) == 1:
+		pick = &specs[0]
+	default:
+		return nil, fmt.Errorf("workload spec %s holds %d specs; select one with -workload", path, len(specs))
+	}
+	s, err := wspec.Compile(*pick)
+	if err != nil {
+		return nil, fmt.Errorf("workload spec %s: %v", path, err)
+	}
+	return s.Build(), nil
 }
 
 // buildPass constructs a single named predictor pass from its registered

@@ -21,6 +21,13 @@
 //	-chart          render fig10/fig11 as ASCII bar charts too
 //	-plan FILE      run the JSON run plan in FILE instead of built-ins
 //	-dumpplan NAME  print the named built-in plan as JSON and exit
+//	-workload-spec FILE
+//	                register the workload spec(s) in FILE (one JSON object
+//	                or an array) so plans can name them in suite "specs";
+//	                repeatable
+//	-dumpspec NAME  print the named built-in workload spec as JSON and exit
+//	                (scaled by -base)
+//	-list-workloads list every built-in workload spec name and exit
 //	-list           list predictors, conditional substrates, outputs, and
 //	                built-in plans, then exit
 //	-cachemb N      bound the trace cache to ~N MiB, spilling evicted
@@ -50,12 +57,23 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"blbp/internal/experiments"
 	"blbp/internal/predictor"
 	"blbp/internal/runspec"
 	"blbp/internal/tracecache"
+	"blbp/internal/wspec"
 )
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -72,6 +90,10 @@ func run(args []string) error {
 	chart := fs.Bool("chart", false, "render fig10/fig11 results as ASCII bar charts too")
 	planFile := fs.String("plan", "", "run the JSON run plan in this file")
 	dumpPlan := fs.String("dumpplan", "", "print the named built-in plan as JSON and exit")
+	var specFiles stringList
+	fs.Var(&specFiles, "workload-spec", "register the workload spec(s) in this JSON file for plans to name (repeatable)")
+	dumpSpec := fs.String("dumpspec", "", "print the named built-in workload spec as JSON and exit")
+	listWorkloads := fs.Bool("list-workloads", false, "list every built-in workload spec name")
 	list := fs.Bool("list", false, "list predictors, substrates, outputs, and built-in plans")
 	cacheMB := fs.Int64("cachemb", 0, "trace-cache budget in MiB (0 = unbounded)")
 	cacheSpill := fs.String("cachespill", "", "spill directory for the trace cache's persistent tier (default: per-process temp dir)")
@@ -85,6 +107,24 @@ func run(args []string) error {
 
 	if *list {
 		return printList(os.Stdout)
+	}
+	if *listWorkloads {
+		for _, name := range wspec.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	if *dumpSpec != "" {
+		ws, ok := wspec.Lookup(*dumpSpec, *base)
+		if !ok {
+			return fmt.Errorf("unknown workload %q (see -list-workloads)", *dumpSpec)
+		}
+		out, err := ws.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(out)
+		return err
 	}
 	if *dumpPlan != "" {
 		plan, ok := runspec.Builtin(*dumpPlan)
@@ -193,6 +233,21 @@ func run(args []string) error {
 	}
 
 	exec := runspec.NewExec(runner, *base)
+	for _, file := range specFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		specs, err := wspec.DecodeAll(data)
+		if err != nil {
+			return fmt.Errorf("workload spec %s: %v", file, err)
+		}
+		for _, ws := range specs {
+			if err := exec.RegisterWorkload(ws); err != nil {
+				return fmt.Errorf("workload spec %s: %v", file, err)
+			}
+		}
+	}
 	for _, plan := range plans {
 		outs, err := exec.Run(plan)
 		if err != nil {

@@ -9,7 +9,8 @@ import (
 // determinismScope lists the packages whose output feeds results/*.csv and
 // must therefore be byte-reproducible at any -parallel: the simulation
 // engine, the experiment execution layer, the declarative plan layer that
-// assembles every output, the table renderer, the multi-stream batching
+// assembles every output, the workload-spec layer that compiles the
+// generator population those plans name, the table renderer, the multi-stream batching
 // engine (whose bit-identical-to-serial contract a nondeterministic
 // iteration order would silently void), the trace layer whose columnar
 // storage, stats, and spill codecs every replay and cache path reads, the
@@ -22,6 +23,7 @@ var determinismScope = []string{
 	"internal/snapshot",
 	"internal/experiments",
 	"internal/runspec",
+	"internal/wspec",
 	"internal/report",
 	"internal/batch",
 	"cmd/experiments",

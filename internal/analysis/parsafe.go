@@ -15,6 +15,7 @@ var parsafeScope = []string{
 	"internal/experiments",
 	"internal/batch",
 	"internal/snapshot",
+	"internal/wspec",
 	"cmd/bench",
 	"cmd/blbplint",
 	"cmd/blbpsim",

@@ -7,6 +7,7 @@ import (
 	"blbp/internal/report"
 	"blbp/internal/tracecache"
 	"blbp/internal/workload"
+	"blbp/internal/wspec"
 )
 
 // renderDriverCSV runs a small driver subset on a private Runner with the
@@ -34,7 +35,7 @@ func renderDriverCSVConfig(t *testing.T, workers int, cfg tracecache.Config) ([]
 	data := OverallData{Rows: rows, Predictors: []string{NameBTB, NameVPC, NameITTAGE, NameBLBP}}
 	tables = append(tables, OverallTable(data), Fig8(data), Fig9(data))
 	// Two independently seeded draws in one wave, the seeds plan's shape.
-	suites := [][]workload.Spec{workload.SuiteSeeded(30_000, ""), workload.SuiteSeeded(30_000, "x")}
+	suites := [][]workload.Spec{wspec.SuiteSeeded(30_000, ""), wspec.SuiteSeeded(30_000, "x")}
 	draws, err := r.RunSuites(suites, StandardPasses())
 	if err != nil {
 		t.Fatal(err)

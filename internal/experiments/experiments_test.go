@@ -12,6 +12,7 @@ import (
 	"blbp/internal/sim"
 	"blbp/internal/trace"
 	"blbp/internal/workload"
+	"blbp/internal/wspec"
 )
 
 // testRunner returns a Runner closed when the test ends.
@@ -312,7 +313,7 @@ func TestBudgetsAndTables(t *testing.T) {
 		t.Errorf("BLBP/ITTAGE budget ratio = %.2f, want iso-budget (0.75-1.25)", ratio)
 	}
 
-	t1 := Table1(workload.Suite(1_000))
+	t1 := Table1(wspec.Suite(1_000))
 	if t1.Rows() != 8 { // 7 categories + total
 		t.Errorf("table1 rows = %d, want 8", t1.Rows())
 	}

@@ -12,6 +12,7 @@ import (
 	"blbp/internal/predictor"
 	"blbp/internal/targetcache"
 	"blbp/internal/workload"
+	"blbp/internal/wspec"
 )
 
 func TestGeometricIntervalsValid(t *testing.T) {
@@ -286,7 +287,7 @@ func TestSeedsDrawsDiffer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow integration")
 	}
-	suites := [][]workload.Spec{workload.SuiteSeeded(20_000, ""), workload.SuiteSeeded(20_000, "x")}
+	suites := [][]workload.Spec{wspec.SuiteSeeded(20_000, ""), wspec.SuiteSeeded(20_000, "x")}
 	results, err := testRunner(t).RunSuites(suites, StandardPasses())
 	if err != nil {
 		t.Fatal(err)

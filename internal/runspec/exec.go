@@ -8,6 +8,7 @@ import (
 	"blbp/internal/experiments"
 	"blbp/internal/report"
 	"blbp/internal/workload"
+	"blbp/internal/wspec"
 )
 
 // Exec drives plans over one experiments.Runner. Identical (suite, passes)
@@ -19,6 +20,9 @@ type Exec struct {
 	r    *experiments.Runner
 	base int64
 	memo map[string]*suiteRun
+	// registry holds session-registered workload specs (RegisterWorkload);
+	// spec-listed suites resolve names here before the built-ins.
+	registry map[string]wspec.WorkloadSpec
 }
 
 // suiteRun is one memoized simulation: the resolved suites, the per-draw
@@ -58,7 +62,7 @@ func (x *Exec) Run(plan *Plan) ([]RenderedOutput, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	suites, err := resolveSuites(plan.Suite, x.base)
+	suites, err := x.resolveSuites(plan.Suite)
 	if err != nil {
 		return nil, err
 	}
@@ -139,11 +143,15 @@ func memoKey(plan *Plan, base int64, withProbes bool) (string, error) {
 }
 
 // resolveSuites materializes the plan's workload population: one spec
-// slice per seeded draw.
-func resolveSuites(s Suite, base int64) ([][]workload.Spec, error) {
+// slice per seeded draw (spec-listed suites are a single draw, compiled
+// from the executor's registries).
+func (x *Exec) resolveSuites(s Suite) ([][]workload.Spec, error) {
+	if len(s.Specs) > 0 {
+		return x.resolveSpecSuite(s)
+	}
 	b := s.Base
 	if b == 0 {
-		b = base
+		b = x.base
 	}
 	salts := s.Salts
 	if len(salts) == 0 {
@@ -153,9 +161,9 @@ func resolveSuites(s Suite, base int64) ([][]workload.Spec, error) {
 	for i, salt := range salts {
 		var specs []workload.Spec
 		if s.Kind == "holdout" {
-			specs = workload.SuiteHoldout(b)
+			specs = wspec.SuiteHoldout(b)
 		} else {
-			specs = workload.SuiteSeeded(b, salt)
+			specs = wspec.SuiteSeeded(b, salt)
 		}
 		specs, err := subsetSuite(specs, s.Workloads)
 		if err != nil {

@@ -52,6 +52,12 @@ type Suite struct {
 	// Workloads restricts the suite to the named workloads (in suite
 	// order); empty means all.
 	Workloads []string `json:"workloads,omitempty"`
+	// Specs lists the population explicitly as workload specs — registry
+	// names (built-in or session-registered) and/or inline
+	// wspec.WorkloadSpec objects, simulated in list order as one draw.
+	// Mutually exclusive with Kind, Salts, and Workloads; Base still scales
+	// named built-in entries.
+	Specs []SuiteSpec `json:"specs,omitempty"`
 }
 
 // Pass is one simulation pass: a conditional predictor substrate and the
@@ -194,6 +200,15 @@ func (p *Plan) Validate() error {
 }
 
 func (s Suite) validate() error {
+	if len(s.Specs) > 0 {
+		if err := s.validateSpecs(); err != nil {
+			return err
+		}
+		if s.Base < 0 {
+			return fmt.Errorf("runspec: negative suite base")
+		}
+		return nil
+	}
 	switch s.Kind {
 	case "", "standard":
 	case "holdout":

@@ -1,0 +1,131 @@
+package runspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"blbp/internal/workload"
+	"blbp/internal/wspec"
+)
+
+// SuiteSpec is one entry of Suite.Specs: either the name of a workload spec
+// (a built-in suite entry, or one registered on the executor — the CLI's
+// -workload-spec flag) or an inline wspec.WorkloadSpec. The JSON form
+// distinguishes them by shape: a string is a name, an object is an inline
+// spec.
+type SuiteSpec struct {
+	// Name references a workload spec by name; empty when Inline is set.
+	Name string
+	// Inline embeds a full workload spec; nil when Name is set.
+	Inline *wspec.WorkloadSpec
+}
+
+// MarshalJSON renders the entry in its declarative form (string or object),
+// so plans with spec suites dump and memoize faithfully.
+func (s SuiteSpec) MarshalJSON() ([]byte, error) {
+	if s.Inline != nil {
+		return json.Marshal(s.Inline)
+	}
+	return json.Marshal(s.Name)
+}
+
+// UnmarshalJSON accepts a name string or an inline spec object. Inline
+// objects are decoded strictly (unknown fields rejected) — the outer plan
+// decoder's DisallowUnknownFields does not reach through a custom
+// unmarshaler.
+func (s *SuiteSpec) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, `"`) {
+		s.Inline = nil
+		return json.Unmarshal(data, &s.Name)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var ws wspec.WorkloadSpec
+	if err := dec.Decode(&ws); err != nil {
+		return err
+	}
+	s.Name = ""
+	s.Inline = &ws
+	return nil
+}
+
+// validateSpecs checks a spec-listed suite: entries are well-formed and the
+// list excludes the population selectors it replaces.
+func (s Suite) validateSpecs() error {
+	if s.Kind != "" {
+		return fmt.Errorf("runspec: a suite listing specs excludes \"kind\"")
+	}
+	if len(s.Salts) > 0 {
+		return fmt.Errorf("runspec: a suite listing specs excludes \"salts\"")
+	}
+	if len(s.Workloads) > 0 {
+		return fmt.Errorf("runspec: a suite listing specs excludes \"workloads\" (list the specs themselves)")
+	}
+	seen := map[string]bool{}
+	for i, sp := range s.Specs {
+		name := sp.Name
+		if sp.Inline != nil {
+			if err := sp.Inline.Validate(); err != nil {
+				return fmt.Errorf("runspec: suite spec %d: %v", i, err)
+			}
+			name = sp.Inline.Name
+		} else if sp.Name == "" {
+			return fmt.Errorf("runspec: suite spec %d: empty workload name", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("runspec: suite spec %d: duplicate workload %q", i, name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// RegisterWorkload adds a named workload spec to the executor's session
+// registry, where plans' spec suites (and the built-in names) resolve. The
+// CLI's -workload-spec flag feeds this. Re-registering a name or shadowing
+// a built-in is an error — plans would silently change meaning.
+func (x *Exec) RegisterWorkload(ws wspec.WorkloadSpec) error {
+	if err := ws.Validate(); err != nil {
+		return err
+	}
+	if _, ok := x.registry[ws.Name]; ok {
+		return fmt.Errorf("runspec: workload spec %q already registered", ws.Name)
+	}
+	if _, ok := wspec.Lookup(ws.Name, 1); ok {
+		return fmt.Errorf("runspec: workload spec %q shadows a built-in workload", ws.Name)
+	}
+	if x.registry == nil {
+		x.registry = map[string]wspec.WorkloadSpec{}
+	}
+	x.registry[ws.Name] = ws
+	return nil
+}
+
+// resolveSpecSuite compiles a spec-listed suite into its single draw.
+func (x *Exec) resolveSpecSuite(s Suite) ([][]workload.Spec, error) {
+	base := s.Base
+	if base == 0 {
+		base = x.base
+	}
+	specs := make([]workload.Spec, len(s.Specs))
+	for i, sp := range s.Specs {
+		ws := sp.Inline
+		if ws == nil {
+			if reg, ok := x.registry[sp.Name]; ok {
+				ws = &reg
+			} else if built, ok := wspec.Lookup(sp.Name, base); ok {
+				ws = &built
+			} else {
+				return nil, fmt.Errorf("runspec: suite spec %d: unknown workload %q (not a built-in or registered spec)", i, sp.Name)
+			}
+		}
+		compiled, err := wspec.Compile(*ws)
+		if err != nil {
+			return nil, fmt.Errorf("runspec: suite spec %d: %v", i, err)
+		}
+		specs[i] = compiled
+	}
+	return [][]workload.Spec{specs}, nil
+}

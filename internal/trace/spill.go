@@ -18,12 +18,13 @@ import (
 // is not enough once files outlive the process that wrote them (stale
 // seeds, renamed files, hash collisions in the file name).
 //
-// The current format (SPL2) stores records in checksummed blocks:
+// The current format (SPL3) stores records in checksummed blocks:
 //
-//	magic    "BLBPSPL2"                 (8 bytes)
+//	magic    "BLBPSPL3"                 (8 bytes)
 //	name     uvarint length + bytes     (workload name)
 //	seed     uvarint                    (two's-complement bits of the int64 seed)
 //	instr    uvarint                    (instruction budget)
+//	fprint   uvarint                    (generator-parameter fingerprint)
 //	records  uvarint                    (total record count)
 //	blocks   until records are consumed:
 //	  nrec     uvarint                  (records in this block, > 0)
@@ -40,13 +41,19 @@ import (
 // Restarting the delta chain per block keeps blocks independently
 // decodable.
 //
-// The previous format (SPL1) — the same header followed by one whole-file
-// FNV-64a checksum and a complete BLBPTRC1 payload — is still read, so
-// spill directories written by older runs keep warm-starting newer ones.
+// The fingerprint hashes the workload's canonicalized generator parameters
+// (workload.FingerprintCanon), completing the identity: two workloads can
+// share a name, seed and budget yet generate different traces once specs
+// are user-authored data. Earlier formats are still read — SPL2 (identical
+// blocks, no fingerprint field) and SPL1 (one whole-file FNV-64a checksum
+// over a complete BLBPTRC1 payload) — and report fingerprint 0, which
+// readers treat as "unknown, match by name/seed/budget alone", so spill
+// directories written by older runs keep warm-starting newer ones.
 
 var (
 	spillMagicV1 = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '1'}
-	spillMagic   = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '2'}
+	spillMagicV2 = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '2'}
+	spillMagic   = [8]byte{'B', 'L', 'B', 'P', 'S', 'P', 'L', '3'}
 )
 
 // spillBlockRecords is the encoder's records-per-block target. At the
@@ -76,10 +83,14 @@ type SpillHeader struct {
 	Name         string
 	Seed         int64
 	Instructions int64
+	// Fingerprint hashes the workload's canonicalized generator parameters
+	// (workload.Identity.Fingerprint). Zero in files written before SPL3,
+	// meaning "unknown": readers match such files on name/seed/budget alone.
+	Fingerprint uint64
 	// Records is the payload's record count.
 	Records int64
-	// Checksum is the FNV-64a hash of the payload bytes in SPL1 files; SPL2
-	// files checksum per block and leave it zero.
+	// Checksum is the FNV-64a hash of the payload bytes in SPL1 files; later
+	// formats checksum per block and leave it zero.
 	Checksum uint64
 }
 
@@ -106,15 +117,32 @@ func writeSpillHeader(bw *bufio.Writer, magic [8]byte, h SpillHeader, records in
 	if err := putUvarint(uint64(h.Instructions)); err != nil {
 		return err
 	}
+	if magic == spillMagic {
+		if err := putUvarint(h.Fingerprint); err != nil {
+			return err
+		}
+	}
 	return putUvarint(uint64(records))
 }
 
-// WriteSpill encodes t as a spill file in the current (SPL2) format: header
-// then checksummed record blocks. Name, Seed and Instructions are taken
-// from h; Records is computed from t and h's values for it are ignored.
+// WriteSpill encodes t as a spill file in the current (SPL3) format: header
+// (including the parameter fingerprint) then checksummed record blocks.
+// Name, Seed, Instructions and Fingerprint are taken from h; Records is
+// computed from t and h's value for it is ignored.
 func WriteSpill(w io.Writer, h SpillHeader, t *Trace) error {
+	return writeSpillBlocked(w, spillMagic, h, t)
+}
+
+// WriteSpillV2 encodes t in the previous SPL2 format (same blocks, no
+// fingerprint field). Kept so tests can produce pre-fingerprint files and
+// exercise the read fallback; new spill files should use WriteSpill.
+func WriteSpillV2(w io.Writer, h SpillHeader, t *Trace) error {
+	return writeSpillBlocked(w, spillMagicV2, h, t)
+}
+
+func writeSpillBlocked(w io.Writer, magic [8]byte, h SpillHeader, t *Trace) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if err := writeSpillHeader(bw, spillMagic, h, len(t.Records)); err != nil {
+	if err := writeSpillHeader(bw, magic, h, len(t.Records)); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -189,7 +217,7 @@ func WriteSpillV1(w io.Writer, h SpillHeader, t *Trace) error {
 }
 
 // readSpillHeader decodes the header from br and reports the format
-// version (1 or 2).
+// version (1, 2 or 3).
 func readSpillHeader(br *bufio.Reader) (SpillHeader, int, error) {
 	var h SpillHeader
 	var m [8]byte
@@ -200,8 +228,10 @@ func readSpillHeader(br *bufio.Reader) (SpillHeader, int, error) {
 	switch m {
 	case spillMagicV1:
 		version = 1
-	case spillMagic:
+	case spillMagicV2:
 		version = 2
+	case spillMagic:
+		version = 3
 	default:
 		return h, 0, ErrBadSpillMagic
 	}
@@ -228,6 +258,13 @@ func readSpillHeader(br *bufio.Reader) (SpillHeader, int, error) {
 		return h, 0, fmt.Errorf("trace: reading spill instruction budget: %w", err)
 	}
 	h.Instructions = int64(instr)
+	if version >= 3 {
+		fp, err := binary.ReadUvarint(br)
+		if err != nil {
+			return h, 0, fmt.Errorf("trace: reading spill fingerprint: %w", err)
+		}
+		h.Fingerprint = fp
+	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return h, 0, fmt.Errorf("trace: reading spill record count: %w", err)
@@ -269,7 +306,7 @@ func ReadSpill(r io.Reader) (SpillHeader, *Trace, error) {
 	if version == 1 {
 		t, err = readSpillPayloadV1(br, h)
 	} else {
-		t, err = readSpillBlocks(br, h)
+		t, err = readSpillBlocks(br, h) // SPL2 and SPL3 share the block layout
 	}
 	if err != nil {
 		return h, nil, err

@@ -7,17 +7,17 @@ import (
 	"io"
 )
 
-// Columnar spill access: the SPL2 block format decoded straight into column
-// arrays. The wire format is unchanged — WriteSpillColumns produces bytes
-// identical to WriteSpill on the equivalent record slice, and
+// Columnar spill access: the blocked spill format decoded straight into
+// column arrays. The wire format is unchanged — WriteSpillColumns produces
+// bytes identical to WriteSpill on the equivalent record slice, and
 // ReadSpillColumns accepts exactly the files ReadSpill accepts (including
-// the SPL1 fallback) — only the in-memory destination differs: records land
-// in a pooled Columns arena with zero per-record allocation instead of an
-// appended []Record.
+// the SPL1/SPL2 fallbacks) — only the in-memory destination differs:
+// records land in a pooled Columns arena with zero per-record allocation
+// instead of an appended []Record.
 
-// WriteSpillColumns encodes c as a spill file in the current (SPL2) format,
-// byte-identical to WriteSpill on c's record-slice form. Name, Seed and
-// Instructions are taken from h; Records is computed from c.
+// WriteSpillColumns encodes c as a spill file in the current (SPL3) format,
+// byte-identical to WriteSpill on c's record-slice form. Name, Seed,
+// Instructions and Fingerprint are taken from h; Records is computed from c.
 func WriteSpillColumns(w io.Writer, h SpillHeader, c *Columns) error {
 	if err := c.Validate(); err != nil {
 		return err
@@ -66,11 +66,12 @@ func WriteSpillColumns(w io.Writer, h SpillHeader, c *Columns) error {
 	return bw.Flush()
 }
 
-// ReadSpillColumns decodes a complete spill file of either format directly
+// ReadSpillColumns decodes a complete spill file of any format directly
 // into columnar form, with the same header/checksum/record validation as
-// ReadSpill. SPL2 files take the zero-copy fast path: each block is bulk-
-// decoded into pooled column arrays (pass the result to ReleaseColumns when
-// done to recycle the arena); SPL1 files fall back through ReadSpill.
+// ReadSpill. Blocked files (SPL2/SPL3) take the zero-copy fast path: each
+// block is bulk-decoded into pooled column arrays (pass the result to
+// ReleaseColumns when done to recycle the arena); SPL1 files fall back
+// through the record-slice decoder.
 func ReadSpillColumns(r io.Reader) (SpillHeader, *Columns, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	h, version, err := readSpillHeader(br)
@@ -94,7 +95,7 @@ func ReadSpillColumns(r io.Reader) (SpillHeader, *Columns, error) {
 	return h, c, nil
 }
 
-// readSpillBlocksColumns decodes the SPL2 block sequence into a pooled
+// readSpillBlocksColumns decodes the blocked record sequence into a pooled
 // Columns: blocks are length-checked and checksummed exactly as
 // readSpillBlocks does, then bulk-decoded by index into the column arrays.
 func readSpillBlocksColumns(br *bufio.Reader, h SpillHeader) (*Columns, error) {

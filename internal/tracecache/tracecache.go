@@ -3,7 +3,8 @@
 // the same 88-workload suite from a dozen drivers; without the cache each
 // driver rebuilds every trace from its generator (internal/experiments PR 1
 // profile: most of the suite wall clock). The cache keys on the spec's
-// identity (name, seed, instruction budget — see workload.Spec.Identity),
+// identity (name, seed, instruction budget, parameter fingerprint — see
+// workload.Spec.Identity),
 // deduplicates concurrent builds with single-flight entries, counts hits,
 // misses and bytes, and can bound its memory footprint with an LRU spill
 // that evicts traces to disk and decodes them back on the next touch
@@ -239,7 +240,7 @@ func (c *Cache) Preload(dir string) int {
 			c.mu.Unlock()
 			continue
 		}
-		id := workload.Identity{Name: h.Name, Seed: h.Seed, Instructions: h.Instructions}
+		id := workload.Identity{Name: h.Name, Seed: h.Seed, Instructions: h.Instructions, Fingerprint: h.Fingerprint}
 		c.mu.Lock()
 		_, live := c.entries[id]
 		_, indexed := c.spilled[id]
@@ -271,11 +272,23 @@ func (c *Cache) Get(spec workload.Spec) *Entry {
 		return e
 	}
 	e = &Entry{id: id}
-	spillPath := c.spilled[id]
-	fromPreload := c.preloaded[id]
+	spillID := id
+	spillPath := c.spilled[spillID]
+	if spillPath == "" && id.Fingerprint != 0 {
+		// Pre-fingerprint spill files (SPL1/SPL2 headers) index under
+		// fingerprint 0. Fall back to that identity so spill directories
+		// written before the fingerprint field keep warm-starting runs;
+		// loadSpill still verifies name/seed/budget against the header.
+		legacy := id
+		legacy.Fingerprint = 0
+		if p := c.spilled[legacy]; p != "" {
+			spillID, spillPath = legacy, p
+		}
+	}
+	fromPreload := c.preloaded[spillID]
 	e.build = func() {
 		if spillPath != "" {
-			if cols, err := loadSpill(spillPath, id); err == nil {
+			if cols, err := loadSpill(spillPath, spillID); err == nil {
 				c.spillLoads.Add(1)
 				if fromPreload {
 					c.preloadHits.Add(1)
@@ -287,9 +300,9 @@ func (c *Cache) Get(spec workload.Spec) *Entry {
 				c.spillFailure(fmt.Errorf("loading spill for %s: %w", id.Name, err))
 				os.Remove(spillPath)
 				c.mu.Lock()
-				if c.spilled[id] == spillPath {
-					delete(c.spilled, id)
-					delete(c.preloaded, id)
+				if c.spilled[spillID] == spillPath {
+					delete(c.spilled, spillID)
+					delete(c.preloaded, spillID)
 				}
 				c.mu.Unlock()
 			}
@@ -388,7 +401,7 @@ func (c *Cache) spillFailure(err error) {
 // stale file falls back to a rebuild instead of serving the wrong trace.
 func spillName(id workload.Identity) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d", id.Name, id.Seed, id.Instructions)
+	fmt.Fprintf(h, "%s|%d|%d|%016x", id.Name, id.Seed, id.Instructions, id.Fingerprint)
 	return fmt.Sprintf("%016x%s", h.Sum64(), spillExt)
 }
 
@@ -398,7 +411,7 @@ func spillName(id workload.Identity) string {
 // directory is fsynced — so a crash never leaves a partial (or silently
 // empty) file at a canonical name. See DESIGN.md §7.
 func writeSpill(path string, id workload.Identity, cols *trace.Columns) error {
-	h := trace.SpillHeader{Name: id.Name, Seed: id.Seed, Instructions: id.Instructions}
+	h := trace.SpillHeader{Name: id.Name, Seed: id.Seed, Instructions: id.Instructions, Fingerprint: id.Fingerprint}
 	return snapshot.WriteFileAtomic(path, tempPattern, func(w io.Writer) error {
 		return trace.WriteSpillColumns(w, h, cols)
 	})
@@ -425,18 +438,22 @@ func readSpillFile(path string) (trace.SpillHeader, *trace.Columns, error) {
 }
 
 // loadSpill decodes the spill file at path and verifies it really is the
-// requested identity — name, seed, and instruction budget from the header,
-// with the checksum and record count checked against the payload by
-// trace.ReadSpillColumns. A bare file-name match is never sufficient.
+// requested identity — name, seed, instruction budget, and parameter
+// fingerprint from the header, with the checksum and record count checked
+// against the payload by trace.ReadSpillColumns. A header fingerprint of 0
+// (a pre-SPL3 file, or a legacy-fallback request) matches any request: such
+// files predate the field, and name/seed/budget were the whole identity
+// when they were written. A bare file-name match is never sufficient.
 func loadSpill(path string, id workload.Identity) (*trace.Columns, error) {
 	h, cols, err := readSpillFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if h.Name != id.Name || h.Seed != id.Seed || h.Instructions != id.Instructions {
+	if h.Name != id.Name || h.Seed != id.Seed || h.Instructions != id.Instructions ||
+		(h.Fingerprint != 0 && id.Fingerprint != 0 && h.Fingerprint != id.Fingerprint) {
 		trace.ReleaseColumns(cols)
-		return nil, fmt.Errorf("tracecache: spill %s holds %s/%d/%d, want %s/%d/%d (stale or colliding file)",
-			filepath.Base(path), h.Name, h.Seed, h.Instructions, id.Name, id.Seed, id.Instructions)
+		return nil, fmt.Errorf("tracecache: spill %s holds %s/%d/%d/%016x, want %s/%d/%d/%016x (stale or colliding file)",
+			filepath.Base(path), h.Name, h.Seed, h.Instructions, h.Fingerprint, id.Name, id.Seed, id.Instructions, id.Fingerprint)
 	}
 	return cols, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"blbp/internal/trace"
 	"blbp/internal/workload"
 )
 
@@ -430,5 +431,79 @@ func TestPreloadSurfacesCorruptFiles(t *testing.T) {
 	defer c.Close()
 	if st := c.Stats(); st.SpillErrors != 2 {
 		t.Errorf("SpillErrors = %d after preloading 2 corrupt files, want 2", st.SpillErrors)
+	}
+}
+
+// TestLegacySpillWithoutFingerprintWarmStarts pins the header-format
+// fallback: a spill file written before SPL3 (no fingerprint field, so the
+// header reports fingerprint 0) must still warm-start a Get whose identity
+// carries a nonzero parameter fingerprint — zero builds, served from disk.
+func TestLegacySpillWithoutFingerprintWarmStarts(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec("legacy-warm", 5_000)
+	if spec.Identity().Fingerprint == 0 {
+		t.Fatal("test spec should carry a parameter fingerprint")
+	}
+	cols := spec.BuildColumns()
+	// Write the file as an older process would have: SPL2, no fingerprint.
+	h := trace.SpillHeader{Name: spec.Name, Seed: spec.Seed, Instructions: spec.Instructions}
+	f, err := os.Create(filepath.Join(dir, "legacy"+spillExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpillV2(f, h, cols.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c := New(Config{SpillDir: dir, KeepSpill: true})
+	defer c.Close()
+	got := c.Get(spec).Columns()
+	st := c.Stats()
+	if st.Builds != 0 {
+		t.Errorf("builds = %d, want 0 (legacy spill should warm-start)", st.Builds)
+	}
+	if st.SpillLoads != 1 || st.PreloadHits != 1 {
+		t.Errorf("spill loads/preload hits = %d/%d, want 1/1", st.SpillLoads, st.PreloadHits)
+	}
+	if got.Len() != cols.Len() {
+		t.Fatalf("loaded %d records, built %d", got.Len(), cols.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Record(i) != cols.Record(i) {
+			t.Fatalf("record %d differs from generator output", i)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesSpills: two workloads sharing a name, seed,
+// and budget but differing in generator parameters must get distinct spill
+// files and never serve each other's traces.
+func TestFingerprintDistinguishesSpills(t *testing.T) {
+	dir := t.TempDir()
+	specA := testSpec("same-name", 4_000)
+	specB := workload.MonoSpec("same-name", "T", 4_000, workload.MonoParams{Sites: 8, Work: 10})
+	if specA.Identity() == specB.Identity() {
+		t.Fatal("identities should differ by fingerprint")
+	}
+	if spillName(specA.Identity()) == spillName(specB.Identity()) {
+		t.Fatal("spill names should differ by fingerprint")
+	}
+
+	c1 := New(Config{SpillDir: dir, KeepSpill: true})
+	refA := c1.Get(specA).Columns().Len()
+	refB := c1.Get(specB).Columns().Len()
+	c1.Close()
+
+	c2 := New(Config{SpillDir: dir, KeepSpill: true})
+	defer c2.Close()
+	gotA := c2.Get(specA).Columns().Len()
+	gotB := c2.Get(specB).Columns().Len()
+	st := c2.Stats()
+	if st.Builds != 0 || st.SpillErrors != 0 {
+		t.Errorf("builds/spill errors = %d/%d, want 0/0", st.Builds, st.SpillErrors)
+	}
+	if gotA != refA || gotB != refB {
+		t.Errorf("warm lengths %d/%d, want %d/%d", gotA, gotB, refA, refB)
 	}
 }

@@ -7,7 +7,7 @@ import "math/rand"
 // periodicity) or random (injecting alignment noise between the models'
 // contributions to global history, as independent program phases do).
 type mixedModel struct {
-	models  []model
+	models  []Model
 	weights []int
 	random  bool
 	// round-robin state
@@ -18,7 +18,7 @@ type mixedModel struct {
 // newMixed composes models with integer weights (model i runs weights[i]
 // steps per round, or is chosen with probability proportional to its weight
 // when random is true).
-func newMixed(models []model, weights []int, random bool) *mixedModel {
+func newMixed(models []Model, weights []int, random bool) *mixedModel {
 	if len(models) == 0 || len(models) != len(weights) {
 		panic("workload: mixed needs matching non-empty models and weights")
 	}

@@ -1,11 +1,6 @@
 package workload
 
-import (
-	"fmt"
-	"math/rand"
-
-	"blbp/internal/hashing"
-)
+import "math/rand"
 
 // Categories mirroring the paper's Table 1 benchmark sources.
 const (
@@ -18,358 +13,66 @@ const (
 	CatServerLong  = "CBP-5 LONG-SERVER"
 )
 
-func seedFor(name string) int64 {
-	var h uint64 = 0x243f6a8885a308d3
-	for _, b := range []byte(name) {
-		h = hashing.Combine(h, uint64(b))
-	}
-	return int64(h >> 1)
-}
+// The paper-mirroring 88-workload suite and the 12-workload holdout live in
+// internal/wspec as declarative specs (wspec.SuiteSpecs / HoldoutSpecs),
+// compiled down to the []Spec this package defines. The per-family
+// constructors below remain the programmatic path for single workloads —
+// the public API (blbp.NewInterpreterWorkload, ...) and tests build
+// through them — and compute the same canonical fingerprints the spec
+// compiler does, so both paths share cache entries and spill files.
 
 // InterpreterSpec builds a Spec around a single interpreter model.
 func InterpreterSpec(name, category string, instructions int64, p InterpreterParams) Spec {
 	return Spec{
-		Name: name, Category: category, Seed: seedFor(name), Instructions: instructions,
-		build: func(rng *rand.Rand) model { return newInterpreter(p, rng) },
+		Name: name, Category: category, Seed: SeedFor(name), Instructions: instructions,
+		Fingerprint: FingerprintCanon(CanonParams("interpreter", p)),
+		build:       func(rng *rand.Rand) Model { return newInterpreter(p, rng) },
 	}
 }
 
 // SwitcherSpec builds a Spec around a single switch/parser model.
 func SwitcherSpec(name, category string, instructions int64, p SwitcherParams) Spec {
 	return Spec{
-		Name: name, Category: category, Seed: seedFor(name), Instructions: instructions,
-		build: func(rng *rand.Rand) model { return newSwitcher(p, rng) },
+		Name: name, Category: category, Seed: SeedFor(name), Instructions: instructions,
+		Fingerprint: FingerprintCanon(CanonParams("switcher", p)),
+		build:       func(rng *rand.Rand) Model { return newSwitcher(p, rng) },
 	}
 }
 
 // VDispatchSpec builds a Spec around a single virtual-dispatch model.
 func VDispatchSpec(name, category string, instructions int64, p VDispatchParams) Spec {
 	return Spec{
-		Name: name, Category: category, Seed: seedFor(name), Instructions: instructions,
-		build: func(rng *rand.Rand) model { return newVDispatch(p, rng) },
+		Name: name, Category: category, Seed: SeedFor(name), Instructions: instructions,
+		Fingerprint: FingerprintCanon(CanonParams("vdispatch", p)),
+		build:       func(rng *rand.Rand) Model { return newVDispatch(p, rng) },
 	}
 }
 
 // CallbacksSpec builds a Spec around a single event-loop model.
 func CallbacksSpec(name, category string, instructions int64, p CallbacksParams) Spec {
 	return Spec{
-		Name: name, Category: category, Seed: seedFor(name), Instructions: instructions,
-		build: func(rng *rand.Rand) model { return newCallbacks(p, rng) },
+		Name: name, Category: category, Seed: SeedFor(name), Instructions: instructions,
+		Fingerprint: FingerprintCanon(CanonParams("callbacks", p)),
+		build:       func(rng *rand.Rand) Model { return newCallbacks(p, rng) },
 	}
 }
 
 // MonoSpec builds a Spec around a monomorphic-calls model.
 func MonoSpec(name, category string, instructions int64, p MonoParams) Spec {
 	return Spec{
-		Name: name, Category: category, Seed: seedFor(name), Instructions: instructions,
-		build: func(rng *rand.Rand) model { return newMono(p, rng) },
+		Name: name, Category: category, Seed: SeedFor(name), Instructions: instructions,
+		Fingerprint: FingerprintCanon(CanonParams("mono", p)),
+		build:       func(rng *rand.Rand) Model { return newMono(p, rng) },
 	}
 }
 
-// mixedPart pairs a model constructor with an interleave weight.
-type mixedPart struct {
-	make   func(rng *rand.Rand) model
-	weight int
-}
-
-func mixedSpec(name, category string, instructions int64, random bool, parts ...mixedPart) Spec {
+// RecursiveSpec builds a Spec around a recursion-heavy model.
+func RecursiveSpec(name, category string, instructions int64, p RecursiveParams) Spec {
 	return Spec{
-		Name: name, Category: category, Seed: seedFor(name), Instructions: instructions,
-		build: func(rng *rand.Rand) model {
-			models := make([]model, len(parts))
-			weights := make([]int, len(parts))
-			for i, p := range parts {
-				models[i] = p.make(rng)
-				weights[i] = p.weight
-			}
-			return newMixed(models, weights, random)
-		},
+		Name: name, Category: category, Seed: SeedFor(name), Instructions: instructions,
+		Fingerprint: FingerprintCanon(CanonParams("recursive", p)),
+		build:       func(rng *rand.Rand) Model { return newRecursive(p, rng) },
 	}
-}
-
-// Suite returns the full 88-workload evaluation suite, mirroring Table 1's
-// category counts: 1 SPEC CPU2000, 12 SPEC CPU2006, 7 SPEC CPU2017, and 68
-// CBP-5-style traces (36 mobile, 32 server). base scales trace lengths:
-// SHORT traces run ~base instructions, LONG traces ~2x base, SPEC ~1.5x.
-func Suite(base int64) []Spec { return SuiteSeeded(base, "") }
-
-// SuiteSeeded is Suite with a seed salt: every workload keeps its name and
-// parameters but draws entirely different random content (programs, class
-// arrays, token streams, noise). Used by the seed-sensitivity experiment to
-// check that aggregate results are not artifacts of one random draw.
-func SuiteSeeded(base int64, salt string) []Spec {
-	specs := suiteSpecs(base)
-	if salt != "" {
-		for i := range specs {
-			specs[i].Seed = seedFor(specs[i].Name + "#" + salt)
-		}
-	}
-	return specs
-}
-
-func suiteSpecs(base int64) []Spec {
-	if base <= 0 {
-		base = 400_000
-	}
-	spec := base * 3 / 2
-	long := base * 2
-	specs := make([]Spec, 0, 88)
-
-	// --- SPEC CPU2000: 252.eon (C++ ray tracer, moderate polymorphism).
-	specs = append(specs, VDispatchSpec("252.eon", CatSPEC2000, spec, VDispatchParams{
-		Classes: 6, Sites: 4, Objects: 24, TypeNoise: 0.002,
-		MethodWork: 210, MethodConds: 3, CondNoise: 0.004,
-		MonoCalls: 1, MonoSites: 40,
-	}))
-
-	// --- SPEC CPU2006 (12).
-	for i := 0; i < 3; i++ {
-		specs = append(specs, InterpreterSpec(fmt.Sprintf("400.perlbench-%d", i+1), CatSPEC2006, spec, InterpreterParams{
-			Opcodes: []int{110, 130, 150}[i], ProgramLen: []int{280, 350, 420}[i],
-			Work: 180, CondPerHandler: 2,
-			CondNoise: 0.003 + 0.002*float64(i), DispatchNoise: 0.002 + 0.0015*float64(i),
-			MonoCalls: 1, MonoSites: 30 + 20*i,
-		}))
-	}
-	for i := 0; i < 4; i++ {
-		specs = append(specs, SwitcherSpec(fmt.Sprintf("403.gcc-%d", i+1), CatSPEC2006, spec, SwitcherParams{
-			Tokens: []int{9, 11, 13, 96}[i], TransitionNoise: 0.003 + 0.003*float64(i),
-			CaseWork: 210, CaseConds: 3, CondNoise: 0.004,
-			MonoCalls: 2, MonoSites: 120 + 40*i,
-		}))
-	}
-	for i := 0; i < 2; i++ {
-		specs = append(specs, VDispatchSpec(fmt.Sprintf("453.povray-%d", i+1), CatSPEC2006, spec, VDispatchParams{
-			Classes: 4 + 2*i, Sites: 3, Objects: 20 + 12*i, TypeNoise: 0.004,
-			MethodWork: 240, MethodConds: 3, CondNoise: 0.004,
-			MonoCalls: 2, MonoSites: 60,
-		}))
-	}
-	for i := 0; i < 3; i++ {
-		specs = append(specs, mixedSpec(fmt.Sprintf("458.sjeng-%d", i+1), CatSPEC2006, spec, false,
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newSwitcher(SwitcherParams{Tokens: 10, TransitionNoise: 0.015 + 0.005*float64(i), CaseWork: 180, CaseConds: 3, CondNoise: 0.006, MonoCalls: 1, MonoSites: 50, Bank: 0}, rng)
-				}
-			}(i), 72},
-			mixedPart{func(rng *rand.Rand) model {
-				return newCallbacks(CallbacksParams{Events: 5, Skew: 2.4, Wrappers: 3, HandlerWork: 180, HandlerConds: 2, Bank: 1}, rng)
-			}, 24},
-		))
-	}
-
-	// --- SPEC CPU2017 (7).
-	for i := 0; i < 2; i++ {
-		specs = append(specs, InterpreterSpec(fmt.Sprintf("600.perlbench-%d", i+1), CatSPEC2017, spec, InterpreterParams{
-			Opcodes: []int{130, 150}[i], ProgramLen: []int{360, 420}[i],
-			Work: 180, CondPerHandler: 2,
-			CondNoise: 0.004, DispatchNoise: 0.0025 + 0.002*float64(i),
-			MonoCalls: 1, MonoSites: 50,
-		}))
-	}
-	for i := 0; i < 3; i++ {
-		specs = append(specs, SwitcherSpec(fmt.Sprintf("602.gcc-%d", i+1), CatSPEC2017, spec, SwitcherParams{
-			Tokens: []int{11, 14, 80}[i], TransitionNoise: 0.004 + 0.003*float64(i),
-			CaseWork: 210, CaseConds: 3, CondNoise: 0.004,
-			MonoCalls: 2, MonoSites: 200,
-		}))
-	}
-	for i := 0; i < 2; i++ {
-		specs = append(specs, VDispatchSpec(fmt.Sprintf("623.xalancbmk-%d", i+1), CatSPEC2017, spec, VDispatchParams{
-			Classes: []int{8, 24}[i], Sites: []int{6, 96}[i], Objects: []int{36, 192}[i], TypeNoise: 0.003,
-			AlternatingSites: 1,
-			MethodWork:       180, MethodConds: 2, CondNoise: 0.004,
-			MonoCalls: 1, MonoSites: 80,
-		}))
-	}
-
-	// --- CBP-5 SHORT-MOBILE (24): Java-like, indirect-rich. A third are
-	// phase-mixed (vdispatch + interpreter in long bursts); the rest are
-	// single-family with varied footprints.
-	for i := 0; i < 24; i++ {
-		name := fmt.Sprintf("short-mobile-%02d", i+1)
-		vdp := VDispatchParams{
-			Classes: 3 + i%4, Sites: 3 + i%3, Objects: 16 + 8*(i%3),
-			TypeNoise:        0.001 * float64(i%4),
-			AlternatingSites: map[bool]int{true: 1 + i%2, false: 0}[i%4 == 0],
-			MethodWork:       84, MethodConds: 2, CondNoise: 0.003 + 0.001*float64(i%3),
-			MonoCalls: i % 3, MonoSites: 20 + 10*(i%5),
-			Bank: 0,
-		}
-		inp := InterpreterParams{
-			Opcodes: []int{12, 14, 96, 16, 10, 14, 18, 12, 120, 14, 16, 11}[i%12], ProgramLen: []int{24, 32, 260, 40, 28, 36, 48, 24, 320, 32, 40, 30}[i%12],
-			Work: 72, CondPerHandler: 1,
-			CondNoise: 0.003, DispatchNoise: 0.0015 + 0.001*float64(i%4),
-			MonoCalls: 1, MonoSites: 25,
-			Bank: 1,
-		}
-		switch i % 3 {
-		case 0:
-			vd, ip := vdp, inp
-			specs = append(specs, mixedSpec(name, CatMobileShort, base, false,
-				mixedPart{func(rng *rand.Rand) model { return newVDispatch(vd, rng) }, 150},
-				mixedPart{func(rng *rand.Rand) model { return newInterpreter(ip, rng) }, 100},
-			))
-		case 1:
-			specs = append(specs, VDispatchSpec(name, CatMobileShort, base, vdp))
-		default:
-			specs = append(specs, InterpreterSpec(name, CatMobileShort, base, inp))
-		}
-	}
-
-	// --- CBP-5 LONG-MOBILE (12): bigger footprints; index 8 is the
-	// LONG-MOBILE-8 analog with more indirect branches than conditionals.
-	for i := 0; i < 12; i++ {
-		name := fmt.Sprintf("long-mobile-%02d", i+1)
-		vdp := VDispatchParams{
-			Classes: 4 + i%5, Sites: 4 + i%4, Objects: 24 + 16*(i%3),
-			TypeNoise:        0.001 * float64(i%5),
-			AlternatingSites: map[bool]int{true: 1 + i%2, false: 0}[i%4 == 0],
-			MethodWork:       90, MethodConds: 2, CondNoise: 0.004,
-			MonoCalls: 1 + i%2, MonoSites: 40 + 20*(i%4),
-			Bank: 0,
-		}
-		if i == 7 { // long-mobile-08: indirect-dominated
-			vdp.MethodConds = 0
-			vdp.MethodWork = 12
-			vdp.AlternatingSites = 4
-			vdp.MonoCalls = 2
-		}
-		inp := InterpreterParams{
-			Opcodes: []int{14, 12, 110, 15, 18, 13}[i%6], ProgramLen: []int{36, 32, 300, 44, 56, 40}[i%6],
-			Work: 66, CondPerHandler: 1,
-			CondNoise: 0.003, DispatchNoise: 0.002,
-			MonoCalls: 1, MonoSites: 30,
-			Bank: 1,
-		}
-		switch i % 3 {
-		case 0:
-			vd, ip := vdp, inp
-			specs = append(specs, mixedSpec(name, CatMobileLong, long, false,
-				mixedPart{func(rng *rand.Rand) model { return newVDispatch(vd, rng) }, 150},
-				mixedPart{func(rng *rand.Rand) model { return newInterpreter(ip, rng) }, 100},
-			))
-		case 1:
-			specs = append(specs, VDispatchSpec(name, CatMobileLong, long, vdp))
-		default:
-			specs = append(specs, InterpreterSpec(name, CatMobileLong, long, inp))
-		}
-	}
-
-	// --- CBP-5 SHORT-SERVER (20): request dispatch with random event
-	// mixes, larger static footprints, harder tails.
-	for i := 0; i < 20; i++ {
-		name := fmt.Sprintf("short-server-%02d", i+1)
-		specs = append(specs, mixedSpec(name, CatServerShort, base, false,
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newCallbacks(CallbacksParams{
-						Events: 4 + i%5, Skew: 2.0 + 0.2*float64(i%5),
-						Wrappers: 4 + i%4, HandlerWork: 180, HandlerConds: 2,
-						Bank: 0,
-					}, rng)
-				}
-			}(i), 6},
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newSwitcher(SwitcherParams{
-						Tokens: []int{12, 16, 20, 24, 44, 28}[i%6], TransitionNoise: 0.003 + 0.0015*float64(i%5),
-						CaseWork: 180, CaseConds: 3, CondNoise: 0.004,
-						MonoCalls: 1, MonoSites: 60 + 30*(i%4),
-						Bank: 1,
-					}, rng)
-				}
-			}(i), 28},
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newMono(MonoParams{Sites: 60 + 20*(i%4), Work: 120, Bank: 2}, rng)
-				}
-			}(i), 14},
-		))
-	}
-
-	// --- CBP-5 LONG-SERVER (12).
-	for i := 0; i < 12; i++ {
-		name := fmt.Sprintf("long-server-%02d", i+1)
-		specs = append(specs, mixedSpec(name, CatServerLong, long, false,
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newCallbacks(CallbacksParams{
-						Events: 5 + i%4, Skew: 2.2,
-						Wrappers: 6, HandlerWork: 150, HandlerConds: 2,
-						Bank: 0,
-					}, rng)
-				}
-			}(i), 6},
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newVDispatch(VDispatchParams{
-						Classes: 5 + i%4, Sites: 6, Objects: 32,
-						TypeNoise:  0.0015,
-						MethodWork: 120, MethodConds: 2, CondNoise: 0.004,
-						MonoCalls: 1, MonoSites: 100,
-						Bank: 1,
-					}, rng)
-				}
-			}(i), 28},
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newMono(MonoParams{Sites: 80 + 30*(i%3), Work: 150, Bank: 2}, rng)
-				}
-			}(i), 14},
-		))
-	}
-
-	return specs
-}
-
-// SuiteHoldout returns a 12-workload cross-validation suite with parameter
-// and seed settings disjoint from Suite — the analog of the paper's CBP-4
-// check that BLBP was not overtuned to its development traces.
-func SuiteHoldout(base int64) []Spec {
-	if base <= 0 {
-		base = 400_000
-	}
-	specs := make([]Spec, 0, 12)
-	for i := 0; i < 3; i++ {
-		specs = append(specs, InterpreterSpec(fmt.Sprintf("holdout-interp-%d", i+1), "HOLDOUT", base, InterpreterParams{
-			Opcodes: 11 + 5*i, ProgramLen: 28 + 20*i,
-			Work: 165, CondPerHandler: 2,
-			CondNoise: 0.012, DispatchNoise: 0.0015 + 0.0015*float64(i),
-			MonoCalls: 1, MonoSites: 35,
-		}))
-	}
-	for i := 0; i < 3; i++ {
-		specs = append(specs, SwitcherSpec(fmt.Sprintf("holdout-switch-%d", i+1), "HOLDOUT", base, SwitcherParams{
-			Tokens: 13 + 7*i, TransitionNoise: 0.004 + 0.0035*float64(i),
-			CaseWork: 195, CaseConds: 3, CondNoise: 0.004,
-			MonoCalls: 1, MonoSites: 90,
-		}))
-	}
-	for i := 0; i < 3; i++ {
-		specs = append(specs, VDispatchSpec(fmt.Sprintf("holdout-vdisp-%d", i+1), "HOLDOUT", base, VDispatchParams{
-			Classes: 5 + 2*i, Sites: 3 + i, Objects: 20 + 14*i,
-			TypeNoise:        0.0015,
-			AlternatingSites: i,
-			MethodWork:       165, MethodConds: 2, CondNoise: 0.004,
-			MonoCalls: 1 + i%2, MonoSites: 45,
-		}))
-	}
-	for i := 0; i < 3; i++ {
-		specs = append(specs, mixedSpec(fmt.Sprintf("holdout-mixed-%d", i+1), "HOLDOUT", base, false,
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newCallbacks(CallbacksParams{Events: 4 + i, Skew: 2.3, Wrappers: 3, HandlerWork: 165, HandlerConds: 2, Bank: 0}, rng)
-				}
-			}(i), 5},
-			mixedPart{func(i int) func(rng *rand.Rand) model {
-				return func(rng *rand.Rand) model {
-					return newInterpreter(InterpreterParams{Opcodes: 14, ProgramLen: 26 + 14*i, Work: 135, CondPerHandler: 1, CondNoise: 0.004, DispatchNoise: 0.002, MonoCalls: 1, MonoSites: 40, Bank: 1}, rng)
-				}
-			}(i), 25},
-		))
-	}
-	return specs
 }
 
 // ByName finds a spec by name in the given suites.
@@ -382,12 +85,4 @@ func ByName(name string, suites ...[]Spec) (Spec, bool) {
 		}
 	}
 	return Spec{}, false
-}
-
-// RecursiveSpec builds a Spec around a recursion-heavy model.
-func RecursiveSpec(name, category string, instructions int64, p RecursiveParams) Spec {
-	return Spec{
-		Name: name, Category: category, Seed: seedFor(name), Instructions: instructions,
-		build: func(rng *rand.Rand) model { return newRecursive(p, rng) },
-	}
 }

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"blbp/internal/trace"
 )
@@ -101,9 +102,12 @@ func (e *emitter) ret(pc uint64) {
 	e.emit(trace.Record{PC: pc, Target: target, Type: trace.Return, Taken: true})
 }
 
-// model is one program-shaped control-flow process; step emits one logical
-// iteration (a dispatch, an object visit, a parsed token, ...).
-type model interface {
+// Model is one program-shaped control-flow process; step emits one logical
+// iteration (a dispatch, an object visit, a parsed token, ...). The
+// interface is sealed — implementations live in this package and are
+// obtained from the parameter-struct factories (InterpreterParams.New, ...)
+// and the compositors (NewMixed, NewPhases, WithRng).
+type Model interface {
 	step(e *emitter, rng *rand.Rand)
 }
 
@@ -131,24 +135,56 @@ type Spec struct {
 	Seed int64
 	// Instructions is the trace length.
 	Instructions int64
-	// Build constructs the workload's models.
-	build func(rng *rand.Rand) model
+	// Fingerprint is an FNV-64a hash of the canonicalized generator
+	// structure and parameters (see CanonParams / FingerprintCanon). Two
+	// specs with equal Name, Seed and Instructions but different generator
+	// parameters — possible once specs are user-authored data — carry
+	// different fingerprints, so caches never serve one the other's trace.
+	// Zero means "unknown" (pre-fingerprint spill files decode to it); the
+	// cache treats zero as a legacy wildcard on load, never on write.
+	Fingerprint uint64
+	// build constructs the workload's models.
+	build func(rng *rand.Rand) Model
+	// buildCols, when set, short-circuits BuildColumns entirely (replay
+	// specs that decode a recorded trace instead of running a generator).
+	buildCols func() *trace.Columns
 }
 
-// Identity is a spec's comparable cache identity. Workload names determine
-// the generator and its parameters by construction (every suite assigns one
-// parameter set per name), so together with the seed — which carries any
-// suite salt — and the instruction budget, equal identities build
-// byte-identical traces. The trace cache keys on it.
+// NewSpec constructs a generator-backed Spec. It is the bridge the
+// declarative spec layer (internal/wspec) compiles through; direct users of
+// this package normally reach for the per-family constructors instead.
+func NewSpec(name, category string, seed, instructions int64, fingerprint uint64, build func(rng *rand.Rand) Model) Spec {
+	return Spec{
+		Name: name, Category: category, Seed: seed, Instructions: instructions,
+		Fingerprint: fingerprint, build: build,
+	}
+}
+
+// NewReplaySpec constructs a Spec whose trace comes from load (typically a
+// recorded spill file) instead of a generator. Instructions and fingerprint
+// describe the recorded trace; load runs once per BuildColumns call.
+func NewReplaySpec(name, category string, seed, instructions int64, fingerprint uint64, load func() *trace.Columns) Spec {
+	return Spec{
+		Name: name, Category: category, Seed: seed, Instructions: instructions,
+		Fingerprint: fingerprint, buildCols: load,
+	}
+}
+
+// Identity is a spec's comparable cache identity: name, seed (which carries
+// any suite salt), instruction budget, and the generator-parameter
+// fingerprint. Equal identities build byte-identical traces; the trace
+// cache keys on it. Fingerprint 0 marks identities read from
+// pre-fingerprint spill headers.
 type Identity struct {
 	Name         string
 	Seed         int64
 	Instructions int64
+	Fingerprint  uint64
 }
 
 // Identity returns the spec's cache identity.
 func (s Spec) Identity() Identity {
-	return Identity{Name: s.Name, Seed: s.Seed, Instructions: s.Instructions}
+	return Identity{Name: s.Name, Seed: s.Seed, Instructions: s.Instructions, Fingerprint: s.Fingerprint}
 }
 
 // Build synthesizes the trace for the spec in record-slice form (a
@@ -160,6 +196,9 @@ func (s Spec) Build() *trace.Trace {
 // BuildColumns synthesizes the trace for the spec in columnar form — what
 // the replay engine and the trace cache consume directly.
 func (s Spec) BuildColumns() *trace.Columns {
+	if s.buildCols != nil {
+		return s.buildCols()
+	}
 	if s.build == nil {
 		panic(fmt.Sprintf("workload: spec %q has no generator", s.Name))
 	}
@@ -169,12 +208,24 @@ func (s Spec) BuildColumns() *trace.Columns {
 	for !e.done() {
 		m.step(e, rng)
 	}
-	// Unwind any live call stack so traces end balanced.
+	// Unwind any live call stack so traces end balanced. The return PCs
+	// live in a bank reserved for the unwind (generator banks are bounded
+	// by MaxBank), so they can never alias a generator's call sites — the
+	// old fixed 0x3FF000+i*4 sequence could collide with bank-0 addresses
+	// once an unwound stack ran deep enough.
 	for i := len(e.stack); i > 0; i-- {
-		e.ret(0x3FF000 + uint64(i)*instructionSize)
+		e.ret(funcAddr(unwindBank, 0) + uint64(i)*instructionSize)
 	}
 	return e.cols
 }
+
+// MaxBank bounds the bank index a generator model may occupy (exclusive).
+// Bank unwindBank — the first index past the generator range — is reserved
+// for BuildColumns' end-of-trace stack unwind.
+const (
+	MaxBank    = 64
+	unwindBank = MaxBank
+)
 
 // funcAddr returns the synthetic address of function index i in bank b.
 // Banks keep the address spaces of independent models disjoint. The 0x48
@@ -213,12 +264,16 @@ func zipfTable(n int, skew float64) []float64 {
 	return cdf
 }
 
+// drawCDF draws an index from a cumulative distribution: the first i with
+// x <= cdf[i]. The binary search returns exactly the index the former
+// linear scan did (both find the first entry >= x), so traces are
+// unchanged; event-loop models draw per step, so on wide tables (e.g. a
+// 96-handler callbacks model) the O(log n) search is the difference
+// between scanning half the table per event and three comparisons.
 func drawCDF(cdf []float64, rng *rand.Rand) int {
 	x := rng.Float64()
-	for i, c := range cdf {
-		if x <= c {
-			return i
-		}
+	if i := sort.SearchFloat64s(cdf, x); i < len(cdf) {
+		return i
 	}
 	return len(cdf) - 1
 }

@@ -7,38 +7,16 @@ import (
 	"blbp/internal/trace"
 )
 
-func TestSuiteHas88Workloads(t *testing.T) {
-	suite := Suite(10_000)
-	if len(suite) != 88 {
-		t.Fatalf("suite has %d workloads, want 88", len(suite))
-	}
-	counts := map[string]int{}
-	names := map[string]bool{}
-	for _, s := range suite {
-		counts[s.Category]++
-		if names[s.Name] {
-			t.Errorf("duplicate workload name %q", s.Name)
-		}
-		names[s.Name] = true
-	}
-	want := map[string]int{
-		CatSPEC2000:    1,
-		CatSPEC2006:    12,
-		CatSPEC2017:    7,
-		CatMobileShort: 24,
-		CatMobileLong:  12,
-		CatServerShort: 20,
-		CatServerLong:  12,
-	}
-	for cat, n := range want {
-		if counts[cat] != n {
-			t.Errorf("category %q has %d workloads, want %d", cat, counts[cat], n)
-		}
-	}
-}
+// The suite-shape tests (88 workloads, category counts, holdout
+// disjointness, default base) live in internal/wspec, where the suites are
+// defined; this file tests the generator models and the Spec machinery.
 
 func TestBuildDeterministic(t *testing.T) {
-	s := Suite(5_000)[0]
+	s := VDispatchSpec("det", "T", 5_000, VDispatchParams{
+		Classes: 6, Sites: 4, Objects: 24, TypeNoise: 0.002,
+		MethodWork: 210, MethodConds: 3, CondNoise: 0.004,
+		MonoCalls: 1, MonoSites: 40,
+	})
 	a := s.Build()
 	b := s.Build()
 	if len(a.Records) != len(b.Records) {
@@ -71,7 +49,12 @@ func TestBuildReachesInstructionBudget(t *testing.T) {
 }
 
 func TestTracesAreValid(t *testing.T) {
-	for _, s := range Suite(5_000)[:10] {
+	for _, s := range []Spec{
+		InterpreterSpec("v-i", "T", 5_000, InterpreterParams{Opcodes: 12, ProgramLen: 40, Work: 60, CondPerHandler: 2, CondNoise: 0.01, DispatchNoise: 0.01, MonoCalls: 1, MonoSites: 20}),
+		SwitcherSpec("v-s", "T", 5_000, SwitcherParams{Tokens: 10, TransitionNoise: 0.02, CaseWork: 50, CaseConds: 2, MonoCalls: 1, MonoSites: 20}),
+		CallbacksSpec("v-c", "T", 5_000, CallbacksParams{Events: 6, Skew: 2.0, Wrappers: 3, HandlerWork: 40, HandlerConds: 2}),
+		RecursiveSpec("v-r", "T", 5_000, RecursiveParams{MaxDepth: 30, MinDepth: 5, VisitorClasses: 3, Work: 8}),
+	} {
 		tr := s.Build()
 		for i, r := range tr.Records {
 			if err := r.Validate(); err != nil {
@@ -113,72 +96,14 @@ func TestCallReturnBalance(t *testing.T) {
 	}
 }
 
-func TestMobileTracesAreIndirectRich(t *testing.T) {
-	suite := Suite(30_000)
-	var mobile, server *trace.Stats
-	for _, s := range suite {
-		if s.Name == "long-mobile-08" {
-			mobile = trace.Analyze(s.Build())
-		}
-		if s.Name == "403.gcc-1" {
-			server = trace.Analyze(s.Build())
-		}
-	}
-	if mobile == nil || server == nil {
-		t.Fatal("expected workloads not found")
-	}
-	// The LONG-MOBILE-8 analog has more indirect branches than conditionals.
-	if mobile.IndirectCount() <= mobile.Count[trace.CondDirect] {
-		t.Errorf("long-mobile-08: indirect=%d <= cond=%d, want indirect-dominated",
-			mobile.IndirectCount(), mobile.Count[trace.CondDirect])
-	}
-	// A gcc-like trace is conditional-dominated.
-	if server.IndirectCount() >= server.Count[trace.CondDirect] {
-		t.Errorf("403.gcc-1: indirect=%d >= cond=%d, want conditional-dominated",
-			server.IndirectCount(), server.Count[trace.CondDirect])
-	}
-}
-
-func TestPolymorphismVaries(t *testing.T) {
-	suite := Suite(30_000)
-	minPoly, maxPoly := 2.0, -1.0
-	for _, s := range suite[:30] {
-		st := trace.Analyze(s.Build())
-		p := st.PolymorphicFraction()
-		if p < minPoly {
-			minPoly = p
-		}
-		if p > maxPoly {
-			maxPoly = p
-		}
-	}
-	if maxPoly-minPoly < 0.3 {
-		t.Errorf("polymorphism range [%.2f, %.2f] too narrow; want diverse suite", minPoly, maxPoly)
-	}
-}
-
-func TestSuiteHoldoutDisjointNames(t *testing.T) {
-	main := Suite(1_000)
-	hold := SuiteHoldout(1_000)
-	if len(hold) != 12 {
-		t.Fatalf("holdout has %d workloads, want 12", len(hold))
-	}
-	names := map[string]bool{}
-	for _, s := range main {
-		names[s.Name] = true
-	}
-	for _, s := range hold {
-		if names[s.Name] {
-			t.Errorf("holdout workload %q collides with main suite", s.Name)
-		}
-	}
-}
-
 func TestByName(t *testing.T) {
-	suite := Suite(1_000)
-	s, ok := ByName("252.eon", suite)
-	if !ok || s.Name != "252.eon" {
-		t.Error("ByName failed to find 252.eon")
+	suite := []Spec{
+		MonoSpec("one", "T", 1_000, MonoParams{Sites: 4, Work: 5}),
+		MonoSpec("two", "T", 1_000, MonoParams{Sites: 4, Work: 5, Bank: 1}),
+	}
+	s, ok := ByName("two", suite)
+	if !ok || s.Name != "two" {
+		t.Error("ByName failed to find a present workload")
 	}
 	if _, ok := ByName("no-such-workload", suite); ok {
 		t.Error("ByName found a nonexistent workload")
@@ -204,10 +129,84 @@ func TestZipfTable(t *testing.T) {
 	}
 }
 
-func TestDefaultBaseApplied(t *testing.T) {
-	suite := Suite(0)
-	if suite[0].Instructions <= 0 {
-		t.Error("zero base did not apply a default")
+func TestDrawCDFMatchesLinearScan(t *testing.T) {
+	// The binary search must return exactly what the reference linear scan
+	// does — the first index with x <= cdf[i] — or seeded traces change.
+	linear := func(cdf []float64, x float64) int {
+		for i, c := range cdf {
+			if x <= c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+	for _, n := range []int{1, 2, 8, 96} {
+		cdf := zipfTable(n, 1.7)
+		ra := rand.New(rand.NewSource(42))
+		rb := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 2000; trial++ {
+			got := drawCDF(cdf, ra)
+			want := linear(cdf, rb.Float64())
+			if got != want {
+				t.Fatalf("n=%d trial %d: drawCDF = %d, linear scan = %d", n, trial, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkDrawCDF(b *testing.B) {
+	// The callbacks family draws one event per step; wide tables (the
+	// 96-handler server mixes) are where the binary search pays.
+	for _, n := range []struct {
+		name string
+		size int
+	}{{"events8", 8}, {"events96", 96}} {
+		b.Run(n.name, func(b *testing.B) {
+			cdf := zipfTable(n.size, 2.2)
+			rng := rand.New(rand.NewSource(7))
+			b.ReportAllocs()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += drawCDF(cdf, rng)
+			}
+			_ = sink
+		})
+	}
+}
+
+func TestUnwindPCsDisjointFromGeneratorBanks(t *testing.T) {
+	// The end-of-trace unwind emits returns in a reserved bank. Its address
+	// window must be disjoint from every generator bank — the old fixed
+	// 0x3FF000+i*4 PCs could walk into bank 0's window on deep stacks.
+	bankWindow := func(bank int) (lo, hi uint64) {
+		lo = funcAddr(bank, 0)
+		hi = funcAddr(bank+1, 0)
+		return
+	}
+	unwindLo, unwindHi := bankWindow(unwindBank)
+	for bank := 0; bank < MaxBank; bank++ {
+		lo, hi := bankWindow(bank)
+		if lo < unwindHi && unwindLo < hi {
+			t.Fatalf("generator bank %d window [%#x,%#x) overlaps unwind bank window [%#x,%#x)",
+				bank, lo, hi, unwindLo, unwindHi)
+		}
+	}
+	// End-to-end: a trace that ends mid-recursion (tiny budget, deep burst)
+	// exercises the unwind; none of its unwind return PCs may fall in a
+	// generator bank window.
+	s := RecursiveSpec("unwind", "T", 300, RecursiveParams{MaxDepth: 80, MinDepth: 70, Work: 1})
+	tr := s.Build()
+	sawUnwind := false
+	for _, r := range tr.Records {
+		if r.Type == trace.Return && r.PC >= unwindLo {
+			sawUnwind = true
+			if r.PC >= unwindHi {
+				t.Fatalf("unwind return PC %#x past the reserved bank window [%#x,%#x)", r.PC, unwindLo, unwindHi)
+			}
+		}
+	}
+	if !sawUnwind {
+		t.Skip("trace ended balanced; unwind not exercised")
 	}
 }
 
@@ -300,12 +299,12 @@ func TestRecursiveConstructorPanics(t *testing.T) {
 func TestMixedConstructorPanics(t *testing.T) {
 	cases := []struct {
 		name    string
-		models  []model
+		models  []Model
 		weights []int
 	}{
 		{"empty", nil, nil},
-		{"mismatched", []model{&monoModel{}}, []int{1, 2}},
-		{"zero weight", []model{&monoModel{}}, []int{0}},
+		{"mismatched", []Model{&monoModel{}}, []int{1, 2}},
+		{"zero weight", []Model{&monoModel{}}, []int{0}},
 	}
 	for _, c := range cases {
 		func() {
@@ -314,7 +313,7 @@ func TestMixedConstructorPanics(t *testing.T) {
 					t.Errorf("%s: no panic", c.name)
 				}
 			}()
-			newMixed(c.models, c.weights, false)
+			NewMixed(c.models, c.weights, false)
 		}()
 	}
 }
@@ -325,7 +324,7 @@ func TestMixedRoundRobinFollowsWeights(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a := newMono(MonoParams{Sites: 1, Work: 1, Bank: 0}, rng)
 	b := newMono(MonoParams{Sites: 1, Work: 1, Bank: 1}, rng)
-	m := newMixed([]model{a, b}, []int{2, 1}, false)
+	m := NewMixed([]Model{a, b}, []int{2, 1}, false)
 	e := newEmitter("rr", 10_000)
 	banks := []int{}
 	for i := 0; i < 9; i++ {
@@ -354,14 +353,13 @@ func TestMixedRoundRobinFollowsWeights(t *testing.T) {
 
 func TestMixedRandomModeDeterministicPerSeed(t *testing.T) {
 	build := func() *trace.Trace {
-		return mixedSpec("mix-rand", "T", 20_000, true,
-			mixedPart{func(rng *rand.Rand) model {
-				return newMono(MonoParams{Sites: 4, Work: 5, Bank: 0}, rng)
-			}, 1},
-			mixedPart{func(rng *rand.Rand) model {
-				return newMono(MonoParams{Sites: 4, Work: 5, Bank: 1}, rng)
-			}, 3},
-		).Build()
+		return NewSpec("mix-rand", "T", SeedFor("mix-rand"), 20_000, 0,
+			func(rng *rand.Rand) Model {
+				return NewMixed([]Model{
+					MonoParams{Sites: 4, Work: 5, Bank: 0}.New(rng),
+					MonoParams{Sites: 4, Work: 5, Bank: 1}.New(rng),
+				}, []int{1, 3}, true)
+			}).Build()
 	}
 	a, b := build(), build()
 	if len(a.Records) != len(b.Records) {
@@ -371,5 +369,77 @@ func TestMixedRandomModeDeterministicPerSeed(t *testing.T) {
 		if a.Records[i] != b.Records[i] {
 			t.Fatalf("record %d differs", i)
 		}
+	}
+}
+
+func TestPhasesSwitchAtBoundary(t *testing.T) {
+	// A two-phase schedule over two mono banks must emit only bank 0 before
+	// the boundary and only bank 1 after it (with at most one straddling
+	// step).
+	spec := NewSpec("phased", "T", 3, 20_000, 0, func(rng *rand.Rand) Model {
+		return NewPhases([]Phase{
+			{Until: 10_000, Model: MonoParams{Sites: 2, Work: 5, Bank: 0}.New(rng)},
+			{Until: 0, Model: MonoParams{Sites: 2, Work: 5, Bank: 1}.New(rng)},
+		})
+	})
+	tr := spec.Build()
+	var instr int64
+	bank1Start := int64(-1)
+	for _, r := range tr.Records {
+		instr += int64(r.InstrBefore) + 1
+		if r.Type == trace.IndirectCall {
+			inBank1 := r.PC >= 0x40_0000+1<<24
+			if inBank1 && bank1Start < 0 {
+				bank1Start = instr
+			}
+			if !inBank1 && bank1Start >= 0 {
+				t.Fatalf("bank 0 record at instruction %d after phase 2 began at %d", instr, bank1Start)
+			}
+		}
+	}
+	if bank1Start < 0 {
+		t.Fatal("phase 2 never ran")
+	}
+	if bank1Start < 10_000 || bank1Start > 11_000 {
+		t.Errorf("phase 2 began at instruction %d, want just past the 10000 boundary", bank1Start)
+	}
+}
+
+func TestWithRngIsolatesClientStreams(t *testing.T) {
+	// Two builds whose shared rng is consumed differently between steps
+	// must still produce identical records from a WithRng-bound client.
+	build := func(extraDraws int) *trace.Trace {
+		return NewSpec("seeded-client", "T", 9, 8_000, 0, func(rng *rand.Rand) Model {
+			crng := rand.New(rand.NewSource(1234))
+			client := WithRng(CallbacksParams{Events: 6, Skew: 2.0, Wrappers: 2, HandlerWork: 10, HandlerConds: 1}.New(crng), crng)
+			for i := 0; i < extraDraws; i++ {
+				rng.Int63() // perturb the shared stream
+			}
+			return client
+		}).Build()
+	}
+	a, b := build(0), build(5)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs; per-client stream leaked shared-rng state", i)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesParams(t *testing.T) {
+	a := MonoSpec("same-name", "T", 1_000, MonoParams{Sites: 4, Work: 5})
+	b := MonoSpec("same-name", "T", 1_000, MonoParams{Sites: 8, Work: 5})
+	if a.Fingerprint == b.Fingerprint {
+		t.Error("different parameters produced equal fingerprints")
+	}
+	if a.Identity() == b.Identity() {
+		t.Error("identities collide across parameter changes")
+	}
+	c := MonoSpec("same-name", "T", 1_000, MonoParams{Sites: 4, Work: 5})
+	if a.Identity() != c.Identity() {
+		t.Error("identical specs disagree on identity")
 	}
 }

@@ -1,0 +1,179 @@
+package wspec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validSpec is a minimal correct spec used as the mutation base for the
+// validation-error table.
+const validSpec = `{
+  "name": "demo",
+  "instructions": 10000,
+  "generator": {"kind": "interpreter", "params": {"Opcodes": 16, "ProgramLen": 40}}
+}`
+
+func TestDecodeValidSpec(t *testing.T) {
+	ws, err := Decode([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Name != "demo" || ws.Generator.Kind != "interpreter" {
+		t.Errorf("decoded spec = %+v", ws)
+	}
+	if ws.Seed != nil {
+		t.Error("unset seed should decode to nil (name-derived)")
+	}
+}
+
+// TestValidationErrors pins the exact diagnostics: specs are user-authored
+// data, so the error text is part of the interface.
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		label string
+		in    string
+		want  string
+	}{
+		{"no name", `{"instructions": 100, "generator": {"kind": "mono"}}`,
+			`wspec: spec needs a name`},
+		{"no instructions", `{"name": "x", "generator": {"kind": "mono"}}`,
+			`wspec: spec "x": instructions must be positive`},
+		{"no kind", `{"name": "x", "instructions": 100, "generator": {}}`,
+			`wspec: spec "x": generator: generator needs a kind (want callbacks, interpreter, mixed, mono, phases, recursive, replay, switcher, vdispatch)`},
+		{"unknown kind", `{"name": "x", "instructions": 100, "generator": {"kind": "quantum"}}`,
+			`wspec: spec "x": generator: unknown generator kind "quantum" (want callbacks, interpreter, mixed, mono, phases, recursive, replay, switcher, vdispatch)`},
+		{"unknown field", `{"name": "x", "instructions": 100, "generator": {"kind": "mono"}, "extra": 1}`,
+			`wspec: json: unknown field "extra"`},
+		{"unknown param", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "params": {"Sitez": 4}}}`,
+			`wspec: spec "x": generator: mono params: json: unknown field "Sitez"`},
+		{"bank out of range", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "params": {"Bank": 64}}}`,
+			`wspec: spec "x": generator: bank 64 out of range [0, 64)`},
+		{"parts on a leaf", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "parts": [{"weight": 1, "generator": {"kind": "mono"}}]}}`,
+			`wspec: spec "x": generator: "parts" applies to kind "mixed" only`},
+		{"random on a leaf", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "random": true}}`,
+			`wspec: spec "x": generator: "random" applies to kind "mixed" only`},
+		{"params on mixed", `{"name": "x", "instructions": 100, "generator": {"kind": "mixed", "params": {"Sites": 4}, "parts": [{"weight": 1, "generator": {"kind": "mono"}}]}}`,
+			`wspec: spec "x": generator: "params" applies to generator kinds only`},
+		{"empty mixed", `{"name": "x", "instructions": 100, "generator": {"kind": "mixed"}}`,
+			`wspec: spec "x": generator: mixed needs at least one part`},
+		{"zero weight", `{"name": "x", "instructions": 100, "generator": {"kind": "mixed", "parts": [{"weight": 0, "generator": {"kind": "mono"}}]}}`,
+			`wspec: spec "x": generator: mixed part 0: weight must be positive`},
+		{"bad nested part", `{"name": "x", "instructions": 100, "generator": {"kind": "mixed", "parts": [{"weight": 1, "generator": {"kind": "nope"}}]}}`,
+			`wspec: spec "x": generator: mixed part 0: unknown generator kind "nope" (want callbacks, interpreter, mixed, mono, phases, recursive, replay, switcher, vdispatch)`},
+		{"empty phases", `{"name": "x", "instructions": 100, "generator": {"kind": "phases"}}`,
+			`wspec: spec "x": generator: phases needs at least one phase`},
+		{"mid phase open-ended", `{"name": "x", "instructions": 100, "generator": {"kind": "phases", "phases": [{"generator": {"kind": "mono"}}, {"until": 50, "generator": {"kind": "mono"}}]}}`,
+			`wspec: spec "x": generator: phase 0: boundary must be positive (only the last phase may run to the end)`},
+		{"non-increasing boundary", `{"name": "x", "instructions": 100, "generator": {"kind": "phases", "phases": [{"until": 50, "generator": {"kind": "mono"}}, {"until": 50, "generator": {"kind": "mono"}}]}}`,
+			`wspec: spec "x": generator: phase 1: boundary 50 not after previous 50`},
+		{"boundary past budget", `{"name": "x", "instructions": 100, "generator": {"kind": "phases", "phases": [{"until": 100, "generator": {"kind": "mono"}}, {"generator": {"kind": "mono"}}]}}`,
+			`wspec: spec "x": generator: phase 0: boundary 100 at or past the instruction budget 100`},
+		{"nested replay", `{"name": "x", "instructions": 100, "generator": {"kind": "mixed", "parts": [{"weight": 1, "generator": {"kind": "replay", "path": "a.spill"}}]}}`,
+			`wspec: spec "x": generator: mixed part 0: replay cannot be nested`},
+		{"replay with budget", `{"name": "x", "instructions": 100, "generator": {"kind": "replay", "path": "a.spill"}}`,
+			`wspec: spec "x": replay takes its instruction count from the recorded file; leave instructions 0`},
+		{"replay without path", `{"name": "x", "generator": {"kind": "replay"}}`,
+			`wspec: spec "x": generator: replay needs a path`},
+		{"path on a leaf", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "path": "a.spill"}}`,
+			`wspec: spec "x": generator: "path" applies to kind "replay" only`},
+		{"draw unknown field", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "draw": {"Sitez": {"min": 1, "max": 2}}}}`,
+			`wspec: spec "x": generator: draw names no mono parameter "Sitez"`},
+		{"draw fractional int", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "draw": {"Sites": {"min": 1.5, "max": 2}}}}`,
+			`wspec: spec "x": generator: draw range for "Sites" must have integral bounds`},
+		{"draw inverted", `{"name": "x", "instructions": 100, "generator": {"kind": "mono", "draw": {"Sites": {"min": 9, "max": 2}}}}`,
+			`wspec: spec "x": generator: draw range for "Sites" inverted (min 9 > max 2)`},
+	}
+	for _, tc := range cases {
+		_, err := Decode([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error %q", tc.label, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("%s:\n got  %q\n want %q", tc.label, err.Error(), tc.want)
+		}
+	}
+}
+
+func TestDecodeAllArrayAndObject(t *testing.T) {
+	one, err := DecodeAll([]byte(validSpec))
+	if err != nil || len(one) != 1 {
+		t.Fatalf("single-object DecodeAll = %d specs, %v", len(one), err)
+	}
+	arr := "[" + validSpec + "," + strings.Replace(validSpec, `"demo"`, `"demo2"`, 1) + "]"
+	two, err := DecodeAll([]byte(arr))
+	if err != nil || len(two) != 2 {
+		t.Fatalf("array DecodeAll = %d specs, %v", len(two), err)
+	}
+	bad := "[" + validSpec + "," + strings.Replace(validSpec, `"name": "demo"`, `"name": ""`, 1) + "]"
+	_, err = DecodeAll([]byte(bad))
+	want := "wspec: spec 2 of 2: wspec: spec needs a name"
+	if err == nil || err.Error() != want {
+		t.Errorf("bad array error = %v, want %q", err, want)
+	}
+}
+
+func TestEncodeDecodeFixedPoint(t *testing.T) {
+	ws, err := Decode([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := ws.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(enc1)
+	if err != nil {
+		t.Fatalf("decode of own encoding: %v", err)
+	}
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Errorf("encode not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+	}
+}
+
+// FuzzWorkloadSpecDecode mirrors runspec's FuzzRunPlanDecode: whatever
+// Decode accepts must validate, re-encode, and decode to a stable fixed
+// point.
+func FuzzWorkloadSpecDecode(f *testing.F) {
+	f.Add([]byte(validSpec))
+	for _, ws := range append(SuiteSpecs(1_000, "s"), HoldoutSpecs(1_000)...) {
+		if enc, err := ws.Encode(); err == nil {
+			f.Add(enc)
+		}
+	}
+	f.Add([]byte(`{"name": "p", "instructions": 500, "generator": {"kind": "phases", "phases": [
+		{"until": 100, "generator": {"kind": "mono"}},
+		{"generator": {"kind": "mixed", "parts": [
+			{"weight": 3, "seed": 7, "generator": {"kind": "switcher", "draw": {"Tokens": {"min": 4, "max": 9}}}},
+			{"weight": 1, "generator": {"kind": "callbacks"}}]}}]}}`))
+	f.Add([]byte(`{"name": "r", "generator": {"kind": "replay", "path": "x.spill"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := ws.Validate(); err != nil {
+			t.Fatalf("decoded spec fails validation: %v", err)
+		}
+		enc1, err := ws.Encode()
+		if err != nil {
+			t.Fatalf("encoding decoded spec: %v", err)
+		}
+		back, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("re-decoding encoded spec: %v\n%s", err, enc1)
+		}
+		enc2, err := back.Encode()
+		if err != nil {
+			t.Fatalf("re-encoding: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

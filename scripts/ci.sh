@@ -1,8 +1,8 @@
 #!/bin/sh
 # CI gate: lint (vet + blbplint), suppression/exceptions audit, autofix
 # smoke, build, race-enabled tests, fuzz smoke, batch-engine smoke,
-# warm-start and run-plan round-trip smokes, and a strict gofmt -s check.
-# Run from the repository root (or `make ci`).
+# warm-start, run-plan, and workload-spec round-trip smokes, and a strict
+# gofmt -s check. Run from the repository root (or `make ci`).
 set -eux
 
 make lint
@@ -113,6 +113,70 @@ go run ./cmd/experiments -base 4000 -csv "$plans/user" \
 grep -q "no-target-bits" "$plans/user/ci-user.csv"
 grep -q "252.eon" "$plans/user/ci-user.csv"
 rm -rf "$plans"
+# Workload-spec round trip. Every built-in workload must dump as a spec,
+# and a suite listed as registry spec names must reproduce the compiled-in
+# suite's CSV byte for byte — serial and parallel — since the built-in
+# suite is itself compiled from those same specs.
+wdir=$(mktemp -d)
+go build -o "$wdir/experiments" ./cmd/experiments
+"$wdir/experiments" -list-workloads >"$wdir/names.txt"
+test "$(wc -l <"$wdir/names.txt")" -eq 100
+while read -r n; do
+	"$wdir/experiments" -dumpspec "$n" >"$wdir/spec.json"
+	test -s "$wdir/spec.json"
+done <"$wdir/names.txt"
+names=$(grep -v '^holdout-' "$wdir/names.txt" | sed 's/.*/"&"/' | paste -sd, -)
+"$wdir/experiments" -dumpplan overall |
+	sed "s/\"suite\": {}/\"suite\": {\"specs\": [$names]}/" >"$wdir/overall_specs.json"
+"$wdir/experiments" -base 4000 -csv "$wdir/builtin" overall >/dev/null
+"$wdir/experiments" -base 4000 -parallel 4 -csv "$wdir/specs" \
+	-plan "$wdir/overall_specs.json" >/dev/null
+diff "$wdir/builtin/overall.csv" "$wdir/specs/overall.csv"
+# A user-authored spec (phase schedule over a seeded mix, with a drawn
+# parameter) plus a renamed dump of a built-in must register through
+# -workload-spec, run end to end via a plan's suite "specs", and
+# warm-start from the kept spill directory with zero generator builds —
+# the spec fingerprint is what keys those spill files.
+"$wdir/experiments" -dumpspec 458.sjeng-1 -base 4000 |
+	sed 's/"name": "458.sjeng-1"/"name": "sjeng-copy"/' >"$wdir/user_specs.json"
+cat >"$wdir/phase_mix.json" <<'EOF'
+{
+  "name": "ci-phase-mix",
+  "category": "USER",
+  "instructions": 8000,
+  "generator": {
+    "kind": "phases",
+    "phases": [
+      {"until": 4000, "generator": {"kind": "mixed", "parts": [
+        {"weight": 3, "seed": 11, "generator": {"kind": "interpreter", "params": {"Opcodes": 24, "ProgramLen": 400, "Work": 110, "CondPerHandler": 3, "CondNoise": 0.01, "DispatchNoise": 0.02, "Bank": 0}}},
+        {"weight": 1, "seed": 12, "generator": {"kind": "mono", "params": {"Sites": 12, "Work": 60, "Bank": 1}}}
+      ]}},
+      {"until": 8000, "generator": {"kind": "vdispatch", "params": {"Classes": 6, "Sites": 4, "Objects": 64, "TypeNoise": 0.01, "MethodWork": 150, "MethodConds": 2, "CondNoise": 0.01, "Bank": 2}, "draw": {"Classes": {"min": 4, "max": 10}}}}
+    ]
+  }
+}
+EOF
+cat >"$wdir/spec_plan.json" <<'EOF'
+{
+  "name": "ci-spec-plan",
+  "suite": {"specs": ["ci-phase-mix", "sjeng-copy"]},
+  "passes": [{"predictors": [{"type": "blbp"}, {"type": "ittage"}]}],
+  "outputs": [{"table": "mpki", "file": "ci-spec"}]
+}
+EOF
+sspill=$(mktemp -d)
+"$wdir/experiments" -workload-spec "$wdir/user_specs.json" \
+	-workload-spec "$wdir/phase_mix.json" -plan "$wdir/spec_plan.json" \
+	-csv "$wdir/cold" -cachespill "$sspill" -cachekeep >/dev/null
+"$wdir/experiments" -workload-spec "$wdir/user_specs.json" \
+	-workload-spec "$wdir/phase_mix.json" -plan "$wdir/spec_plan.json" \
+	-csv "$wdir/warm" -cachespill "$sspill" -cachekeep -cachestats \
+	>/dev/null 2>"$wdir/stats.txt"
+grep -q "trace cache: 0 builds" "$wdir/stats.txt"
+diff "$wdir/cold/ci-spec.csv" "$wdir/warm/ci-spec.csv"
+grep -q "ci-phase-mix" "$wdir/cold/ci-spec.csv"
+grep -q "sjeng-copy" "$wdir/cold/ci-spec.csv"
+rm -rf "$wdir" "$sspill"
 # gofmt -s: fail with the offending diff so the fix is visible in the log.
 fmtdiff=$(gofmt -s -d .)
 if [ -n "$fmtdiff" ]; then
